@@ -1,0 +1,15 @@
+"""Shared helpers for the figure benchmarks.
+
+Every benchmark prints the rows/series of the corresponding paper
+table or figure (run pytest with ``-s`` to see them) and attaches the
+same data to pytest-benchmark's ``extra_info``.  Shape assertions -
+who wins, by what factor, where the crossovers fall - guard against
+regressions; absolute numbers are modeled (see DESIGN.md §2).
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Network usage end to end: the paper's §4.1 application.
+
+Builds a small shard - simulated devices behind mtunnel, UsageGrabber
+polling every minute, aggregators rolling usage up per network and per
+tag - then renders a text "Dashboard" of usage graphs, demonstrates a
+mid-run LittleTable crash, and shows the recovery protocol making it
+invisible to customers.
+
+Run:  python examples/network_usage_dashboard.py
+"""
+
+from repro.core import KeyRange, Query, TimeRange
+from repro.dashboard import Shard, ShardTopology
+from repro.util.clock import MICROS_PER_HOUR, MICROS_PER_MINUTE
+
+
+def sparkline(values, width=48):
+    """Render a list of numbers as a text graph."""
+    if not values:
+        return "(no data)"
+    peak = max(values) or 1
+    blocks = " .:-=+*#%@"
+    sampled = values[-width:]
+    return "".join(blocks[min(9, int(9 * v / peak))] for v in sampled)
+
+
+def show_network_graphs(shard) -> None:
+    """The §4.1.2 rollup graph: bytes per network per 10 minutes."""
+    print("\n  Usage by network (10-minute rollups):")
+    for network in shard.config_store.networks_of(1):
+        rows = shard.network_rollup_table.query(
+            Query(KeyRange.prefix((network.network_id,)))).rows
+        series = [row[2] for row in rows]
+        print(f"    {network.name:>10}  {sparkline(series)}  "
+              f"({len(series)} points)")
+
+
+def show_device_drilldown(shard, network_id=1, device_id=1) -> None:
+    """The §4.1.1 drill-down: per-minute rates for one device."""
+    hour_ago = TimeRange.between(
+        shard.clock.now() - MICROS_PER_HOUR, None)
+    rows = shard.usage_table.query(
+        Query(KeyRange.prefix((network_id, device_id)), hour_ago)).rows
+    rates = [row[5] for row in rows]
+    print(f"\n  Device {device_id} rate, last hour "
+          f"({len(rates)} samples):")
+    print(f"    {sparkline(rates)}")
+    if rates:
+        print(f"    min {min(rates):,.0f} B/s   max {max(rates):,.0f} B/s")
+
+
+def show_tag_report(shard) -> None:
+    """The §4.1.2 tag join: usage per user-defined tag."""
+    rows = shard.tag_rollup_table.query(Query()).rows
+    totals = {}
+    for _customer, tag, _ts, total in rows:
+        totals[tag] = totals.get(tag, 0) + total
+    print("\n  Usage by tag (joined from the config store):")
+    for tag, total in sorted(totals.items()):
+        print(f"    {tag:>15}: {total:,} bytes")
+
+
+def main() -> None:
+    shard = Shard(ShardTopology(customers=1, networks_per_customer=2,
+                                aps_per_network=4, cameras_per_network=0))
+    # Tag some access points the way the paper's school example does.
+    shard.config_store.tag_device(1, "classrooms")
+    shard.config_store.tag_device(2, "classrooms")
+    shard.config_store.tag_device(3, "playing-fields")
+
+    print("Running the shard for 90 simulated minutes...")
+    totals = shard.run_minutes(90)
+    print(f"  grabbed {totals['usage_rows']} usage rows, "
+          f"wrote {totals['rollup_rows']} rollup rows")
+
+    show_network_graphs(shard)
+    show_device_drilldown(shard)
+    show_tag_report(shard)
+
+    # Now the §4.1.1 crash story: LittleTable dies, the grabber
+    # rebuilds its counter cache from what survived plus the devices.
+    print("\nSimulating a LittleTable crash...")
+    rows_before = len(shard.usage_table.query(Query()).rows)
+    shard.crash_littletable()
+    rows_after = len(shard.usage_table.query(Query()).rows)
+    print(f"  usage rows: {rows_before} before, {rows_after} after "
+          f"(unflushed tail lost)")
+
+    print("Resuming polling for 10 minutes...")
+    shard.run_minutes(10)
+    rows = shard.usage_table.query(
+        Query(KeyRange.prefix((1, 1)),
+              TimeRange.between(shard.clock.now() - 20 * MICROS_PER_MINUTE,
+                                None))).rows
+    widest_gap = max(
+        (row[2] - row[3] for row in rows), default=0) / MICROS_PER_MINUTE
+    print(f"  device (1,1) resumed; widest sample interval around the "
+          f"crash: {widest_gap:.0f} minutes")
+    print("  To a customer this looks like brief device unreachability "
+          "- exactly the paper's §4.1.1 claim.")
+
+
+if __name__ == "__main__":
+    main()

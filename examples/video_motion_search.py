@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Video motion search: the paper's §4.3 application.
+
+Security cameras encode motion as 32-bit words (coarse cell + 24
+macroblock bits); MotionGrabber stores them keyed on the camera, and a
+user can "select any rectangular area of interest in a camera's video
+frame and search backwards in time for motion events within that
+area", or render heatmaps of motion over time.
+
+Run:  python examples/video_motion_search.py
+"""
+
+from repro.dashboard import PixelRect, Shard, ShardTopology
+from repro.dashboard.devices import decode_motion_word
+from repro.util.clock import MICROS_PER_MINUTE
+
+
+def render_heatmap(grid) -> str:
+    """Downsample the macroblock heatmap to a terminal-sized view."""
+    blocks = " .:-=+*#%@"
+    peak = max((max(row) for row in grid), default=0) or 1
+    lines = []
+    for row in grid[::2]:  # halve vertically for aspect ratio
+        line = "".join(
+            blocks[min(9, int(9 * value / peak))] for value in row
+        )
+        lines.append("    |" + line + "|")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    shard = Shard(ShardTopology(customers=1, networks_per_customer=1,
+                                aps_per_network=0, cameras_per_network=2))
+    print("Recording motion from 2 cameras for 4 simulated hours...")
+    totals = shard.run_minutes(240)
+    print(f"  stored {totals['motion_rows']} motion events")
+
+    camera = shard.config_store.all_devices(kind="camera")[0]
+
+    # The security incident: search the lower-right quadrant of the
+    # frame, newest first.
+    quadrant = PixelRect(480, 270, 960, 540)
+    hits = shard.motion_search.search(camera.device_id, quadrant, limit=5)
+    print(f"\nMotion in the lower-right quadrant of camera "
+          f"{camera.device_id} (newest first):")
+    for ts, duration, word in hits:
+        cell_col, cell_row, bits = decode_motion_word(word)
+        minutes_ago = (shard.clock.now() - ts) / MICROS_PER_MINUTE
+        print(f"  [{minutes_ago:6.1f} min ago] cell ({cell_col},{cell_row})"
+              f" {bin(bits).count('1')} macroblocks,"
+              f" {duration / 1_000_000:.0f}s")
+
+    # Narrow the search to a doorway-sized region.
+    doorway = PixelRect(640, 380, 720, 540)
+    doorway_hits = shard.motion_search.search(camera.device_id, doorway)
+    print(f"\nDoorway region: {len(doorway_hits)} events "
+          f"(vs {len(shard.motion_search.search(camera.device_id, PixelRect(0, 0, 960, 540)))} frame-wide)")
+
+    # The §4.3 heatmap, over the full recording.
+    print("\nMotion heatmap (full frame, 4 hours):")
+    grid = shard.motion_search.heatmap(camera.device_id)
+    print(render_heatmap(grid))
+
+    # The paper's cost estimate: at 500k rows/s, a week of one
+    # camera's ~51k rows searches in ~100 ms; our 4 hours is smaller
+    # still, and the scan ratio shows why the key layout matters.
+    table = shard.motion_table
+    ratio = (table.counters.rows_scanned
+             / max(1, table.counters.rows_returned))
+    print(f"\nScan efficiency: {ratio:.2f} rows scanned per row returned "
+          f"(the motion table is keyed (camera, ts), so searches read "
+          f"only the camera they ask about)")
+
+
+if __name__ == "__main__":
+    main()

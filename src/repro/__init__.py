@@ -1,0 +1,44 @@
+"""repro: a reproduction of "LittleTable: A Time-Series Database and
+Its Uses" (SIGMOD 2017).
+
+Subpackages:
+
+* ``repro.core`` - the LittleTable engine (the paper's contribution);
+* ``repro.disk`` - the simulated spinning-disk substrate;
+* ``repro.sqlapi`` - the SQL front end (the paper's SQLite adaptor role);
+* ``repro.net`` - the TCP client/server protocol;
+* ``repro.dashboard`` - the three applications of Section 4;
+* ``repro.workloads`` - workload and synthetic-fleet generators;
+* ``repro.bench`` - the evaluation harness;
+* ``repro.util`` - clocks, PRNG, skip list, HLL, Bloom filters, stats.
+"""
+
+from .core import (
+    Column,
+    ColumnType,
+    EngineConfig,
+    KeyRange,
+    LittleTable,
+    Query,
+    Schema,
+    TimeRange,
+)
+from .disk import DiskParameters, FileStorage, MemoryStorage, SimulatedDisk
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "EngineConfig",
+    "KeyRange",
+    "LittleTable",
+    "Query",
+    "Schema",
+    "TimeRange",
+    "DiskParameters",
+    "FileStorage",
+    "MemoryStorage",
+    "SimulatedDisk",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Benchmark harness: cost model, workload runners, figure printers."""
+
+from .costmodel import DEFAULT_COST_MODEL, ServerCostModel
+from .harness import (
+    BENCH_EPOCH,
+    InsertRunResult,
+    QueryRunResult,
+    bench_config,
+    build_tabled_dataset,
+    first_row_latency,
+    format_table,
+    make_bench_db,
+    print_figure,
+    run_insert_workload,
+    run_multi_writer_workload,
+    run_query_scan,
+)
+
+__all__ = [
+    "DEFAULT_COST_MODEL",
+    "ServerCostModel",
+    "BENCH_EPOCH",
+    "InsertRunResult",
+    "QueryRunResult",
+    "bench_config",
+    "build_tabled_dataset",
+    "first_row_latency",
+    "format_table",
+    "make_bench_db",
+    "print_figure",
+    "run_insert_workload",
+    "run_multi_writer_workload",
+    "run_query_scan",
+]

@@ -1,0 +1,94 @@
+"""The server cost model: CPU and protocol costs of the paper's C++
+implementation.
+
+The disk model (``repro.disk``) accounts for seeks and transfers; this
+module accounts for everything else the paper's numbers include - the
+per-command protocol overhead that makes small insert batches slow
+(Figure 2, solid line), the per-row costs that make small rows slow
+(Figure 2, dashed line), and the per-row query cost that puts scan
+throughput at ~50% of the disk's (§1, §5.1.5).
+
+A pure-Python engine cannot hit the absolute CPU numbers of the
+paper's C++ server, so benchmarks report *modeled* time: real engine
+work measured in rows/bytes/commands, priced by these constants.  The
+constants are calibrated against the paper's own measurements:
+
+* 512x128 B insert batches sustain ~42% of peak disk write rate (§1);
+* 32 B rows at 64 kB batches reach ~12% and 4 kB rows ~63% (§5.1.2);
+* a single writer with 32-row batches sustains 37 MB/s (§5.1.4),
+  rising toward ~75% of the disk's peak with 32 writers;
+* queries return 500k 128 B rows/s, ~50% of disk throughput (§5.1.5).
+
+DESIGN.md §2 records this substitution; EXPERIMENTS.md reports the
+paper-vs-modeled deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+MIB = 1024 * 1024
+
+
+@dataclass
+class ServerCostModel:
+    """Calibrated per-operation CPU/protocol costs (seconds)."""
+
+    # Per insert command: request parse + round trip + dispatch.
+    insert_command_s: float = 60e-6
+    # Per inserted row: validation, uniqueness fast path, tree insert.
+    insert_row_s: float = 1.2e-6
+    # Per inserted byte: encode + memcpy + (attempted) compression.
+    insert_byte_s: float = 1.0 / (300 * MIB)
+    # Extra per-byte cost for rows that overflow the 64 kB block size
+    # (block-spanning copies); reproduces Figure 2's dip past 4 kB.
+    oversize_row_byte_s: float = 1.0 / (150 * MIB)
+    oversize_row_threshold: int = 8 * 1024
+    # Per returned/scanned row on the query path: decode + merge heap.
+    query_row_s: float = 0.8e-6
+    # Per scanned byte on the query path: decompress + copy.
+    query_byte_s: float = 1.0 / (500 * MIB)
+    # Amdahl serial fraction for the multi-writer benchmark: the
+    # fraction of insert CPU spent in shared state (allocator, tablet
+    # bookkeeping) that does not parallelize across writer threads.
+    multi_writer_serial_fraction: float = 0.35
+    # Disk interleave penalty per concurrent writer: flushes from many
+    # tables interleave on the platter, costing extra seek time.
+    multi_writer_disk_penalty: float = 0.008
+
+    # ------------------------------------------------------------ costs
+
+    def insert_cpu_s(self, commands: int, rows: int, data_bytes: int,
+                     row_size: int) -> float:
+        """Modeled CPU seconds to ingest a workload."""
+        cost = (commands * self.insert_command_s
+                + rows * self.insert_row_s
+                + data_bytes * self.insert_byte_s)
+        if row_size > self.oversize_row_threshold:
+            cost += data_bytes * self.oversize_row_byte_s
+        return cost
+
+    def query_cpu_s(self, rows_scanned: int, bytes_scanned: int) -> float:
+        """Modeled CPU seconds to scan rows through the query path."""
+        return (rows_scanned * self.query_row_s
+                + bytes_scanned * self.query_byte_s)
+
+    def parallel_cpu_s(self, serial_cpu_s: float, writers: int,
+                       cores: int = 12) -> float:
+        """Amdahl-scaled CPU time across writer threads (§5.1.4).
+
+        The paper's test machine has two 6-core Xeons; insert CPU work
+        for different tables shares almost no state, but not none.
+        """
+        if writers <= 1:
+            return serial_cpu_s
+        parallel_ways = min(writers, cores)
+        serial = self.multi_writer_serial_fraction
+        return serial_cpu_s * (serial + (1.0 - serial) / parallel_ways)
+
+    def disk_interleave_factor(self, writers: int) -> float:
+        """Extra disk time when many tables flush concurrently."""
+        return 1.0 + self.multi_writer_disk_penalty * max(0, writers - 1)
+
+
+DEFAULT_COST_MODEL = ServerCostModel()

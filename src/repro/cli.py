@@ -1,0 +1,230 @@
+"""littletable - a SQL shell over a LittleTable data directory.
+
+Usage:
+
+    python -m repro.cli --data /var/lib/littletable            # REPL
+    python -m repro.cli --data ./lt -e "SHOW TABLES"           # one-shot
+    echo "SELECT * FROM usage LIMIT 5" | python -m repro.cli --data ./lt
+
+The data directory holds real files (descriptors and tablets) via
+:class:`~repro.disk.storage.FileStorage`, so databases persist across
+invocations - create a table in one run, query it in the next.  With
+no ``--data``, an in-memory database lasts for the session.
+
+Statements are the SQL subset of :mod:`repro.sqlapi` plus shell
+commands ``.help``, ``.tables``, ``.maintenance``, and ``.quit``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Iterable, Optional, TextIO
+
+from .core.database import LittleTable
+from .core.errors import LittleTableError
+from .disk.storage import FileStorage
+from .disk.vfs import SimulatedDisk
+from .sqlapi.executor import SqlResult, SqlSession
+from .sqlapi.lexer import SqlError
+
+_HELP = """\
+Statements end with ';'.  Supported SQL:
+  CREATE TABLE t (col TYPE [DEFAULT v], ..., PRIMARY KEY (.., ts)) [WITH TTL s]
+  INSERT INTO t (cols) VALUES (...), (...)
+  SELECT cols|aggregates FROM t [WHERE ...] [GROUP BY ...]
+         [ORDER BY KEY [DESC]] [LIMIT n]
+  DELETE FROM t WHERE <key prefix equalities>
+  FLUSH t [BEFORE ts] | ALTER TABLE ... | DROP TABLE t
+  SHOW TABLES | DESCRIBE t
+Shell commands:
+  .help         this text
+  .tables       list tables
+  .maintenance  run one flush/merge/expiry tick
+  .stats [t..]  table shape and activity summaries
+  .fsck         check descriptor/tablet integrity
+  .quit         exit
+"""
+
+
+def format_result(result: SqlResult) -> str:
+    """Render a result like the benchmark tables."""
+    if not result.columns:
+        return f"ok ({result.rows_affected} affected)"
+    if not result.rows:
+        return "(no rows)"
+    rendered = [[_render_cell(cell) for cell in row] for row in result.rows]
+    widths = [len(name) for name in result.columns]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(name.ljust(width)
+                  for name, width in zip(result.columns, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    lines.extend(
+        "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        for row in rendered
+    )
+    lines.append(f"({len(result.rows)} rows)")
+    return "\n".join(lines)
+
+
+def _render_cell(cell) -> str:
+    if isinstance(cell, bytes):
+        if len(cell) > 16:
+            return f"X'{cell[:16].hex()}...' ({len(cell)} bytes)"
+        return f"X'{cell.hex()}'"
+    if isinstance(cell, float):
+        return f"{cell:g}"
+    return str(cell)
+
+
+class Shell:
+    """Reads statements, executes them, prints results."""
+
+    def __init__(self, db: LittleTable, out: Optional[TextIO] = None):
+        self.db = db
+        self.session = SqlSession(db)
+        self.out = out if out is not None else sys.stdout
+        self._buffer = ""
+
+    def _print(self, text: str) -> None:
+        print(text, file=self.out)
+
+    def execute_line(self, line: str) -> bool:
+        """Run one statement or shell command.
+
+        Returns False when the shell should exit.
+        """
+        line = line.strip()
+        if not line:
+            return True
+        if line in (".quit", ".exit"):
+            return False
+        if line == ".help":
+            self._print(_HELP)
+            return True
+        if line == ".tables":
+            names = self.db.table_names()
+            self._print("\n".join(names) if names else "(no tables)")
+            return True
+        if line == ".fsck":
+            from .core.check import check_database
+
+            findings = check_database(self.db)
+            total = sum(len(found) for found in findings.values())
+            if total == 0:
+                self._print("ok: all tables healthy")
+            else:
+                for _table, found in sorted(findings.items()):
+                    for issue in found:
+                        self._print(str(issue))
+            return True
+        if line == ".stats" or line.startswith(".stats "):
+            names = (line.split(None, 1)[1].split()
+                     if " " in line else self.db.table_names())
+            for name in names:
+                try:
+                    summary = self.db.table(name).stats_summary()
+                except LittleTableError as exc:
+                    self._print(f"error: {exc}")
+                    continue
+                self._print(f"{name}:")
+                for key, value in summary.items():
+                    if key == "name":
+                        continue
+                    self._print(f"  {key}: {value}")
+            if not names:
+                self._print("(no tables)")
+            return True
+        if line == ".maintenance":
+            work = self.db.maintenance()
+            flushed = sum(w["flushed"] for w in work.values())
+            merged = sum(w["merged"] for w in work.values())
+            expired = sum(w["expired"] for w in work.values())
+            self._print(f"flushed {flushed}, merged {merged}, "
+                        f"expired {expired}")
+            return True
+        if line.startswith("."):
+            self._print(f"unknown command {line!r} (try .help)")
+            return True
+        try:
+            result = self.session.execute(line)
+        except (SqlError, LittleTableError) as exc:
+            self._print(f"error: {exc}")
+            return True
+        self._print(format_result(result))
+        return True
+
+    def feed(self, line: str) -> bool:
+        """Feed one input line; ';' terminates statements, shell
+        commands (leading '.') need no terminator.  Partial statements
+        accumulate across calls.  Returns False after ``.quit``.
+        """
+        self._buffer += line
+        if self._buffer.lstrip().startswith("."):
+            command = self._buffer.strip()
+            self._buffer = ""
+            return self.execute_line(command)
+        while ";" in self._buffer:
+            statement, _sep, self._buffer = self._buffer.partition(";")
+            if not self.execute_line(statement):
+                return False
+        return True
+
+    def run(self, lines: Iterable[str]) -> bool:
+        """Feed many lines (script mode); flushes a trailing partial
+        statement at EOF.  Returns False if a ``.quit`` fired."""
+        for line in lines:
+            if not self.feed(line):
+                return False
+        if self._buffer.strip():
+            remaining = self._buffer
+            self._buffer = ""
+            return self.execute_line(remaining)
+        return True
+
+
+def open_database(data_dir: Optional[str]) -> LittleTable:
+    """A persistent database over ``data_dir``, or in-memory."""
+    if data_dir is None:
+        return LittleTable()
+    return LittleTable(disk=SimulatedDisk(FileStorage(data_dir)))
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="littletable",
+        description="SQL shell for the LittleTable reproduction")
+    parser.add_argument("--data", metavar="DIR", default=None,
+                        help="data directory (default: in-memory)")
+    parser.add_argument("-e", "--execute", metavar="SQL", action="append",
+                        help="execute a statement and exit (repeatable)")
+    args = parser.parse_args(argv)
+    db = open_database(args.data)
+    shell = Shell(db)
+    if args.execute:
+        for statement in args.execute:
+            shell.execute_line(statement.rstrip(";"))
+        db.flush_all()
+        return 0
+    if sys.stdin.isatty():
+        print("LittleTable reproduction shell - .help for help, "
+              ".quit to exit")
+        try:
+            while True:
+                prompt = "littletable> " if not shell._buffer else "... "
+                if not shell.feed(input(prompt) + "\n"):
+                    break
+        except (EOFError, KeyboardInterrupt):
+            pass
+    else:
+        shell.run(sys.stdin)
+    db.flush_all()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""The LittleTable engine: schemas, tablets, merge policy, tables.
+
+Public entry point: :class:`LittleTable` (the database) plus the
+schema/query vocabulary (:class:`Schema`, :class:`Column`,
+:class:`ColumnType`, :class:`Query`, :class:`KeyRange`,
+:class:`TimeRange`).
+"""
+
+from .check import Issue, check_database, check_table, is_healthy
+from .config import EngineConfig
+from .database import LittleTable
+from .descriptor import TableDescriptor
+from .errors import (
+    CorruptTabletError,
+    DuplicateKeyError,
+    LittleTableError,
+    NoSuchTableError,
+    QueryError,
+    SchemaError,
+    TableExistsError,
+    ValidationError,
+)
+from .merge import MergePlan, choose_merge
+from .periods import Period, PeriodLevel, period_for
+from .row import ASCENDING, DESCENDING, KeyRange, Query, QueryStats, TimeRange
+from .schema import Column, ColumnType, Schema
+from .table import QueryResult, Table
+from .tablet import TabletMeta, TabletReader, TabletWriter
+
+__all__ = [
+    "Issue",
+    "check_database",
+    "check_table",
+    "is_healthy",
+    "EngineConfig",
+    "LittleTable",
+    "TableDescriptor",
+    "CorruptTabletError",
+    "DuplicateKeyError",
+    "LittleTableError",
+    "NoSuchTableError",
+    "QueryError",
+    "SchemaError",
+    "TableExistsError",
+    "ValidationError",
+    "MergePlan",
+    "choose_merge",
+    "Period",
+    "PeriodLevel",
+    "period_for",
+    "ASCENDING",
+    "DESCENDING",
+    "KeyRange",
+    "Query",
+    "QueryStats",
+    "TimeRange",
+    "Column",
+    "ColumnType",
+    "Schema",
+    "QueryResult",
+    "Table",
+    "TabletMeta",
+    "TabletReader",
+    "TabletWriter",
+]

@@ -1,0 +1,167 @@
+"""Integrity checking: fsck for LittleTable.
+
+Walks a table's descriptor and every on-disk tablet, verifying the
+invariants the engine relies on:
+
+* every tablet file exists on its recorded tier and parses;
+* footer metadata (row count, timespan, schema version) matches the
+  descriptor entry;
+* rows are sorted by primary key, unique, and every timestamp lies
+  within the tablet's recorded timespan;
+* block index last-keys agree with the rows;
+* a Bloom filter is present when the table's config expects one
+  (warning only - filters are an optimization, §3.4.5).
+
+Exposed to operators through the CLI's ``.fsck`` command.  A healthy
+check is also the cheapest possible regression net for the storage
+format, so the test suite runs it after every interesting workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..disk.storage import StorageError
+from .database import LittleTable
+from .errors import CorruptTabletError
+from .row import KeyRange
+from .table import Table
+
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass
+class Issue:
+    """One finding: severity, location, and what is wrong."""
+
+    severity: str
+    table: str
+    tablet_id: int  # 0 for table-level findings
+    message: str
+
+    def __str__(self) -> str:
+        where = (f"{self.table}/tab-{self.tablet_id}" if self.tablet_id
+                 else self.table)
+        return f"[{self.severity}] {where}: {self.message}"
+
+
+def check_table(table: Table) -> List[Issue]:
+    """Verify one table.  Returns the issues found (empty = healthy)."""
+    issues: List[Issue] = []
+    name = table.name
+    seen_ids = set()
+    for meta in table.on_disk_tablets:
+        if meta.tablet_id in seen_ids:
+            issues.append(Issue(ERROR, name, meta.tablet_id,
+                                "duplicate tablet id in descriptor"))
+            continue
+        seen_ids.add(meta.tablet_id)
+        issues.extend(_check_tablet(table, meta))
+    if table.descriptor.next_tablet_id <= max(seen_ids, default=0):
+        issues.append(Issue(ERROR, name, 0,
+                            "next_tablet_id would reuse an existing id"))
+    return issues
+
+
+def _check_tablet(table: Table, meta) -> List[Issue]:
+    issues: List[Issue] = []
+    name = table.name
+    try:
+        disk = table._disk_for(meta)
+    except CorruptTabletError as exc:
+        return [Issue(ERROR, name, meta.tablet_id, str(exc))]
+    if not disk.exists(meta.filename):
+        return [Issue(ERROR, name, meta.tablet_id,
+                      f"missing file {meta.filename!r} on tier "
+                      f"{meta.tier!r}")]
+    actual_size = disk.size(meta.filename)
+    if actual_size != meta.size_bytes:
+        issues.append(Issue(
+            ERROR, name, meta.tablet_id,
+            f"size mismatch: descriptor says {meta.size_bytes}, file is "
+            f"{actual_size}"))
+    reader = table._reader(meta)
+    try:
+        reader.ensure_loaded()
+    except (CorruptTabletError, StorageError) as exc:
+        issues.append(Issue(ERROR, name, meta.tablet_id,
+                            f"footer unreadable: {exc}"))
+        return issues
+    if reader.row_count != meta.row_count:
+        issues.append(Issue(
+            ERROR, name, meta.tablet_id,
+            f"row count mismatch: descriptor {meta.row_count}, footer "
+            f"{reader.row_count}"))
+    if (reader.min_ts, reader.max_ts) != (meta.min_ts, meta.max_ts):
+        issues.append(Issue(
+            ERROR, name, meta.tablet_id,
+            f"timespan mismatch: descriptor [{meta.min_ts}, {meta.max_ts}]"
+            f", footer [{reader.min_ts}, {reader.max_ts}]"))
+    if reader.schema.version != meta.schema_version:
+        issues.append(Issue(
+            ERROR, name, meta.tablet_id,
+            f"schema version mismatch: descriptor {meta.schema_version}, "
+            f"footer {reader.schema.version}"))
+    issues.extend(_check_rows(table, meta, reader))
+    if table.config.bloom_filters and reader._bloom is None:
+        issues.append(Issue(
+            WARNING, name, meta.tablet_id,
+            "no Bloom filter although the config expects one"))
+    return issues
+
+
+def _check_rows(table: Table, meta, reader) -> List[Issue]:
+    issues: List[Issue] = []
+    name = table.name
+    schema = reader.schema
+    previous_key = None
+    count = 0
+    min_ts = None
+    max_ts = None
+    try:
+        for row in reader.scan(KeyRange.all()):
+            key = schema.key_of(row)
+            if previous_key is not None and key <= previous_key:
+                issues.append(Issue(
+                    ERROR, name, meta.tablet_id,
+                    f"rows out of order or duplicated at key {key!r}"))
+                break
+            previous_key = key
+            ts = schema.ts_of(row)
+            min_ts = ts if min_ts is None else min(min_ts, ts)
+            max_ts = ts if max_ts is None else max(max_ts, ts)
+            count += 1
+    except (CorruptTabletError, StorageError) as exc:
+        issues.append(Issue(ERROR, name, meta.tablet_id,
+                            f"row scan failed: {exc}"))
+        return issues
+    if count != reader.row_count:
+        issues.append(Issue(
+            ERROR, name, meta.tablet_id,
+            f"scanned {count} rows, footer promises {reader.row_count}"))
+    if count and (min_ts < meta.min_ts or max_ts > meta.max_ts):
+        issues.append(Issue(
+            ERROR, name, meta.tablet_id,
+            f"rows outside the recorded timespan: data "
+            f"[{min_ts}, {max_ts}] vs descriptor "
+            f"[{meta.min_ts}, {meta.max_ts}]"))
+    return issues
+
+
+def check_database(db: LittleTable) -> Dict[str, List[Issue]]:
+    """Run :func:`check_table` over every table.
+
+    Returns {table_name: issues}; all-empty values mean a clean bill.
+    """
+    return {name: check_table(db.table(name))
+            for name in db.table_names()}
+
+
+def is_healthy(db: LittleTable) -> bool:
+    """True when no table has any error-severity issue."""
+    return all(
+        all(issue.severity != ERROR for issue in issues)
+        for issues in check_database(db).values()
+    )

@@ -1,0 +1,69 @@
+"""Merge cursors: combining tablet streams into one sorted result.
+
+Paper §3.2: "Using these starting points, LittleTable opens a cursor on
+each tablet, filters any rows that fall outside the query's timestamp
+bounds (which generally do not align exactly with the tablets'
+timespans), and merge-sorts the resulting streams to form a single
+result stream ordered by primary key."
+
+The scanned/returned accounting here is what Figure 9 reports: a row
+pulled from a tablet cursor (inside the key bounds) counts as scanned;
+it counts as returned only if it also passes the timestamp and TTL
+filters.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Tuple
+
+from .row import Query, QueryStats
+from .schema import Schema
+
+
+def merge_sorted(sources: List[Iterator[Tuple[Any, ...]]],
+                 key_of: Callable[[Tuple[Any, ...]], Tuple[Any, ...]],
+                 descending: bool = False) -> Iterator[Tuple[Any, ...]]:
+    """K-way merge of per-tablet streams already sorted by key.
+
+    Keys are unique across sources (primary-key uniqueness, §3.4.4),
+    so no shadowing logic is needed.
+    """
+    if len(sources) == 1:
+        return iter(sources[0])
+    return heapq.merge(*sources, key=key_of, reverse=descending)
+
+
+def execute_query(sources: List[Iterator[Tuple[Any, ...]]],
+                  schema: Schema,
+                  query: Query,
+                  now: int,
+                  ttl_micros: Optional[int],
+                  stats: QueryStats) -> Iterator[Tuple[Any, ...]]:
+    """Filter and yield the merged stream for ``query``.
+
+    ``sources`` must already be restricted to the query's key bounds
+    (each tablet cursor seeks by key) and translated to the current
+    schema; this function applies the timestamp bounds, TTL expiry
+    (§3.3: "the server also filters expired rows from query results"),
+    the client limit, and counts scanned vs returned rows into
+    ``stats``.
+    """
+    descending = query.direction == "desc"
+    merged = merge_sorted(sources, schema.key_of, descending)
+    time_range = query.time_range
+    expiry_cutoff = None if ttl_micros is None else now - ttl_micros
+    limit = query.limit
+    returned = 0
+    for row in merged:
+        stats.rows_scanned += 1
+        ts = schema.ts_of(row)
+        if not time_range.contains(ts):
+            continue
+        if expiry_cutoff is not None and ts < expiry_cutoff:
+            continue
+        stats.rows_returned += 1
+        yield row
+        returned += 1
+        if limit is not None and returned >= limit:
+            return

@@ -1,0 +1,169 @@
+"""The LittleTable database: a catalog of tables over one disk.
+
+This is the server-side object: it owns the simulated disk, creates
+and drops tables, runs maintenance (flushing, merging, TTL reclaim),
+and implements crash/recovery semantics.  The network server
+(:mod:`repro.net.server`) exposes it over TCP; in-process users (tests,
+benchmarks, the Dashboard applications) can use it directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..disk.storage import Storage
+from ..disk.vfs import SimulatedDisk
+from ..util.clock import Clock, SystemClock
+from .config import DEFAULT_CONFIG, EngineConfig
+from .descriptor import TableDescriptor
+from .errors import NoSuchTableError, TableExistsError
+from .schema import Schema
+from .table import Table
+
+
+class LittleTable:
+    """A single-node LittleTable instance.
+
+    >>> from repro.core import Column, ColumnType, Schema
+    >>> db = LittleTable()
+    >>> schema = Schema(
+    ...     [Column("network", ColumnType.INT64),
+    ...      Column("device", ColumnType.INT64),
+    ...      Column("ts", ColumnType.TIMESTAMP),
+    ...      Column("bytes", ColumnType.INT64)],
+    ...     key=["network", "device", "ts"])
+    >>> table = db.create_table("usage", schema)
+    """
+
+    def __init__(self, disk: Optional[SimulatedDisk] = None,
+                 config: Optional[EngineConfig] = None,
+                 clock: Optional[Clock] = None,
+                 cold_disk: Optional[SimulatedDisk] = None):
+        self.disk = disk if disk is not None else SimulatedDisk()
+        # Optional write-once archive tier for old tablets (§6's
+        # LHAM-style extension); see Table.migrate_to_cold.
+        self.cold_disk = cold_disk
+        self.config = config if config is not None else EngineConfig()
+        self.config.validate()
+        self.clock = clock if clock is not None else SystemClock()
+        self._tables: Dict[str, Table] = {}
+        self._open_existing_tables()
+
+    def _open_existing_tables(self) -> None:
+        for name in TableDescriptor.list_tables(self.disk):
+            descriptor = TableDescriptor.load(self.disk, name)
+            self._tables[name] = Table(self.disk, descriptor, self.config,
+                                       self.clock, cold_disk=self.cold_disk)
+
+    # ----------------------------------------------------------- catalog
+
+    def table_names(self) -> List[str]:
+        """Names of all tables, sorted."""
+        return sorted(self._tables)
+
+    def table(self, name: str) -> Table:
+        """Look up a table by name."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise NoSuchTableError(f"no such table: {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def create_table(self, name: str, schema: Schema,
+                     ttl_micros: Optional[int] = None) -> Table:
+        """Create a new, empty table."""
+        if name in self._tables:
+            raise TableExistsError(f"table exists: {name!r}")
+        if "/" in name or not name:
+            raise ValueError(f"bad table name: {name!r}")
+        descriptor = TableDescriptor(name=name, schema=schema,
+                                     ttl_micros=ttl_micros)
+        descriptor.save(self.disk)
+        table = Table(self.disk, descriptor, self.config, self.clock,
+                      cold_disk=self.cold_disk)
+        self._tables[name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Drop a table and delete its files.
+
+        §3.5: applications "drop a table and recreate it with a new
+        schema ... frequently during new feature development".
+        """
+        table = self.table(name)
+        for meta in table.descriptor.tablets:
+            table._delete_tablet_file(meta)
+        if self.disk.exists(table.descriptor.path()):
+            self.disk.delete(table.descriptor.path())
+        del self._tables[name]
+
+    # -------------------------------------------------------- operations
+
+    def insert(self, table_name: str, rows: Sequence[Dict[str, Any]]) -> int:
+        """Insert dict rows into a table."""
+        return self.table(table_name).insert(rows)
+
+    def maintenance(self) -> Dict[str, Dict[str, int]]:
+        """Run one maintenance tick on every table."""
+        return {name: table.maintenance()
+                for name, table in self._tables.items()}
+
+    def maintenance_until_quiet(self, max_rounds: int = 1000) -> int:
+        """Repeat maintenance until no table has work.  Returns rounds."""
+        for round_index in range(max_rounds):
+            work = self.maintenance()
+            if all(
+                summary["flushed"] == 0 and summary["merged"] == 0
+                and summary["expired"] == 0
+                for summary in work.values()
+            ):
+                return round_index
+        return max_rounds
+
+    def flush_all(self) -> None:
+        """Flush every table's memtables (clean shutdown)."""
+        for table in self._tables.values():
+            table.flush_all()
+
+    # ------------------------------------------------- crash & archival
+
+    def simulate_crash(self) -> "LittleTable":
+        """Return the database as it would recover after a crash.
+
+        All in-memory (unflushed) rows are lost; everything persisted
+        via atomic descriptor updates survives.  The returned instance
+        shares the same disk.  The original instance must no longer be
+        used.
+        """
+        return LittleTable(disk=self.disk, config=self.config,
+                           clock=self.clock, cold_disk=self.cold_disk)
+
+    def archive_to(self, spare: Storage) -> int:
+        """Copy all files to a spare's storage, rsync-style (§3.5).
+
+        Copies files missing from the spare and removes files the
+        primary no longer has, repeating until a pass copies nothing -
+        the same convergence rule as the paper's "run rsync ... until a
+        sync completes without copying any files".  Returns the number
+        of files copied.
+        """
+        copied = 0
+        while True:
+            pass_copied = 0
+            primary_files = set(self.disk.list())
+            spare_files = set(spare.list())
+            for name in sorted(primary_files):
+                data = self.disk.storage.read_all(name)
+                if name in spare_files:
+                    if spare.read_all(name) == data:
+                        continue
+                    spare.delete(name)
+                spare.write_file(name, data)
+                pass_copied += 1
+            for name in sorted(spare_files - primary_files):
+                spare.delete(name)
+            copied += pass_copied
+            if pass_copied == 0:
+                return copied

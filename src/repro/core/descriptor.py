@@ -1,0 +1,112 @@
+"""Table descriptor files.
+
+Paper §3.2: "LittleTable caches the range of timestamps each tablet
+contains, which we call a tablet's timespan, and it writes the list of
+on-disk tablets and their timespans to a table descriptor file after
+every change.  Once written, LittleTable atomically renames this file
+to replace the previous version."
+
+The descriptor is the table's only persistent metadata: current schema,
+TTL, and the tablet list.  Because every change replaces it atomically,
+a crash leaves either the old or the new version - never a torn one -
+which is the anchor of LittleTable's crash-recovery story.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..disk.vfs import SimulatedDisk
+from .errors import CorruptTabletError
+from .schema import Schema
+from .tablet import TabletMeta
+
+DESCRIPTOR_FILENAME = "descriptor.json"
+
+
+@dataclass
+class TableDescriptor:
+    """The persistent state of one table."""
+
+    name: str
+    schema: Schema
+    ttl_micros: Optional[int] = None
+    tablets: List[TabletMeta] = field(default_factory=list)
+    next_tablet_id: int = 1
+    # Monotone counter bumped on every save, used to name temp files.
+    generation: int = 0
+
+    def directory(self) -> str:
+        return f"tables/{self.name}"
+
+    def path(self) -> str:
+        return f"{self.directory()}/{DESCRIPTOR_FILENAME}"
+
+    def tablet_filename(self, tablet_id: int) -> str:
+        return f"{self.directory()}/tab-{tablet_id:08d}.lt"
+
+    def allocate_tablet_id(self) -> int:
+        tablet_id = self.next_tablet_id
+        self.next_tablet_id += 1
+        return tablet_id
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "name": self.name,
+                "schema": self.schema.to_dict(),
+                "ttl_micros": self.ttl_micros,
+                "tablets": [t.to_dict() for t in self.tablets],
+                "next_tablet_id": self.next_tablet_id,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "TableDescriptor":
+        try:
+            data = json.loads(text)
+            return cls(
+                name=data["name"],
+                schema=Schema.from_dict(data["schema"]),
+                ttl_micros=data.get("ttl_micros"),
+                tablets=[TabletMeta.from_dict(t) for t in data["tablets"]],
+                next_tablet_id=data["next_tablet_id"],
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise CorruptTabletError(f"bad descriptor: {exc}") from exc
+
+    def save(self, disk: SimulatedDisk) -> None:
+        """Write and atomically rename over the previous version."""
+        self.generation += 1
+        temp = f"{self.path()}.tmp-{self.generation}"
+        disk.write_file(temp, self.to_json().encode("utf-8"))
+        disk.rename(temp, self.path())
+
+    @classmethod
+    def load(cls, disk: SimulatedDisk, name: str) -> "TableDescriptor":
+        """Read a table's descriptor from disk."""
+        path = f"tables/{name}/{DESCRIPTOR_FILENAME}"
+        disk.open(path)
+        raw = disk.read_all(path)
+        try:
+            text = raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise CorruptTabletError(f"bad descriptor: {exc}") from exc
+        return cls.from_json(text)
+
+    @staticmethod
+    def exists(disk: SimulatedDisk, name: str) -> bool:
+        return disk.exists(f"tables/{name}/{DESCRIPTOR_FILENAME}")
+
+    @staticmethod
+    def list_tables(disk: SimulatedDisk) -> List[str]:
+        """Discover tables by their descriptor files."""
+        names = []
+        suffix = f"/{DESCRIPTOR_FILENAME}"
+        for path in disk.list("tables/"):
+            if path.endswith(suffix):
+                names.append(path[len("tables/"):-len(suffix)])
+        return sorted(names)

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the LittleTable engine."""
+
+from __future__ import annotations
+
+
+class LittleTableError(Exception):
+    """Base class for all engine errors."""
+
+
+class SchemaError(LittleTableError):
+    """Invalid schema definition or incompatible schema change."""
+
+
+class ValidationError(LittleTableError):
+    """A row does not conform to its table's schema."""
+
+
+class DuplicateKeyError(LittleTableError):
+    """An insert would violate primary-key uniqueness (paper §3.4.4)."""
+
+
+class NoSuchTableError(LittleTableError):
+    """The named table does not exist."""
+
+
+class TableExistsError(LittleTableError):
+    """A table with that name already exists."""
+
+
+class CorruptTabletError(LittleTableError):
+    """An on-disk tablet or descriptor failed to parse."""
+
+
+class QueryError(LittleTableError):
+    """Malformed query bounds or options."""

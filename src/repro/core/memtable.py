@@ -1,0 +1,128 @@
+"""In-memory tablets.
+
+Paper §3.2: "It places newly inserted rows into an in-memory tablet,
+implemented as a balanced binary tree.  When an in-memory tablet
+reaches a configurable maximum size or age, LittleTable marks it as
+read-only, adds it to a list of tablets to flush to disk, and allocates
+another in-memory tablet to receive new rows."
+
+§3.4.3 adds that several in-memory tablets fill at once, one per time
+period, to keep tablets' timespans mostly disjoint when clients insert
+rows with timestamps other than "now".
+
+Each memtable remembers, alongside the row, its encoded form, so the
+flush path streams pre-encoded bytes straight into blocks and the size
+accounting matches on-disk bytes (the 16 MB flush threshold is about
+disk write efficiency, §3.3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+from ..util.skiplist import SkipList
+from .encoding import RowCodec
+from .periods import Period
+from .row import KeyRange
+from .schema import Schema
+
+
+class MemTable:
+    """One filling (or flush-pending) in-memory tablet."""
+
+    def __init__(self, memtable_id: int, schema: Schema, period: Period,
+                 row_codec: Optional[RowCodec] = None):
+        self.memtable_id = memtable_id
+        self.schema = schema
+        self.period = period
+        self.rows = SkipList(seed=0xBADC0DE ^ memtable_id)
+        self.size_bytes = 0
+        self.min_ts: Optional[int] = None
+        self.max_ts: Optional[int] = None
+        self.first_insert_at: Optional[int] = None
+        self.read_only = False
+        self._row_codec = row_codec or RowCodec(schema)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    @property
+    def empty(self) -> bool:
+        return len(self.rows) == 0
+
+    def insert(self, row: Tuple[Any, ...], now: int) -> bool:
+        """Add a validated row.  Returns False on duplicate key."""
+        if self.read_only:
+            raise RuntimeError("insert into a read-only memtable")
+        key = self.schema.key_of(row)
+        encoded = self._row_codec.encode_row(row)
+        if not self.rows.insert(key, (row, encoded)):
+            return False
+        self.size_bytes += len(encoded)
+        ts = self.schema.ts_of(row)
+        if self.min_ts is None or ts < self.min_ts:
+            self.min_ts = ts
+        if self.max_ts is None or ts > self.max_ts:
+            self.max_ts = ts
+        if self.first_insert_at is None:
+            self.first_insert_at = now
+        return True
+
+    def contains_key(self, key: Tuple[Any, ...]) -> bool:
+        return key in self.rows
+
+    def mark_read_only(self) -> None:
+        """Freeze the memtable ahead of flushing (§3.2)."""
+        self.read_only = True
+
+    def age_micros(self, now: int) -> int:
+        """Micros since the first insert (0 if empty)."""
+        if self.first_insert_at is None:
+            return 0
+        return now - self.first_insert_at
+
+    # ----------------------------------------------------------- reading
+
+    def sorted_rows(self) -> Iterator[Tuple[Any, ...]]:
+        """All rows in ascending key order (used by flush)."""
+        for _key, (row, _encoded) in self.rows.items():
+            yield row
+
+    def sorted_encoded(self) -> Iterator[Tuple[Tuple[Any, ...], bytes]]:
+        """All (row, encoded) pairs in ascending key order."""
+        for _key, pair in self.rows.items():
+            yield pair
+
+    def last_key(self) -> Optional[Tuple[Any, ...]]:
+        """The largest key currently held, or None."""
+        return self.rows.last_key()
+
+    def scan(self, key_range: KeyRange, descending: bool = False
+             ) -> Iterator[Tuple[Any, ...]]:
+        """Yield rows within the key range, in key order.
+
+        Descending scans materialize the matching run (the skip list is
+        singly linked); memtables are bounded by the flush size, so
+        this is at most a few MB.
+        """
+        seek = key_range.seek_min()
+        if seek is None:
+            source = self.rows.items()
+        else:
+            source = self.rows.items_from(seek)
+        if not descending:
+            for key, (row, _encoded) in source:
+                if key_range.before_range(key):
+                    continue
+                if key_range.after_range(key):
+                    return
+                yield row
+            return
+        matched: List[Tuple[Any, ...]] = []
+        for key, (row, _encoded) in source:
+            if key_range.before_range(key):
+                continue
+            if key_range.after_range(key):
+                break
+            matched.append(row)
+        yield from reversed(matched)

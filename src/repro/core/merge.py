@@ -1,0 +1,136 @@
+"""The tablet merge policy (paper §3.4.1, §3.4.2, and the appendix).
+
+"To merge tablets efficiently, LittleTable instead orders tablets by
+their timespans' lower bounds and merges the oldest adjacent pair such
+that the newer one is at least half the size of the older.  It includes
+in this merge any newer tablets adjacent to this pair, up to a maximum
+tablet size.  By merging only adjacent tablets, this approach does not
+affect the disjointness of tablets' timespans."
+
+The appendix proves that with this policy both the final number of
+tablets and the number of times any one row is rewritten are O(log T)
+in the table size T.  ``tests/core/test_merge_policy.py`` checks those
+bounds as properties.
+
+Two further rules from §3.4.2 and §5.1.3:
+
+* tablets from different *time periods* are never merged, and a merge
+  of tablets that rolled over from a finer period is delayed by a
+  pseudorandom fraction of the containing period;
+* a tablet may not be merged until ``merge_min_age`` (90 s by default)
+  after it was written, "to maximize the number of tablets available to
+  any one merge".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .config import EngineConfig
+from .periods import Period, period_for, rollover_delay
+from .tablet import TabletMeta
+
+
+@dataclass
+class MergePlan:
+    """A decision to merge a run of timespan-adjacent tablets."""
+
+    tablets: List[TabletMeta]
+    period: Period
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(t.size_bytes for t in self.tablets)
+
+    @property
+    def total_rows(self) -> int:
+        return sum(t.row_count for t in self.tablets)
+
+
+def order_by_timespan(tablets: List[TabletMeta]) -> List[TabletMeta]:
+    """Tablets ordered by timespan lower bound (ties by id = age)."""
+    return sorted(tablets, key=lambda t: (t.min_ts, t.tablet_id))
+
+
+def _merge_allowed(tablet: TabletMeta, now: int, table_name: str,
+                   config: EngineConfig) -> bool:
+    """Per-tablet eligibility: minimum age and rollover delay."""
+    if now - tablet.created_at < config.merge_min_age_micros:
+        return False
+    partitioned = config.time_partitioning
+    current_period = period_for(tablet.min_ts, now, partitioned)
+    creation_period = period_for(tablet.min_ts, tablet.created_at,
+                                 partitioned)
+    if current_period.level > creation_period.level:
+        # This tablet rolled over into a coarser period; spread the
+        # resulting merge surge across tables (§3.4.2).
+        delay = rollover_delay(table_name, current_period,
+                               config.merge_rollover_delay_fraction)
+        if now < current_period.end + delay:
+            return False
+    return True
+
+
+def choose_merge(tablets: List[TabletMeta], now: int, table_name: str,
+                 config: EngineConfig) -> Optional[MergePlan]:
+    """Pick the next merge, or None if nothing is mergeable.
+
+    Finds the oldest adjacent pair (t_i, t_{i+1}) with
+    ``size(t_i) <= 2 * size(t_{i+1})``, both in the same period and
+    individually eligible, then extends the run rightwards through
+    eligible same-period tablets while the total stays within the
+    maximum merged tablet size.
+    """
+    if len(tablets) < 2:
+        return None
+    if config.merge_policy == "never":
+        return None
+    ordered = order_by_timespan(tablets)
+    if config.merge_policy == "always-all":
+        return _choose_merge_all(ordered, now, table_name, config)
+    for i in range(len(ordered) - 1):
+        older, newer = ordered[i], ordered[i + 1]
+        if older.size_bytes > 2 * newer.size_bytes:
+            continue
+        period = period_for(older.min_ts, now, config.time_partitioning)
+        if not period.contains(newer.min_ts):
+            continue
+        if not (_merge_allowed(older, now, table_name, config)
+                and _merge_allowed(newer, now, table_name, config)):
+            continue
+        total = older.size_bytes + newer.size_bytes
+        if total > config.max_merged_tablet_bytes:
+            continue
+        run = [older, newer]
+        for follower in ordered[i + 2:]:
+            if not period.contains(follower.min_ts):
+                break
+            if not _merge_allowed(follower, now, table_name, config):
+                break
+            if total + follower.size_bytes > config.max_merged_tablet_bytes:
+                break
+            run.append(follower)
+            total += follower.size_bytes
+        return MergePlan(run, period)
+    return None
+
+
+def _choose_merge_all(ordered: List[TabletMeta], now: int, table_name: str,
+                      config: EngineConfig) -> Optional[MergePlan]:
+    """The "always-all" ablation policy: merge every eligible tablet
+    into one, regardless of sizes.  This is §3.4.1's cautionary
+    example - "it would end up rewriting all of the existing rows of a
+    table every time it merged in a newly flushed on-disk tablet"."""
+    eligible = [t for t in ordered
+                if _merge_allowed(t, now, table_name, config)]
+    if len(eligible) < 2:
+        return None
+    period = period_for(eligible[0].min_ts, now, config.time_partitioning)
+    return MergePlan(eligible, period)
+
+
+def is_quiescent(tablets: List[TabletMeta], now: int, table_name: str,
+                 config: EngineConfig) -> bool:
+    """True when :func:`choose_merge` would find nothing to do."""
+    return choose_merge(tablets, now, table_name, config) is None

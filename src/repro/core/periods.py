@@ -1,0 +1,127 @@
+"""Application-driven time periods (paper §3.4.2).
+
+"LittleTable groups time into three ranges, each measured in even
+intervals from the Unix epoch: the six 4-hour periods of the most
+recent day, the seven days of the most recent week, and all the weeks
+previous to that."
+
+A *period* is an interval ``[start, end)`` at one of three levels:
+
+* ``FOUR_HOUR`` - timestamps within the current UTC day (or in the
+  future) bin into 4-hour intervals;
+* ``DAY`` - timestamps within the current week but before the current
+  day bin into 1-day intervals;
+* ``WEEK`` - older timestamps bin into 1-week intervals.
+
+The binning is a function of both the timestamp *and* the current
+time: as "now" advances, yesterday's 4-hour periods become part of a
+day period, and last week's day periods become part of a week period.
+In-memory tablets fill one per period (§3.4.3), and the merge policy
+refuses to merge tablets whose (current) periods differ.
+"""
+
+from __future__ import annotations
+
+import enum
+import zlib
+from dataclasses import dataclass
+
+from ..util.clock import MICROS_PER_DAY, MICROS_PER_HOUR, MICROS_PER_WEEK
+
+FOUR_HOURS = 4 * MICROS_PER_HOUR
+
+
+class PeriodLevel(enum.IntEnum):
+    """Granularity levels, ordered finest to coarsest."""
+
+    FOUR_HOUR = 0
+    DAY = 1
+    WEEK = 2
+
+
+_LEVEL_LENGTH = {
+    PeriodLevel.FOUR_HOUR: FOUR_HOURS,
+    PeriodLevel.DAY: MICROS_PER_DAY,
+    PeriodLevel.WEEK: MICROS_PER_WEEK,
+}
+
+
+@dataclass(frozen=True, order=True)
+class Period:
+    """One time period: ``[start, end)`` at a given level."""
+
+    start: int
+    end: int
+    level: PeriodLevel
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+    def contains(self, ts: int) -> bool:
+        return self.start <= ts < self.end
+
+    def __repr__(self) -> str:
+        return f"Period({self.level.name}, [{self.start}, {self.end}))"
+
+
+def day_floor(ts: int) -> int:
+    """Start of the UTC day containing ``ts``."""
+    return (ts // MICROS_PER_DAY) * MICROS_PER_DAY
+
+
+def week_floor(ts: int) -> int:
+    """Start of the epoch-aligned week containing ``ts``."""
+    return (ts // MICROS_PER_WEEK) * MICROS_PER_WEEK
+
+
+#: The single all-encompassing period used when time partitioning is
+#: ablated away (EngineConfig.time_partitioning = False).
+UNPARTITIONED_PERIOD = Period(0, 1 << 62, PeriodLevel.WEEK)
+
+
+def period_for(ts: int, now: int, partitioned: bool = True) -> Period:
+    """The period containing ``ts`` as seen at time ``now``.
+
+    Future timestamps (allowed by §3.1) bin at the finest granularity.
+    With ``partitioned=False`` every timestamp maps to one giant
+    period (the ablation of §3.4.2's design).
+    """
+    if ts < 0:
+        raise ValueError("timestamps must be non-negative")
+    if not partitioned:
+        return UNPARTITIONED_PERIOD
+    current_day = day_floor(now)
+    current_week = week_floor(now)
+    if ts >= current_day:
+        start = (ts // FOUR_HOURS) * FOUR_HOURS
+        return Period(start, start + FOUR_HOURS, PeriodLevel.FOUR_HOUR)
+    if ts >= current_week:
+        start = day_floor(ts)
+        return Period(start, start + MICROS_PER_DAY, PeriodLevel.DAY)
+    start = week_floor(ts)
+    return Period(start, start + MICROS_PER_WEEK, PeriodLevel.WEEK)
+
+
+def level_length(level: PeriodLevel) -> int:
+    """The span of one period at ``level``, in microseconds."""
+    return _LEVEL_LENGTH[level]
+
+
+def rollover_delay(table_name: str, period: Period, fraction_scale: float) -> int:
+    """Pseudorandom merge delay after a period rolls over (§3.4.2).
+
+    "To prevent this policy from producing a surge of merge activity as
+    the tablets from a smaller period roll over into the next largest
+    one, LittleTable spreads the merge load across tables by delaying
+    each merge by a pseudorandom fraction of the larger period."
+
+    The delay is deterministic per (table, period) so that repeated
+    policy evaluations agree, and is measured from the period's end.
+    """
+    if fraction_scale <= 0:
+        return 0
+    token = f"{table_name}:{period.start}:{int(period.level)}".encode("utf-8")
+    seed = zlib.crc32(token)
+    fraction = (seed / 0x100000000) * fraction_scale
+    return int(fraction * period.length)

@@ -1,0 +1,898 @@
+"""The table: LittleTable's unit of storage.
+
+A table is "a union of sub-tables, called tablets, of two types"
+(§3.2): filling/flush-pending in-memory tablets and immutable on-disk
+tablets.  This module wires together the memtables, the on-disk tablet
+readers, the flush-dependency graph, the merge policy, primary-key
+uniqueness enforcement, TTL aging, and the query paths.
+
+Threading: the engine itself is single-threaded; the network server
+serializes operations per table through :attr:`Table.lock`.  This
+mirrors the paper's design, where inserts to a table hold a small lock
+while queries proceed against immutable state (§3.4.4).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..disk.vfs import SimulatedDisk
+from ..util.clock import Clock
+from .config import EngineConfig
+from .cursor import execute_query
+from .descriptor import TableDescriptor
+from .encoding import RowCodec
+from .errors import (CorruptTabletError, DuplicateKeyError, QueryError,
+                     SchemaError)
+from .flushdeps import FlushDependencies
+from .memtable import MemTable
+from .merge import MergePlan, choose_merge
+from .periods import Period, period_for
+from .row import ASCENDING, DESCENDING, KeyRange, Query, QueryStats, TimeRange
+from .schema import Column, Schema
+from .tablet import TabletMeta, TabletReader, TabletWriter
+
+
+@dataclass
+class QueryResult:
+    """What one query command returns (§3.5).
+
+    ``more_available`` is set when the server's own row limit stopped
+    the scan; the client adaptor re-submits with the start bound moved
+    past ``rows[-1]``'s key to retrieve the rest.
+    """
+
+    rows: List[Tuple[Any, ...]]
+    more_available: bool
+    stats: QueryStats
+
+
+@dataclass
+class TableCounters:
+    """Lifetime counters used by benchmarks and production metrics."""
+
+    rows_inserted: int = 0
+    rows_scanned: int = 0
+    rows_returned: int = 0
+    queries: int = 0
+    bytes_flushed: int = 0
+    bytes_merge_written: int = 0
+    rows_merge_written: int = 0
+    merges: int = 0
+    flushes: int = 0
+    tablets_expired: int = 0
+
+
+class Table:
+    """One LittleTable table."""
+
+    def __init__(self, disk: SimulatedDisk, descriptor: TableDescriptor,
+                 config: EngineConfig, clock: Clock,
+                 cold_disk: Optional[SimulatedDisk] = None):
+        self.disk = disk
+        self.cold_disk = cold_disk
+        self.descriptor = descriptor
+        self.config = config
+        self.clock = clock
+        self.lock = threading.RLock()
+        self.counters = TableCounters()
+        self._row_codec = RowCodec(descriptor.schema)
+        # Filling memtables, one per (period.start, period.level).
+        self._filling: Dict[Tuple[int, int], MemTable] = {}
+        # All unflushed memtables (filling + read-only awaiting flush).
+        self._unflushed: Dict[int, MemTable] = {}
+        self._flush_pending: List[int] = []
+        self._deps = FlushDependencies()
+        self._next_memtable_id = 1
+        self._readers: Dict[int, TabletReader] = {}
+        # (period.start, level) -> (descriptor generation, max key).
+        self._period_max_cache: Dict[Tuple[int, int], Tuple[int, Any]] = {}
+        self._max_ts_ever: Optional[int] = max(
+            (t.max_ts for t in descriptor.tablets), default=None
+        )
+
+    # ------------------------------------------------------------ basics
+
+    @property
+    def name(self) -> str:
+        return self.descriptor.name
+
+    @property
+    def schema(self) -> Schema:
+        return self.descriptor.schema
+
+    @property
+    def ttl_micros(self) -> Optional[int]:
+        return self.descriptor.ttl_micros
+
+    @property
+    def on_disk_tablets(self) -> List[TabletMeta]:
+        return list(self.descriptor.tablets)
+
+    @property
+    def unflushed_memtable_count(self) -> int:
+        return len(self._unflushed)
+
+    @property
+    def flush_pending_count(self) -> int:
+        return len(self._flush_pending)
+
+    def row_count_estimate(self) -> int:
+        """Rows on disk plus rows in memory (expired rows included)."""
+        disk_rows = sum(t.row_count for t in self.descriptor.tablets)
+        return disk_rows + sum(len(m) for m in self._unflushed.values())
+
+    def size_bytes_on_disk(self) -> int:
+        return sum(t.size_bytes for t in self.descriptor.tablets)
+
+    def stats_summary(self) -> Dict[str, Any]:
+        """Operator-facing snapshot of the table's shape and activity.
+
+        Everything an operator needs to recognize the paper's failure
+        modes at a glance: tablet counts per period (seek storms,
+        §3.4.1), write amplification (merge pathologies), and the
+        Figure 9 scan ratio.
+        """
+        now = self.clock.now()
+        per_period: Dict[Tuple[int, int], int] = {}
+        tiers: Dict[str, int] = {}
+        for meta in self.descriptor.tablets:
+            period = period_for(meta.min_ts, now,
+                                self.config.time_partitioning)
+            bin_key = (period.start, int(period.level))
+            per_period[bin_key] = per_period.get(bin_key, 0) + 1
+            tiers[meta.tier] = tiers.get(meta.tier, 0) + 1
+        counters = self.counters
+        flushed = counters.bytes_flushed
+        amplification = (
+            (flushed + counters.bytes_merge_written) / flushed
+            if flushed else 1.0
+        )
+        scanned = counters.rows_scanned
+        returned = counters.rows_returned
+        return {
+            "name": self.name,
+            "rows": self.row_count_estimate(),
+            "bytes_on_disk": self.size_bytes_on_disk(),
+            "tablets": len(self.descriptor.tablets),
+            "tablets_by_tier": tiers,
+            "max_tablets_per_period": max(per_period.values(), default=0),
+            "unflushed_memtables": self.unflushed_memtable_count,
+            "write_amplification": round(amplification, 2),
+            "scan_ratio": round(scanned / returned, 2) if returned else None,
+            "ttl_micros": self.descriptor.ttl_micros,
+            "schema_version": self.schema.version,
+        }
+
+    def evict_reader_cache(self) -> None:
+        """Drop in-memory footers, as a server restart would (§3.5:
+        footers are reloaded "into memory on demand after a restart").
+        Benchmarks call this to measure cold-cache behaviour."""
+        self._readers.clear()
+        self._period_max_cache.clear()
+
+    def _disk_for(self, meta: TabletMeta) -> SimulatedDisk:
+        """The device holding a tablet's file (hot disk or cold tier)."""
+        if meta.tier == "cold":
+            if self.cold_disk is None:
+                raise CorruptTabletError(
+                    f"tablet {meta.filename!r} is on the cold tier but no "
+                    f"cold store is attached")
+            return self.cold_disk
+        return self.disk
+
+    def _delete_tablet_file(self, meta: TabletMeta) -> None:
+        disk = self._disk_for(meta)
+        if disk.exists(meta.filename):
+            disk.delete(meta.filename)
+        self._readers.pop(meta.tablet_id, None)
+
+    def _reader(self, meta: TabletMeta) -> TabletReader:
+        reader = self._readers.get(meta.tablet_id)
+        if reader is None:
+            reader = TabletReader(self._disk_for(meta), meta.filename)
+            self._readers[meta.tablet_id] = reader
+        return reader
+
+    # ----------------------------------------------------------- inserts
+
+    def insert(self, rows: Sequence[Dict[str, Any]]) -> int:
+        """Insert a batch of rows given as column->value dicts.
+
+        Missing ``ts`` values take the current time (§3.1).  Raises
+        :class:`DuplicateKeyError` if any row's primary key already
+        exists; rows earlier in the batch stay inserted (inserts are
+        not transactional, §2.3.4).  Returns the number inserted.
+        """
+        now = self.clock.now()
+        tuples = [self.schema.row_from_dict(row, now=now) for row in rows]
+        return self.insert_tuples(tuples)
+
+    def insert_tuples(self, rows: Sequence[Tuple[Any, ...]]) -> int:
+        """Insert validated positional row tuples (fast path)."""
+        now = self.clock.now()
+        schema = self.schema
+        inserted = 0
+        for row in rows:
+            row = schema.validate_row(row)
+            ts = schema.ts_of(row)
+            key = schema.key_of(row)
+            if not self._key_is_unique(key, ts, now):
+                raise DuplicateKeyError(
+                    f"duplicate primary key {key!r} in table {self.name!r}"
+                )
+            memtable = self._memtable_for(ts, now)
+            if not memtable.insert(row, now):
+                raise DuplicateKeyError(
+                    f"duplicate primary key {key!r} in table {self.name!r}"
+                )
+            self._deps.record_insert(memtable.memtable_id)
+            if self._max_ts_ever is None or ts > self._max_ts_ever:
+                self._max_ts_ever = ts
+            inserted += 1
+            if memtable.size_bytes >= self.config.flush_size_bytes:
+                self._retire_memtable(memtable)
+        self.counters.rows_inserted += inserted
+        return inserted
+
+    def _memtable_for(self, ts: int, now: int) -> MemTable:
+        """The filling memtable for the row's time period (§3.4.3)."""
+        period = period_for(ts, now, self.config.time_partitioning)
+        bin_key = (period.start, int(period.level))
+        memtable = self._filling.get(bin_key)
+        if memtable is None:
+            memtable = MemTable(self._next_memtable_id, self.schema, period,
+                                self._row_codec)
+            self._next_memtable_id += 1
+            self._filling[bin_key] = memtable
+            self._unflushed[memtable.memtable_id] = memtable
+        return memtable
+
+    def _retire_memtable(self, memtable: MemTable) -> None:
+        """Mark a filling memtable read-only and queue it for flush."""
+        if memtable.read_only:
+            return
+        memtable.mark_read_only()
+        bin_key = (memtable.period.start, int(memtable.period.level))
+        if self._filling.get(bin_key) is memtable:
+            del self._filling[bin_key]
+        self._flush_pending.append(memtable.memtable_id)
+
+    # -------------------------------------------------------- uniqueness
+
+    def _key_is_unique(self, key: Tuple[Any, ...], ts: int, now: int) -> bool:
+        """Primary-key uniqueness check with the §3.4.4 fast paths."""
+        # Fast path 1: the timestamp is newer than any row ever stored;
+        # needs only cached metadata.
+        if self._max_ts_ever is None or ts > self._max_ts_ever:
+            return True
+        # Fast path 2: the key is larger than any other key in its time
+        # period, checkable from tablet indexes and memtable maxima.
+        period = period_for(ts, now, self.config.time_partitioning)
+        if self._key_above_period_max(key, period):
+            return True
+        # Slow path: a point query, possibly touching disk.  Bloom
+        # filters skip most tablets (§3.4.5).
+        return not self._key_exists(key, ts)
+
+    def _key_above_period_max(self, key: Tuple[Any, ...],
+                              period: Period) -> bool:
+        for memtable in self._unflushed.values():
+            if memtable.empty:
+                continue
+            if (memtable.max_ts < period.start
+                    or memtable.min_ts >= period.end):
+                continue
+            last = memtable.last_key()
+            if last is not None and key <= last:
+                return False
+        tablet_max = self._tablet_period_max(period)
+        if tablet_max is not None and key <= tablet_max:
+            return False
+        return True
+
+    def _tablet_period_max(self, period: Period) -> Optional[Tuple[Any, ...]]:
+        """Largest on-disk key among tablets overlapping ``period``.
+
+        Cached per period and invalidated whenever the tablet set
+        changes (descriptor generation bump) - the check runs for
+        every inserted row, so it must not rescan tablet indexes.
+        """
+        cache_key = (period.start, int(period.level))
+        cached = self._period_max_cache.get(cache_key)
+        if cached is not None and cached[0] == self.descriptor.generation:
+            return cached[1]
+        maximum: Optional[Tuple[Any, ...]] = None
+        for meta in self.descriptor.tablets:
+            if meta.max_ts < period.start or meta.min_ts >= period.end:
+                continue
+            reader = self._reader(meta)
+            reader.ensure_loaded()
+            last_keys = reader._last_keys
+            if last_keys and (maximum is None or last_keys[-1] > maximum):
+                maximum = last_keys[-1]
+        self._period_max_cache[cache_key] = (self.descriptor.generation,
+                                             maximum)
+        return maximum
+
+    def _key_exists(self, key: Tuple[Any, ...], ts: int) -> bool:
+        for memtable in self._unflushed.values():
+            if memtable.contains_key(key):
+                return True
+        encoded_prefix = self._row_codec.encode_key_columns(key)[:-1]
+        key_range = KeyRange.prefix(key)
+        for meta in self.descriptor.tablets:
+            if ts < meta.min_ts or ts > meta.max_ts:
+                continue
+            reader = self._reader(meta)
+            if self.config.bloom_filters:
+                probe = reader.may_contain_prefix(encoded_prefix)
+                if probe is False:
+                    continue
+            for _row in reader.scan(key_range):
+                return True
+        return False
+
+    # ------------------------------------------------------------ flush
+
+    def flush_memtable(self, memtable_id: int) -> List[TabletMeta]:
+        """Flush one memtable plus its dependency closure (§3.4.3).
+
+        All resulting on-disk tablets are added to the descriptor in a
+        single atomic update, preserving the prefix-durability
+        guarantee.  Returns the tablets written.
+        """
+        with self.lock:
+            group = [
+                mid for mid in self._deps.flush_group(memtable_id)
+                if mid in self._unflushed
+            ]
+            written: List[TabletMeta] = []
+            now = self.clock.now()
+            for mid in group:
+                memtable = self._unflushed[mid]
+                memtable.mark_read_only()
+                meta = self._write_memtable(memtable, now)
+                if meta is not None:
+                    written.append(meta)
+            if written:
+                self.descriptor.tablets.extend(written)
+                self.descriptor.save(self.disk)
+            for mid in group:
+                memtable = self._unflushed.pop(mid)
+                bin_key = (memtable.period.start, int(memtable.period.level))
+                if self._filling.get(bin_key) is memtable:
+                    del self._filling[bin_key]
+                if mid in self._flush_pending:
+                    self._flush_pending.remove(mid)
+            self._deps.mark_flushed(group)
+            return written
+
+    def _write_memtable(self, memtable: MemTable, now: int
+                        ) -> Optional[TabletMeta]:
+        if memtable.empty:
+            return None
+        tablet_id = self.descriptor.allocate_tablet_id()
+        writer = TabletWriter(
+            self.disk, memtable.schema, self.config.block_size_bytes,
+            self.config.compression,
+            self.config.bloom_bits_per_row if self.config.bloom_filters else 0,
+        )
+        meta = writer.write(
+            self.descriptor.tablet_filename(tablet_id), (),
+            tablet_id, created_at=now, expected_rows=len(memtable),
+            encoded_pairs=memtable.sorted_encoded(),
+        )
+        if meta is not None:
+            self.counters.bytes_flushed += meta.size_bytes
+            self.counters.flushes += 1
+        return meta
+
+    def flush_all(self) -> List[TabletMeta]:
+        """Flush every unflushed memtable (used by shutdown and tests)."""
+        written: List[TabletMeta] = []
+        while self._unflushed:
+            some_id = next(iter(self._unflushed))
+            written.extend(self.flush_memtable(some_id))
+        return written
+
+    def flush_before(self, ts: int) -> List[TabletMeta]:
+        """Flush every memtable holding rows with timestamps < ``ts``.
+
+        This is the command §4.1.2 proposes so that aggregators need
+        not "simply assume that data written more than 20 minutes in
+        the past has reached disk": after ``flush_before(t)`` returns,
+        every row with a timestamp before ``t`` that the table holds
+        is durable (its dependency closure flushes with it, so the
+        prefix-durability guarantee is unaffected).
+        """
+        written: List[TabletMeta] = []
+        while True:
+            target = next(
+                (m for m in self._unflushed.values()
+                 if not m.empty and m.min_ts < ts),
+                None,
+            )
+            if target is None:
+                return written
+            written.extend(self.flush_memtable(target.memtable_id))
+
+    def pending_flush_work(self, now: int) -> List[int]:
+        """Memtable ids due for flushing: queued, oversized, or aged."""
+        due = list(self._flush_pending)
+        for memtable in self._filling.values():
+            if memtable.empty:
+                continue
+            if (memtable.size_bytes >= self.config.flush_size_bytes
+                    or memtable.age_micros(now) >= self.config.flush_age_micros):
+                if memtable.memtable_id not in due:
+                    due.append(memtable.memtable_id)
+        return due
+
+    # --------------------------------------------------------- cold tier
+
+    def migrate_to_cold(self, before_ts: int) -> int:
+        """Move tablets whose data is entirely older than ``before_ts``
+        to the cold tier (the §6 LHAM-style extension).
+
+        "LHAM introduced the idea of moving older data in a
+        log-structured system to write-once media.  This approach is
+        especially attractive for time-series data, where very old
+        values are accessed infrequently but remain valuable."
+
+        Each tablet's file is copied to the cold store, the descriptor
+        is updated atomically, and the hot copy is deleted.  Queries
+        keep working transparently (at the cold tier's latencies);
+        cold tablets are never merged.  Returns tablets migrated.
+        """
+        if self.cold_disk is None:
+            raise QueryError("no cold store attached to this table")
+        migrated = 0
+        for meta in self.on_disk_tablets:
+            if meta.tier != "hot" or meta.max_ts >= before_ts:
+                continue
+            data = self.disk.storage.read_all(meta.filename)
+            self.cold_disk.write_file(meta.filename, data)
+            meta.tier = "cold"
+            self.descriptor.save(self.disk)
+            self.disk.delete(meta.filename)
+            self._readers.pop(meta.tablet_id, None)
+            migrated += 1
+        return migrated
+
+    def tier_of(self, tablet_id: int) -> Optional[str]:
+        """The storage tier of a tablet, or None if unknown."""
+        for meta in self.descriptor.tablets:
+            if meta.tablet_id == tablet_id:
+                return meta.tier
+        return None
+
+    # ------------------------------------------------------- bulk delete
+
+    def bulk_delete(self, prefix: Sequence[Any]) -> int:
+        """Delete every row whose key starts with ``prefix``.
+
+        The bulk-delete feature §7 says Meraki was investigating "to
+        simplify compliance with regional privacy laws" - e.g. remove
+        one customer's networks entirely.  Memtables holding matching
+        rows are flushed first, then each affected tablet is rewritten
+        without the matching rows (tablets whose Bloom filter or key
+        index rules the prefix out are untouched).  Returns the number
+        of rows deleted.
+        """
+        prefix = tuple(prefix)
+        if not prefix or len(prefix) >= self.schema.key_width:
+            raise QueryError(
+                "bulk delete takes a non-empty prefix of the key "
+                "columns (excluding ts)")
+        key_range = KeyRange.prefix(prefix)
+        for memtable in list(self._unflushed.values()):
+            if any(True for _row in memtable.scan(key_range)):
+                self.flush_memtable(memtable.memtable_id)
+        encoded_prefix = None
+        if self.config.bloom_filters:
+            encoded_prefix = self._row_codec.encode_prefix_columns(prefix)
+        removed = 0
+        now = self.clock.now()
+        for meta in self.on_disk_tablets:
+            reader = self._reader(meta)
+            if encoded_prefix is not None:
+                probe = reader.may_contain_prefix(encoded_prefix)
+                if probe is False:
+                    continue
+            if not any(True for _row in reader.scan(key_range)):
+                continue
+            removed += self._rewrite_tablet_without(meta, key_range, now)
+        return removed
+
+    def _rewrite_tablet_without(self, meta: TabletMeta,
+                                key_range: KeyRange, now: int) -> int:
+        """Rewrite one tablet dropping rows inside ``key_range``.
+
+        The replacement is installed with an atomic descriptor update,
+        then the old file is deleted; a crash in between leaves either
+        version, never both.  Returns rows dropped.
+        """
+        reader = self._reader(meta)
+        reader.ensure_loaded()
+        tablet_id = self.descriptor.allocate_tablet_id()
+        writer = TabletWriter(
+            self._disk_for(meta), self.schema,
+            self.config.block_size_bytes, self.config.compression,
+            self.config.bloom_bits_per_row if self.config.bloom_filters else 0,
+        )
+        key_of = self.schema.key_of
+        if reader.schema.version == self.schema.version:
+            pairs = (
+                (row, encoded) for row, encoded in reader.scan_pairs()
+                if not key_range.contains(key_of(row))
+            )
+            new_meta = writer.write(
+                self.descriptor.tablet_filename(tablet_id), (), tablet_id,
+                created_at=now, expected_rows=meta.row_count,
+                encoded_pairs=pairs,
+            )
+        else:
+            rows = (
+                row for row in self._tablet_rows_translated(meta)
+                if not key_range.contains(key_of(row))
+            )
+            new_meta = writer.write(
+                self.descriptor.tablet_filename(tablet_id), rows,
+                tablet_id, created_at=now, expected_rows=meta.row_count,
+            )
+        self.descriptor.tablets = [
+            t for t in self.descriptor.tablets
+            if t.tablet_id != meta.tablet_id
+        ]
+        kept = 0
+        if new_meta is not None:
+            new_meta.tier = meta.tier
+            self.descriptor.tablets.append(new_meta)
+            kept = new_meta.row_count
+        self.descriptor.save(self.disk)
+        self._delete_tablet_file(meta)
+        return meta.row_count - kept
+
+    # ------------------------------------------------------------ merge
+
+    def maybe_merge(self) -> Optional[MergePlan]:
+        """Run one merge if the policy finds one (§3.4.1).
+
+        Returns the executed plan, or None.  The merge streams the
+        source tablets through a k-way merge into a new tablet, then
+        atomically rewrites the descriptor and deletes the sources.
+        """
+        now = self.clock.now()
+        hot_tablets = [t for t in self.descriptor.tablets
+                       if t.tier != "cold"]
+        plan = choose_merge(hot_tablets, now, self.name, self.config)
+        if plan is None:
+            return None
+        self._execute_merge(plan, now)
+        return plan
+
+    def _execute_merge(self, plan: MergePlan, now: int) -> None:
+        import heapq
+
+        tablet_id = self.descriptor.allocate_tablet_id()
+        writer = TabletWriter(
+            self.disk, self.schema, self.config.block_size_bytes,
+            self.config.compression,
+            self.config.bloom_bits_per_row if self.config.bloom_filters else 0,
+        )
+        readers = [self._reader(source) for source in plan.tablets]
+        for reader in readers:
+            reader.ensure_loaded()
+        if all(r.schema.version == self.schema.version for r in readers):
+            # Common case: every source is on the current schema, so
+            # rows pass straight through with their raw encodings.
+            key_of = self.schema.key_of
+            pairs = heapq.merge(*[r.scan_pairs() for r in readers],
+                                key=lambda pair: key_of(pair[0]))
+            meta = writer.write(
+                self.descriptor.tablet_filename(tablet_id), (), tablet_id,
+                created_at=now, expected_rows=plan.total_rows,
+                encoded_pairs=pairs,
+            )
+        else:
+            # Mixed schema versions: translating while merging also
+            # upgrades old rows to the current schema (§3.5).
+            merged = self._merge_streams([
+                self._tablet_rows_translated(source)
+                for source in plan.tablets
+            ])
+            meta = writer.write(
+                self.descriptor.tablet_filename(tablet_id), merged,
+                tablet_id, created_at=now, expected_rows=plan.total_rows,
+            )
+        merged_ids = {t.tablet_id for t in plan.tablets}
+        self.descriptor.tablets = [
+            t for t in self.descriptor.tablets if t.tablet_id not in merged_ids
+        ]
+        if meta is not None:
+            self.descriptor.tablets.append(meta)
+            self.counters.bytes_merge_written += meta.size_bytes
+            self.counters.rows_merge_written += meta.row_count
+        self.counters.merges += 1
+        self.descriptor.save(self.disk)
+        for source in plan.tablets:
+            self._delete_tablet_file(source)
+
+    def _merge_streams(self, sources: List[Iterator[Tuple[Any, ...]]]
+                       ) -> Iterator[Tuple[Any, ...]]:
+        import heapq
+
+        key_of = self.schema.key_of
+        return heapq.merge(*sources, key=key_of)
+
+    def _tablet_rows_translated(self, meta: TabletMeta,
+                                key_range: Optional[KeyRange] = None,
+                                descending: bool = False
+                                ) -> Iterator[Tuple[Any, ...]]:
+        """Scan a tablet, translating old-schema rows (§3.5)."""
+        reader = self._reader(meta)
+        reader.ensure_loaded()
+        rows = reader.scan(key_range or KeyRange.all(), descending)
+        if reader.schema.version == self.schema.version:
+            return rows
+        return (
+            self.schema.translate_row(row, reader.schema) for row in rows
+        )
+
+    def _memtable_rows_translated(self, memtable: MemTable,
+                                  key_range: KeyRange,
+                                  descending: bool = False
+                                  ) -> Iterator[Tuple[Any, ...]]:
+        """Scan a memtable, translating rows written under an older
+        schema (a schema change retires filling memtables, but they
+        stay readable until flushed)."""
+        rows = memtable.scan(key_range, descending)
+        if memtable.schema.version == self.schema.version:
+            return rows
+        return (
+            self.schema.translate_row(row, memtable.schema) for row in rows
+        )
+
+    # -------------------------------------------------------------- TTL
+
+    def expire_tablets(self) -> int:
+        """Drop tablets whose rows have all passed the TTL (§3.3).
+
+        Returns the number of tablets reclaimed.
+        """
+        ttl = self.descriptor.ttl_micros
+        if ttl is None:
+            return 0
+        cutoff = self.clock.now() - ttl
+        expired = [t for t in self.descriptor.tablets if t.max_ts < cutoff]
+        if not expired:
+            return 0
+        expired_ids = {t.tablet_id for t in expired}
+        self.descriptor.tablets = [
+            t for t in self.descriptor.tablets
+            if t.tablet_id not in expired_ids
+        ]
+        self.descriptor.save(self.disk)
+        for meta in expired:
+            self._delete_tablet_file(meta)
+        self.counters.tablets_expired += len(expired)
+        return len(expired)
+
+    # ------------------------------------------------------ maintenance
+
+    def maintenance(self) -> Dict[str, int]:
+        """One background tick: due flushes, one merge, TTL reclaim.
+
+        Returns a summary of work done, for benchmarks and logging.
+        """
+        now = self.clock.now()
+        flushed = 0
+        for memtable_id in self.pending_flush_work(now):
+            if memtable_id in self._unflushed:
+                flushed += len(self.flush_memtable(memtable_id))
+        merged = 1 if self.maybe_merge() is not None else 0
+        expired = self.expire_tablets()
+        return {"flushed": flushed, "merged": merged, "expired": expired}
+
+    # ------------------------------------------------------------ query
+
+    def scan(self, query: Query) -> Iterator[Tuple[Any, ...]]:
+        """Stream rows for a query without the server row limit.
+
+        Accounting still accumulates into :attr:`counters`.
+        """
+        stats = QueryStats()
+        try:
+            yield from self._execute(query, stats)
+        finally:
+            self._absorb_stats(stats)
+
+    def query(self, query: Query) -> QueryResult:
+        """Execute one query command with the server row limit (§3.5)."""
+        stats = QueryStats()
+        limit = self.config.server_row_limit
+        if query.limit is not None:
+            limit = min(limit, query.limit)
+        rows: List[Tuple[Any, ...]] = []
+        more_available = False
+        for row in self._execute(query, stats):
+            if len(rows) == limit:
+                more_available = True
+                break
+            rows.append(row)
+        self._absorb_stats(stats)
+        self.counters.queries += 1
+        return QueryResult(rows, more_available, stats)
+
+    def _absorb_stats(self, stats: QueryStats) -> None:
+        self.counters.rows_scanned += stats.rows_scanned
+        self.counters.rows_returned += stats.rows_returned
+
+    def _execute(self, query: Query, stats: QueryStats
+                 ) -> Iterator[Tuple[Any, ...]]:
+        now = self.clock.now()
+        descending = query.direction == DESCENDING
+        sources: List[Iterator[Tuple[Any, ...]]] = []
+        for meta in self.descriptor.tablets:
+            if not query.time_range.overlaps(meta.min_ts, meta.max_ts):
+                continue
+            stats.tablets_opened += 1
+            sources.append(
+                self._tablet_rows_translated(meta, query.key_range, descending)
+            )
+        for memtable in self._unflushed.values():
+            if memtable.empty:
+                continue
+            if not query.time_range.overlaps(memtable.min_ts,
+                                             memtable.max_ts):
+                continue
+            sources.append(self._memtable_rows_translated(
+                memtable, query.key_range, descending))
+        if not sources:
+            return iter(())
+        return execute_query(sources, self.schema, query, now,
+                             self.descriptor.ttl_micros, stats)
+
+    # ------------------------------------------- latest row for a prefix
+
+    def latest(self, prefix: Sequence[Any],
+               max_lookback_micros: Optional[int] = None
+               ) -> Optional[Tuple[Any, ...]]:
+        """Find the latest row whose key starts with ``prefix`` (§3.4.5).
+
+        Works backwards through groups of tablets with overlapping
+        timespans, so it usually stops after the newest group.  When
+        the prefix covers all key columns except the timestamp, the
+        first row of a descending cursor is the answer; otherwise the
+        whole prefix within each group is scanned for the maximum
+        timestamp.  Bloom filters skip groups that cannot contain the
+        prefix.  ``max_lookback_micros`` optionally bounds the search
+        (used by EventsGrabber, §4.2).
+        """
+        prefix = tuple(prefix)
+        if len(prefix) >= self.schema.key_width:
+            raise QueryError("prefix must be shorter than the full key")
+        now = self.clock.now()
+        cutoff = None
+        ttl = self.descriptor.ttl_micros
+        if ttl is not None:
+            cutoff = now - ttl
+        if max_lookback_micros is not None:
+            lookback_cutoff = now - max_lookback_micros
+            cutoff = lookback_cutoff if cutoff is None else max(
+                cutoff, lookback_cutoff)
+        full_prefix = len(prefix) == self.schema.key_width - 1
+        encoded_prefix = None
+        if self.config.bloom_filters and prefix:
+            encoded_prefix = self._row_codec.encode_prefix_columns(prefix)
+        key_range = KeyRange.prefix(prefix)
+        stats = QueryStats()
+        best: Optional[Tuple[Any, ...]] = None
+        for group in self._timespan_groups():
+            group_max = max(span_max for _src, _span_min, span_max in group)
+            if cutoff is not None and group_max < cutoff:
+                break
+            sources = []
+            for source, _span_min, _span_max in group:
+                if (encoded_prefix is not None
+                        and isinstance(source, TabletMeta)):
+                    reader = self._reader(source)
+                    probe = reader.may_contain_prefix(encoded_prefix)
+                    if probe is False:
+                        continue
+                if isinstance(source, TabletMeta):
+                    sources.append(self._tablet_rows_translated(
+                        source, key_range, descending=True))
+                else:
+                    sources.append(self._memtable_rows_translated(
+                        source, key_range, descending=True))
+            if not sources:
+                continue
+            merged = execute_query(
+                sources, self.schema,
+                Query(key_range, TimeRange.all(), DESCENDING),
+                now, self.descriptor.ttl_micros, stats,
+            )
+            for row in merged:
+                ts = self.schema.ts_of(row)
+                if cutoff is not None and ts < cutoff:
+                    continue
+                if full_prefix:
+                    best = row
+                    break
+                if best is None or ts > self.schema.ts_of(best):
+                    best = row
+            if best is not None:
+                break
+        # A latest-row query returns at most one row to the client no
+        # matter how many rows it scanned - this asymmetry is exactly
+        # what produces Figure 9's long tail (§5.2.4).
+        self.counters.rows_scanned += stats.rows_scanned
+        self.counters.rows_returned += 1 if best is not None else 0
+        self.counters.queries += 1
+        return best
+
+    def _timespan_groups(self):
+        """Sources grouped by overlapping timespans, newest first.
+
+        Each group is a list of (source, span_min, span_max) where the
+        source is a TabletMeta or a MemTable.  Groups are maximal runs
+        of sources whose timespans form a connected interval chain.
+        """
+        spans = []
+        for meta in self.descriptor.tablets:
+            spans.append((meta, meta.min_ts, meta.max_ts))
+        for memtable in self._unflushed.values():
+            if not memtable.empty:
+                spans.append((memtable, memtable.min_ts, memtable.max_ts))
+        spans.sort(key=lambda item: item[1])
+        groups: List[List[Tuple[Any, int, int]]] = []
+        current: List[Tuple[Any, int, int]] = []
+        current_max = None
+        for item in spans:
+            _source, span_min, span_max = item
+            if current and span_min > current_max:
+                groups.append(current)
+                current = []
+                current_max = None
+            current.append(item)
+            current_max = span_max if current_max is None else max(
+                current_max, span_max)
+        if current:
+            groups.append(current)
+        groups.reverse()
+        return groups
+
+    # --------------------------------------------------- schema changes
+
+    def append_column(self, column: Column) -> None:
+        """§3.5: append a column to the tail of the schema."""
+        self._apply_schema(self.schema.with_appended_column(column))
+
+    def widen_column(self, name: str) -> None:
+        """§3.5: widen an int32 column to int64."""
+        self._apply_schema(self.schema.with_widened_column(name))
+
+    def set_ttl(self, ttl_micros: Optional[int]) -> None:
+        """§3.5: alter the table's TTL."""
+        if ttl_micros is not None and ttl_micros <= 0:
+            raise SchemaError("TTL must be positive (or None to disable)")
+        self.descriptor.ttl_micros = ttl_micros
+        self.descriptor.save(self.disk)
+
+    def _apply_schema(self, schema: Schema) -> None:
+        # Retire filling memtables so new inserts use the new schema;
+        # flushed tablets keep their old schema and translate on read.
+        for memtable in list(self._filling.values()):
+            if memtable.empty:
+                bin_key = (memtable.period.start, int(memtable.period.level))
+                del self._filling[bin_key]
+                del self._unflushed[memtable.memtable_id]
+            else:
+                self._retire_memtable(memtable)
+        self.descriptor.schema = schema
+        self._row_codec = RowCodec(schema)
+        self.descriptor.save(self.disk)

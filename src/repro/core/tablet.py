@@ -1,0 +1,440 @@
+"""On-disk tablets: writer, reader, and cursors.
+
+File layout (paper §3.2, §3.5):
+
+    [block 0][block 1]...[block n-1][compressed footer][trailer]
+
+* Each block holds rows sorted by primary key, compressed.
+* The footer records the tablet's schema, its timespan, a block index
+  with the **last key in each block**, and (optionally) a key-prefix
+  Bloom filter (§3.4.5).
+* The trailer is the "final two words of the file": the footer's
+  decompressed size and its offset within the file, 8 bytes each,
+  little-endian.  The compressed footer therefore spans
+  ``[offset, file_size - 16)``.
+
+Reading a footer costs three seeks on a cold cache (inode, trailer,
+footer - §3.5); once cached in memory the reader answers block lookups
+with a single block read (one seek), which is exactly the 4-vs-1 seek
+behaviour Figure 6 measures.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, List, Optional, Tuple
+
+from ..disk.vfs import SimulatedDisk
+from ..util.bloom import KeyPrefixBloom
+from ..util.varint import decode_uvarint, encode_uvarint
+from .block import (
+    BlockBuilder,
+    codec_id,
+    compress,
+    decode_block,
+    decode_block_pairs,
+    decompress,
+)
+from .encoding import RowCodec
+from .errors import CorruptTabletError
+from .row import KeyRange
+from .schema import Schema
+
+TRAILER_BYTES = 16
+
+
+@dataclass
+class TabletMeta:
+    """Descriptor-level metadata for one on-disk tablet.
+
+    ``tier`` is "hot" for the local spinning disk; "cold" marks
+    tablets migrated to the write-once archive tier (the §6 LHAM-style
+    extension: "we are considering using Amazon S3 or another cloud
+    service as an additional backing store for old LittleTable data").
+    """
+
+    tablet_id: int
+    filename: str
+    min_ts: int
+    max_ts: int
+    row_count: int
+    size_bytes: int
+    schema_version: int
+    created_at: int  # engine time when the tablet was written
+    tier: str = "hot"
+
+    def to_dict(self) -> dict:
+        return {
+            "tablet_id": self.tablet_id,
+            "filename": self.filename,
+            "min_ts": self.min_ts,
+            "max_ts": self.max_ts,
+            "row_count": self.row_count,
+            "size_bytes": self.size_bytes,
+            "schema_version": self.schema_version,
+            "created_at": self.created_at,
+            "tier": self.tier,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TabletMeta":
+        data = dict(data)
+        data.setdefault("tier", "hot")
+        return cls(**data)
+
+
+@dataclass
+class _BlockEntry:
+    offset: int
+    compressed_len: int
+    row_count: int
+    last_key: Tuple[Any, ...]
+
+
+class TabletWriter:
+    """Writes one tablet file from an iterator of sorted rows."""
+
+    def __init__(self, disk: SimulatedDisk, schema: Schema,
+                 block_size: int, compression: str,
+                 bloom_bits_per_row: int = 0):
+        self.disk = disk
+        self.schema = schema
+        self.codec = codec_id(compression)
+        self.block_size = block_size
+        self.bloom_bits_per_row = bloom_bits_per_row
+        self._row_codec = RowCodec(schema)
+
+    def write(self, filename: str, rows: Iterable[Tuple[Any, ...]],
+              tablet_id: int, created_at: int, expected_rows: int = 0,
+              encoded_pairs: Optional[Iterable[Tuple[Tuple[Any, ...], bytes]]]
+              = None) -> Optional[TabletMeta]:
+        """Encode and write ``rows`` (already sorted by key, unique).
+
+        Returns the tablet's metadata, or None if ``rows`` was empty
+        (no file is written).  ``expected_rows`` sizes the Bloom
+        filter; 0 lets it default from the actual count (two-pass
+        sizing is avoided by buffering encoded keys).  When the caller
+        already holds each row's encoding (memtables do, §3.2's flush
+        path; merges pass encodings through), ``encoded_pairs``
+        supplies (row, encoded) pairs and ``rows`` is ignored.
+        """
+        schema = self.schema
+        row_codec = self._row_codec
+        builder = BlockBuilder(self.block_size)
+        body = bytearray()
+        entries: List[_BlockEntry] = []
+        bloom_keys: List[List[bytes]] = []
+        min_ts: Optional[int] = None
+        max_ts: Optional[int] = None
+        row_count = 0
+        last_key: Optional[Tuple[Any, ...]] = None
+
+        def cut_block() -> None:
+            payload, count, _raw = builder.finish(self.codec)
+            entries.append(
+                _BlockEntry(len(body), len(payload), count, last_key)
+            )
+            body.extend(payload)
+
+        if encoded_pairs is None:
+            encoded_pairs = (
+                (row, row_codec.encode_row(row)) for row in rows
+            )
+        for row, encoded in encoded_pairs:
+            key = schema.key_of(row)
+            if builder.would_overflow(len(encoded)):
+                cut_block()
+            builder.add(encoded)
+            last_key = key
+            ts = schema.ts_of(row)
+            if min_ts is None or ts < min_ts:
+                min_ts = ts
+            if max_ts is None or ts > max_ts:
+                max_ts = ts
+            row_count += 1
+            if self.bloom_bits_per_row:
+                # Prefix filters exclude the trailing timestamp column.
+                bloom_keys.append(row_codec.encode_key_columns(key)[:-1])
+
+        if row_count == 0:
+            return None
+        if len(builder):
+            cut_block()
+
+        bloom_bytes = b""
+        if self.bloom_bits_per_row:
+            bloom = KeyPrefixBloom(
+                expected_keys=max(expected_rows, row_count),
+                key_width=schema.key_width - 1,
+                bits_per_key=self.bloom_bits_per_row,
+            )
+            for columns in bloom_keys:
+                bloom.add_key(columns)
+            bloom_bytes = bloom.serialize()
+
+        footer = self._encode_footer(entries, min_ts, max_ts, row_count,
+                                     bloom_bytes)
+        compressed_footer = compress(self.codec, footer)
+        footer_offset = len(body)
+        trailer = len(footer).to_bytes(8, "little") + footer_offset.to_bytes(8, "little")
+        file_bytes = bytes(body) + compressed_footer + trailer
+        self.disk.write_file(filename, file_bytes)
+        return TabletMeta(
+            tablet_id=tablet_id,
+            filename=filename,
+            min_ts=min_ts,
+            max_ts=max_ts,
+            row_count=row_count,
+            size_bytes=len(file_bytes),
+            schema_version=schema.version,
+            created_at=created_at,
+        )
+
+    def _encode_footer(self, entries: List[_BlockEntry], min_ts: int,
+                       max_ts: int, row_count: int,
+                       bloom_bytes: bytes) -> bytes:
+        schema_json = json.dumps(self.schema.to_dict()).encode("utf-8")
+        out = bytearray()
+        out += encode_uvarint(len(schema_json))
+        out += schema_json
+        out += encode_uvarint(min_ts)
+        out += encode_uvarint(max_ts)
+        out += encode_uvarint(row_count)
+        out.append(self.codec)
+        out += encode_uvarint(len(entries))
+        for entry in entries:
+            key_bytes = self._row_codec.encode_key(entry.last_key)
+            out += encode_uvarint(entry.offset)
+            out += encode_uvarint(entry.compressed_len)
+            out += encode_uvarint(entry.row_count)
+            out += encode_uvarint(len(key_bytes))
+            out += key_bytes
+        out += encode_uvarint(len(bloom_bytes))
+        out += bloom_bytes
+        return bytes(out)
+
+
+class TabletReader:
+    """Reads one tablet file; the parsed footer is cached in memory.
+
+    §3.2: "On average, these indexes are only 0.5% of their tablets'
+    sizes, so LittleTable caches them almost indefinitely in main
+    memory."  The table keeps one reader per live tablet.
+    """
+
+    def __init__(self, disk: SimulatedDisk, filename: str):
+        self.disk = disk
+        self.filename = filename
+        self._loaded = False
+        self.schema: Optional[Schema] = None
+        self.min_ts = 0
+        self.max_ts = 0
+        self.row_count = 0
+        self._codec = 0
+        self._entries: List[_BlockEntry] = []
+        self._last_keys: List[Tuple[Any, ...]] = []
+        self._row_codec: Optional[RowCodec] = None
+        self._bloom: Optional[KeyPrefixBloom] = None
+        self._body_size = 0
+
+    # ----------------------------------------------------------- footer
+
+    def ensure_loaded(self) -> None:
+        """Load and parse the footer on first use (3 cold seeks)."""
+        if self._loaded:
+            return
+        disk = self.disk
+        disk.open(self.filename)  # inode
+        size = disk.size(self.filename)
+        if size < TRAILER_BYTES:
+            raise CorruptTabletError(f"{self.filename}: too small")
+        trailer = disk.read(self.filename, size - TRAILER_BYTES, TRAILER_BYTES)
+        footer_size = int.from_bytes(trailer[:8], "little")
+        footer_offset = int.from_bytes(trailer[8:16], "little")
+        compressed_len = size - TRAILER_BYTES - footer_offset
+        if compressed_len < 0 or footer_offset > size:
+            raise CorruptTabletError(f"{self.filename}: bad trailer")
+        compressed = disk.read(self.filename, footer_offset, compressed_len)
+        self._body_size = footer_offset
+        self._parse_footer(compressed, footer_size)
+        self._loaded = True
+
+    def _parse_footer(self, compressed: bytes, footer_size: int) -> None:
+        # The codec byte lives inside the (possibly compressed) footer,
+        # so detect the footer's own encoding by attempting zlib first
+        # and falling back to raw; the trailer's decompressed-size word
+        # disambiguates.
+        try:
+            footer = decompress(1, compressed)
+        except CorruptTabletError:
+            footer = compressed
+        if len(footer) != footer_size:
+            if len(compressed) == footer_size:
+                footer = compressed
+            else:
+                raise CorruptTabletError(
+                    f"{self.filename}: footer size mismatch"
+                )
+        self._parse_footer_body(footer)
+
+    def _parse_footer_body(self, footer: bytes) -> None:
+        offset = 0
+        schema_len, offset = decode_uvarint(footer, offset)
+        try:
+            schema_dict = json.loads(footer[offset:offset + schema_len])
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise CorruptTabletError(f"{self.filename}: bad schema: {exc}") from exc
+        offset += schema_len
+        self.schema = Schema.from_dict(schema_dict)
+        self._row_codec = RowCodec(self.schema)
+        self.min_ts, offset = decode_uvarint(footer, offset)
+        self.max_ts, offset = decode_uvarint(footer, offset)
+        self.row_count, offset = decode_uvarint(footer, offset)
+        if offset >= len(footer):
+            raise CorruptTabletError(f"{self.filename}: truncated footer")
+        self._codec = footer[offset]
+        offset += 1
+        block_count, offset = decode_uvarint(footer, offset)
+        entries: List[_BlockEntry] = []
+        for _ in range(block_count):
+            block_offset, offset = decode_uvarint(footer, offset)
+            compressed_len, offset = decode_uvarint(footer, offset)
+            row_count, offset = decode_uvarint(footer, offset)
+            key_len, offset = decode_uvarint(footer, offset)
+            key_bytes = footer[offset:offset + key_len]
+            if len(key_bytes) != key_len:
+                raise CorruptTabletError(f"{self.filename}: truncated key")
+            offset += key_len
+            last_key, _ = self._row_codec.decode_key(key_bytes)
+            entries.append(_BlockEntry(block_offset, compressed_len,
+                                       row_count, last_key))
+        bloom_len, offset = decode_uvarint(footer, offset)
+        bloom_bytes = footer[offset:offset + bloom_len]
+        if len(bloom_bytes) != bloom_len:
+            raise CorruptTabletError(f"{self.filename}: truncated bloom")
+        self._bloom = (
+            KeyPrefixBloom.deserialize(bloom_bytes) if bloom_len else None
+        )
+        self._entries = entries
+        self._last_keys = [entry.last_key for entry in entries]
+
+    # ------------------------------------------------------------ blocks
+
+    @property
+    def block_count(self) -> int:
+        self.ensure_loaded()
+        return len(self._entries)
+
+    def read_block(self, index: int) -> List[Tuple[Any, ...]]:
+        """Read and decode block ``index`` (one seek if uncached)."""
+        self.ensure_loaded()
+        entry = self._entries[index]
+        payload = self.disk.read(self.filename, entry.offset,
+                                 entry.compressed_len)
+        return decode_block(payload, self._codec, self._row_codec,
+                            entry.row_count)
+
+    def scan_pairs(self) -> Iterator[Tuple[Tuple[Any, ...], bytes]]:
+        """Full ascending scan yielding (row, raw_encoding) pairs.
+
+        The merge path streams these straight into the output tablet,
+        skipping a decode/re-encode round trip.
+        """
+        self.ensure_loaded()
+        for index in range(len(self._entries)):
+            entry = self._entries[index]
+            payload = self.disk.read(self.filename, entry.offset,
+                                     entry.compressed_len)
+            yield from decode_block_pairs(payload, self._codec,
+                                          self._row_codec, entry.row_count)
+
+    def first_block_for(self, key_range: KeyRange) -> int:
+        """Index of the first block that may hold in-range keys."""
+        self.ensure_loaded()
+        seek = key_range.seek_min()
+        if seek is None:
+            return 0
+        # First block whose last key is >= the seek prefix.  Tuple
+        # comparison does the right thing for prefixes: (a,) <= (a, b).
+        return bisect.bisect_left(self._last_keys, seek)
+
+    def last_block_for(self, key_range: KeyRange) -> int:
+        """Index of the last block that may hold in-range keys."""
+        self.ensure_loaded()
+        if key_range.max_prefix is None:
+            return len(self._entries) - 1
+        # First block whose last key is beyond the max bound may still
+        # contain in-range keys (its earlier rows); blocks after it
+        # cannot.
+        low, high = 0, len(self._entries)
+        while low < high:
+            mid = (low + high) // 2
+            if key_range.after_range(self._last_keys[mid]):
+                high = mid
+            else:
+                low = mid + 1
+        return min(low, len(self._entries) - 1)
+
+    def may_contain_prefix(self, encoded_columns: List[bytes]) -> Optional[bool]:
+        """Bloom-filter probe; None when no filter is stored."""
+        self.ensure_loaded()
+        if self._bloom is None:
+            return None
+        return self._bloom.may_contain_prefix(encoded_columns)
+
+    # ----------------------------------------------------------- cursors
+
+    def scan(self, key_range: KeyRange, descending: bool = False
+             ) -> Iterator[Tuple[Any, ...]]:
+        """Yield rows within the key range, in key order.
+
+        Rows are *not* filtered by timestamp here; the merge cursor
+        does that (and counts them as scanned, which is what Figure 9
+        measures).
+        """
+        self.ensure_loaded()
+        if not self._entries:
+            return
+        if descending:
+            yield from self._scan_desc(key_range)
+        else:
+            yield from self._scan_asc(key_range)
+
+    def _scan_asc(self, key_range: KeyRange) -> Iterator[Tuple[Any, ...]]:
+        schema = self.schema
+        start_block = self.first_block_for(key_range)
+        for index in range(start_block, len(self._entries)):
+            rows = self.read_block(index)
+            keys = [schema.key_of(row) for row in rows]
+            position = 0
+            if index == start_block:
+                seek = key_range.seek_min()
+                if seek is not None:
+                    position = bisect.bisect_left(keys, seek)
+            for row_index in range(position, len(rows)):
+                key = keys[row_index]
+                # An exclusive prefix bound can exclude rows beyond the
+                # seek position (and past the first block); the check is
+                # monotone, so it stops firing once the scan passes it.
+                if key_range.before_range(key):
+                    continue
+                if key_range.after_range(key):
+                    return
+                yield rows[row_index]
+
+    def _scan_desc(self, key_range: KeyRange) -> Iterator[Tuple[Any, ...]]:
+        schema = self.schema
+        start_block = self.last_block_for(key_range)
+        for index in range(start_block, -1, -1):
+            rows = self.read_block(index)
+            keys = [schema.key_of(row) for row in rows]
+            position = len(rows) - 1
+            for row_index in range(position, -1, -1):
+                key = keys[row_index]
+                if key_range.after_range(key):
+                    continue
+                if key_range.before_range(key):
+                    return
+                yield rows[row_index]

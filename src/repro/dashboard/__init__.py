@@ -1,0 +1,53 @@
+"""The Dashboard applications of paper Section 4: UsageGrabber,
+aggregators/rollups, EventsGrabber, and video motion search, over a
+simulated device fleet."""
+
+from .aggregator import (
+    Aggregator,
+    NetworkUsageRollup,
+    TagUsageRollup,
+    UniqueClientsRollup,
+    find_latest_ts,
+)
+from .configstore import ConfigStore
+from .failover import (
+    BackupError,
+    DashboardDns,
+    FailoverController,
+    WarmSpare,
+)
+from .devices import SimulatedDevice, decode_motion_word, encode_motion_word
+from .events import EventsGrabber
+from .motion import MotionGrabber, MotionSearch, PixelRect
+from .mtunnel import DeviceUnreachable, MTunnel
+from .shard import Shard, ShardTopology
+from .splitting import split_shard
+from .usage import UsageGrabber
+from . import views
+
+__all__ = [
+    "Aggregator",
+    "NetworkUsageRollup",
+    "TagUsageRollup",
+    "UniqueClientsRollup",
+    "find_latest_ts",
+    "ConfigStore",
+    "BackupError",
+    "DashboardDns",
+    "FailoverController",
+    "WarmSpare",
+    "SimulatedDevice",
+    "encode_motion_word",
+    "decode_motion_word",
+    "EventsGrabber",
+    "MotionGrabber",
+    "MotionSearch",
+    "PixelRect",
+    "DeviceUnreachable",
+    "MTunnel",
+    "Shard",
+    "ShardTopology",
+    "split_shard",
+    "UsageGrabber",
+    "views",
+]

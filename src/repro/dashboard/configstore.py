@@ -1,0 +1,138 @@
+"""The configuration store (the paper's PostgreSQL role).
+
+Dashboard keeps configuration - customers, networks, devices, and
+user-defined tags - in PostgreSQL with full ACID semantics (§2.3.4),
+while time-series data goes to LittleTable.  The reproduction only
+needs the config store as the *dimension-table* source for aggregator
+joins (§4.1.2: "an aggregator reads the tags for each access point from
+PostgreSQL and writes a new table of usage keyed on customer and tag").
+
+This is deliberately a small, synchronous, in-memory store; nothing in
+the paper's evaluation depends on its internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+
+class ConfigError(Exception):
+    """Unknown ids or duplicate registrations."""
+
+
+@dataclass
+class Customer:
+    customer_id: int
+    name: str
+
+
+@dataclass
+class Network:
+    network_id: int
+    customer_id: int
+    name: str
+
+
+@dataclass
+class Device:
+    device_id: int
+    network_id: int
+    name: str
+    kind: str  # "ap", "switch", "camera", ...
+    tags: Set[str] = field(default_factory=set)
+
+
+class ConfigStore:
+    """Customers -> networks -> devices, plus tags."""
+
+    def __init__(self) -> None:
+        self._customers: Dict[int, Customer] = {}
+        self._networks: Dict[int, Network] = {}
+        self._devices: Dict[int, Device] = {}
+        self._next_customer = 1
+        self._next_network = 1
+        self._next_device = 1
+
+    # ---------------------------------------------------------- creation
+
+    def add_customer(self, name: str) -> Customer:
+        customer = Customer(self._next_customer, name)
+        self._next_customer += 1
+        self._customers[customer.customer_id] = customer
+        return customer
+
+    def add_network(self, customer_id: int, name: str) -> Network:
+        if customer_id not in self._customers:
+            raise ConfigError(f"no such customer: {customer_id}")
+        network = Network(self._next_network, customer_id, name)
+        self._next_network += 1
+        self._networks[network.network_id] = network
+        return network
+
+    def add_device(self, network_id: int, name: str,
+                   kind: str = "ap") -> Device:
+        if network_id not in self._networks:
+            raise ConfigError(f"no such network: {network_id}")
+        device = Device(self._next_device, network_id, name, kind)
+        self._next_device += 1
+        self._devices[device.device_id] = device
+        return device
+
+    # ------------------------------------------------------------ lookup
+
+    def customer(self, customer_id: int) -> Customer:
+        try:
+            return self._customers[customer_id]
+        except KeyError:
+            raise ConfigError(f"no such customer: {customer_id}") from None
+
+    def network(self, network_id: int) -> Network:
+        try:
+            return self._networks[network_id]
+        except KeyError:
+            raise ConfigError(f"no such network: {network_id}") from None
+
+    def device(self, device_id: int) -> Device:
+        try:
+            return self._devices[device_id]
+        except KeyError:
+            raise ConfigError(f"no such device: {device_id}") from None
+
+    def customers(self) -> List[Customer]:
+        return [self._customers[k] for k in sorted(self._customers)]
+
+    def networks_of(self, customer_id: int) -> List[Network]:
+        self.customer(customer_id)
+        return [n for _id, n in sorted(self._networks.items())
+                if n.customer_id == customer_id]
+
+    def devices_in(self, network_id: int) -> List[Device]:
+        self.network(network_id)
+        return [d for _id, d in sorted(self._devices.items())
+                if d.network_id == network_id]
+
+    def all_devices(self, kind: Optional[str] = None) -> List[Device]:
+        devices = [self._devices[k] for k in sorted(self._devices)]
+        if kind is not None:
+            devices = [d for d in devices if d.kind == kind]
+        return devices
+
+    def customer_of_network(self, network_id: int) -> Customer:
+        return self.customer(self.network(network_id).customer_id)
+
+    # -------------------------------------------------------------- tags
+
+    def tag_device(self, device_id: int, tag: str) -> None:
+        """Users define tag meanings for themselves (§4.1.2)."""
+        self.device(device_id).tags.add(tag)
+
+    def untag_device(self, device_id: int, tag: str) -> None:
+        self.device(device_id).tags.discard(tag)
+
+    def devices_with_tag(self, tag: str) -> List[Device]:
+        return [d for _id, d in sorted(self._devices.items())
+                if tag in d.tags]
+
+    def tags_of(self, device_id: int) -> Set[str]:
+        return set(self.device(device_id).tags)

@@ -1,0 +1,231 @@
+"""Simulated Meraki devices.
+
+The paper's grabbers pull three kinds of time-series data from devices
+over mtunnel (§4): cumulative byte counters (UsageGrabber), event logs
+with monotonically increasing ids (EventsGrabber), and motion events
+from security cameras (MotionGrabber).  This module simulates devices
+producing all three, driven by the virtual clock and a deterministic
+PRNG so every benchmark and test is reproducible.
+
+A crucial property the applications rely on (§2.3.4, §4.1): the device
+*is* the recovery store.  Counters are cumulative, the event log is
+retained on the device (bounded), and cameras keep video in flash, so
+anything LittleTable loses in a crash can be re-read from the device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..util.clock import MICROS_PER_HOUR, MICROS_PER_MINUTE, MICROS_PER_SECOND
+from ..util.xorshift import Xorshift64Star
+
+# Motion geometry (§4.3): a 960x540 frame is 60x34 macroblocks of
+# 16x16 px; coarse cells are 6x4 macroblocks, so the coarse grid is
+# 10 columns x 9 rows (the last row is partial).  A nibble each
+# addresses the coarse col/row; 24 bits flag the macroblocks.
+FRAME_WIDTH_PX = 960
+FRAME_HEIGHT_PX = 540
+MACROBLOCK_PX = 16
+CELL_COLS_MB = 6
+CELL_ROWS_MB = 4
+GRID_COLS = 10  # 60 / 6
+GRID_ROWS = 9   # ceil(34 / 4)
+
+
+def encode_motion_word(cell_col: int, cell_row: int, block_bits: int) -> int:
+    """Pack one motion event into a 32-bit word (§4.3)."""
+    if not 0 <= cell_col < 16 or not 0 <= cell_row < 16:
+        raise ValueError("coarse cell coordinates must fit in a nibble")
+    if not 0 <= block_bits < (1 << 24):
+        raise ValueError("macroblock bits must fit in 24 bits")
+    return (cell_col << 28) | (cell_row << 24) | block_bits
+
+
+def decode_motion_word(word: int) -> Tuple[int, int, int]:
+    """Unpack a motion word into (cell_col, cell_row, block_bits)."""
+    return (word >> 28) & 0xF, (word >> 24) & 0xF, word & 0xFFFFFF
+
+
+@dataclass
+class DeviceEvent:
+    """One log entry: DHCP lease, (dis)association, 802.1X auth ..."""
+
+    event_id: int
+    ts: int
+    kind: str
+    detail: str
+
+
+@dataclass
+class MotionEvent:
+    """One coalesced motion event from a camera (§4.3)."""
+
+    ts: int
+    duration_micros: int
+    word: int
+
+
+_EVENT_KINDS = ("dhcp_lease", "association", "disassociation", "8021x_auth")
+
+
+class SimulatedDevice:
+    """One device: counters, event log, optionally a camera.
+
+    ``advance_to(now)`` simulates everything the device did between the
+    previous time and ``now``; grabbers then read the results.
+    """
+
+    def __init__(self, device_id: int, network_id: int, kind: str = "ap",
+                 seed: int = 1, start: int = 0,
+                 mean_rate_bps: float = 50_000.0,
+                 events_per_hour: float = 12.0,
+                 motion_per_hour: float = 30.0,
+                 max_log_entries: int = 10_000,
+                 client_count: int = 8):
+        self.device_id = device_id
+        self.network_id = network_id
+        self.kind = kind
+        self._rng = Xorshift64Star(seed=seed ^ (device_id * 0x9E3779B9) ^ 1)
+        self._now = start
+        self.mean_rate_bps = mean_rate_bps
+        self.events_per_hour = events_per_hour
+        self.motion_per_hour = motion_per_hour
+        self.max_log_entries = max_log_entries
+        # Cumulative 64-bit transfer counter (never resets).
+        self.byte_counter = 0
+        # Per-client cumulative counters, keyed by MAC string.
+        self.client_counters = {}
+        self._client_macs = [
+            self._random_mac() for _ in range(client_count)
+        ]
+        for mac in self._client_macs:
+            self.client_counters[mac] = 0
+        # Event log with monotonically increasing ids (§4.2).
+        self._next_event_id = 1
+        self._events: List[DeviceEvent] = []
+        # Camera state.
+        self._motion: List[MotionEvent] = []
+
+    # -------------------------------------------------------- simulation
+
+    def _random_mac(self) -> str:
+        return ":".join(
+            f"{self._rng.next_below(256):02x}" for _ in range(6)
+        )
+
+    def advance_to(self, now: int) -> None:
+        """Simulate device activity up to ``now``."""
+        if now < self._now:
+            raise ValueError("device time cannot move backwards")
+        elapsed = now - self._now
+        if elapsed == 0:
+            return
+        self._advance_counters(elapsed, now)
+        self._advance_events(elapsed, now)
+        if self.kind == "camera":
+            self._advance_motion(elapsed, now)
+        self._now = now
+
+    def _advance_counters(self, elapsed: int, now: int) -> None:
+        # A diurnal-ish rate: the mean scaled by 0.5-1.5 pseudorandomly.
+        scale = 0.5 + self._rng.next_float()
+        seconds = elapsed / MICROS_PER_SECOND
+        total = int(self.mean_rate_bps * scale * seconds)
+        self.byte_counter += total
+        # Spread across clients unevenly.
+        remaining = total
+        for mac in self._client_macs[:-1]:
+            share = remaining // 2
+            self.client_counters[mac] += share
+            remaining -= share
+        self.client_counters[self._client_macs[-1]] += remaining
+
+    def _advance_events(self, elapsed: int, now: int) -> None:
+        expected = self.events_per_hour * (elapsed / MICROS_PER_HOUR)
+        count = int(expected)
+        if self._rng.next_float() < (expected - count):
+            count += 1
+        for index in range(count):
+            ts = self._now + ((index + 1) * elapsed) // (count + 1)
+            kind = _EVENT_KINDS[self._rng.next_below(len(_EVENT_KINDS))]
+            mac = self._client_macs[
+                self._rng.next_below(len(self._client_macs))]
+            event = DeviceEvent(self._next_event_id, ts, kind,
+                                f"client={mac}")
+            self._next_event_id += 1
+            self._events.append(event)
+        overflow = len(self._events) - self.max_log_entries
+        if overflow > 0:
+            del self._events[:overflow]
+
+    def _advance_motion(self, elapsed: int, now: int) -> None:
+        expected = self.motion_per_hour * (elapsed / MICROS_PER_HOUR)
+        count = int(expected)
+        if self._rng.next_float() < (expected - count):
+            count += 1
+        for index in range(count):
+            ts = self._now + ((index + 1) * elapsed) // (count + 1)
+            cell_col = self._rng.next_below(GRID_COLS)
+            cell_row = self._rng.next_below(GRID_ROWS)
+            block_bits = self._rng.next_u32() & 0xFFFFFF
+            if block_bits == 0:
+                block_bits = 1
+            duration = (1 + self._rng.next_below(30)) * MICROS_PER_SECOND
+            # Coalesce with the previous event if it is the same cell
+            # in (near-)successive frames (§4.3).
+            if (self._motion
+                    and self._motion[-1].ts + self._motion[-1].duration_micros
+                    >= ts
+                    and decode_motion_word(self._motion[-1].word)[:2]
+                    == (cell_col, cell_row)):
+                previous = self._motion[-1]
+                merged_bits = (previous.word | block_bits) & 0xFFFFFF
+                self._motion[-1] = MotionEvent(
+                    previous.ts,
+                    ts + duration - previous.ts,
+                    encode_motion_word(cell_col, cell_row, merged_bits),
+                )
+                continue
+            self._motion.append(MotionEvent(
+                ts, duration, encode_motion_word(cell_col, cell_row,
+                                                 block_bits)))
+        overflow = len(self._motion) - self.max_log_entries
+        if overflow > 0:
+            del self._motion[:overflow]
+
+    # ------------------------------------------------- grabber interface
+
+    def read_counter(self) -> Tuple[int, int]:
+        """(device_time, cumulative_bytes) - what UsageGrabber fetches."""
+        return self._now, self.byte_counter
+
+    def read_client_counters(self) -> Tuple[int, dict]:
+        """(device_time, {mac: cumulative_bytes}) for per-client usage."""
+        return self._now, dict(self.client_counters)
+
+    def events_after(self, last_event_id: Optional[int]) -> List[DeviceEvent]:
+        """Events newer than ``last_event_id`` (§4.2).
+
+        With ``None``, the device replies starting from the oldest
+        event it has stored.
+        """
+        if last_event_id is None:
+            return list(self._events)
+        return [e for e in self._events if e.event_id > last_event_id]
+
+    def oldest_event(self) -> Optional[DeviceEvent]:
+        """The oldest retained event (bounds recovery searches, §4.2)."""
+        return self._events[0] if self._events else None
+
+    def latest_event_id(self) -> int:
+        return self._next_event_id - 1
+
+    def motion_after(self, ts: Optional[int]) -> List[MotionEvent]:
+        """Motion events that started after ``ts`` (cameras only)."""
+        if self.kind != "camera":
+            return []
+        if ts is None:
+            return list(self._motion)
+        return [m for m in self._motion if m.ts > ts]

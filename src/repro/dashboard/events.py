@@ -1,0 +1,169 @@
+"""EventsGrabber (paper §4.2).
+
+Devices assign each event a unique id from a monotonically increasing
+counter.  EventsGrabber caches the most recent id fetched per device,
+supplies it on every fetch, and the device replies with anything newer.
+Rows go to LittleTable keyed (network, device, ts) with the event id
+and contents as the value.
+
+Recovery after a restart (§4.2):
+
+1. query a fixed recent window and cache the latest event id found per
+   device;
+2. a device with no recent row is fetched with *no* previous id; the
+   device replies starting from the oldest event it has stored, whose
+   timestamp then bounds how far back to search LittleTable with a
+   latest-row query, so already-stored events are not re-inserted.
+
+The optional *sentinel* mitigation (§4.2) periodically inserts a row
+carrying the latest event id so that recovery never needs to look
+further back than one sentinel period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.errors import DuplicateKeyError
+from ..core.row import KeyRange, Query, TimeRange
+from ..core.table import Table
+from ..util.clock import Clock, MICROS_PER_HOUR
+from .configstore import ConfigStore
+from .mtunnel import DeviceUnreachable, MTunnel
+
+SENTINEL_KIND = "sentinel"
+
+
+@dataclass
+class EventsPollStats:
+    devices_polled: int = 0
+    devices_unreachable: int = 0
+    events_inserted: int = 0
+    sentinels_inserted: int = 0
+    recoveries: int = 0
+
+
+class EventsGrabber:
+    """The device event-log grabber."""
+
+    def __init__(self, table: Table, mtunnel: MTunnel, config: ConfigStore,
+                 clock: Clock,
+                 recovery_window_micros: int = MICROS_PER_HOUR,
+                 sentinel_period_micros: Optional[int] = None):
+        self.table = table
+        self.mtunnel = mtunnel
+        self.config = config
+        self.clock = clock
+        self.recovery_window_micros = recovery_window_micros
+        self.sentinel_period_micros = sentinel_period_micros
+        # device_id -> most recent event id fetched.
+        self._last_event_id: Dict[int, int] = {}
+        # device_id -> last ts inserted (keeps per-device ts unique).
+        self._last_ts: Dict[int, int] = {}
+        # device_id -> ts of the last sentinel written.
+        self._last_sentinel: Dict[int, int] = {}
+
+    def last_event_id(self, device_id: int) -> Optional[int]:
+        return self._last_event_id.get(device_id)
+
+    # -------------------------------------------------------------- poll
+
+    def poll(self) -> EventsPollStats:
+        stats = EventsPollStats()
+        for device_id in self.mtunnel.device_ids():
+            stats.devices_polled += 1
+            try:
+                device = self.mtunnel.reach(device_id)
+            except DeviceUnreachable:
+                stats.devices_unreachable += 1
+                continue
+            self._handle_device(device, stats)
+        return stats
+
+    def _handle_device(self, device, stats: EventsPollStats) -> None:
+        known = self._last_event_id.get(device.device_id)
+        if known is None:
+            known = self._recover_device(device, stats)
+        events = device.events_after(known)
+        rows = []
+        for event in events:
+            ts = max(event.ts, self._last_ts.get(device.device_id, -1) + 1)
+            self._last_ts[device.device_id] = ts
+            rows.append((device.network_id, device.device_id, ts,
+                         event.event_id, event.kind, event.detail))
+            self._last_event_id[device.device_id] = event.event_id
+        if rows:
+            self.table.insert_tuples(rows)
+            stats.events_inserted += len(rows)
+        if not events:
+            self._last_event_id.setdefault(device.device_id,
+                                           device.latest_event_id())
+        self._maybe_sentinel(device, stats)
+
+    def _maybe_sentinel(self, device, stats: EventsPollStats) -> None:
+        if self.sentinel_period_micros is None:
+            return
+        latest_id = self._last_event_id.get(device.device_id)
+        if latest_id is None or latest_id == 0:
+            return
+        now = self.clock.now()
+        last = self._last_sentinel.get(device.device_id)
+        if last is not None and now - last < self.sentinel_period_micros:
+            return
+        ts = max(now, self._last_ts.get(device.device_id, -1) + 1)
+        try:
+            self.table.insert_tuples([
+                (device.network_id, device.device_id, ts, latest_id,
+                 SENTINEL_KIND, "")
+            ])
+        except DuplicateKeyError:
+            return
+        self._last_ts[device.device_id] = ts
+        self._last_sentinel[device.device_id] = now
+        stats.sentinels_inserted += 1
+
+    # ---------------------------------------------------------- recovery
+
+    def rebuild_cache(self, table: Optional[Table] = None) -> int:
+        """Phase 1 of recovery: scan a fixed recent window (§4.2)."""
+        if table is not None:
+            self.table = table
+        self._last_event_id.clear()
+        self._last_ts.clear()
+        now = self.clock.now()
+        window = TimeRange.between(now - self.recovery_window_micros, None)
+        found: Dict[int, int] = {}
+        for row in self.table.scan(Query(KeyRange.all(), window)):
+            _network, device_id, ts, event_id, _kind, _detail = row
+            if event_id > found.get(device_id, -1):
+                found[device_id] = event_id
+            last = self._last_ts.get(device_id, -1)
+            if ts > last:
+                self._last_ts[device_id] = ts
+        self._last_event_id.update(found)
+        return len(found)
+
+    def _recover_device(self, device, stats: EventsPollStats
+                        ) -> Optional[int]:
+        """Phase 2: bound the search using the device's oldest event."""
+        stats.recoveries += 1
+        oldest = device.oldest_event()
+        if oldest is None:
+            return None
+        # Search LittleTable no further back than the oldest event the
+        # device still has; anything older is irretrievable anyway.
+        lookback = self.clock.now() - oldest.ts
+        if lookback <= 0:
+            return None
+        latest_row = self.table.latest(
+            (device.network_id, device.device_id),
+            max_lookback_micros=lookback,
+        )
+        if latest_row is None:
+            return None
+        _network, _device, ts, event_id, _kind, _detail = latest_row
+        self._last_event_id[device.device_id] = event_id
+        if ts > self._last_ts.get(device.device_id, -1):
+            self._last_ts[device.device_id] = ts
+        return event_id

@@ -1,0 +1,185 @@
+"""Fault tolerance and load balancing (paper §2.2).
+
+"To protect against data loss, every shard has a warm spare ...
+Dashboard uses PostgreSQL's built-in continuous archiving ... [and,
+for LittleTable,] every 10 minutes Dashboard runs rsync from shard to
+spare repeatedly until a sync completes without copying any files"
+(§3.5).  "Each spare also takes hourly backups that it stores locally.
+Finally ... every night the spare signs and encrypts a backup of each
+database and stores it in Amazon S3."  On failure, "an automated
+failover sequence ... brings the spare out of continuous archival mode
+and redirects traffic to it by updating DNS records.  Once initiated,
+this process takes only a minute or two."
+
+This module reproduces that machinery over the simulated substrate:
+rsync-style continuous archival, local hourly snapshots, offsite
+signed backups (HMAC stands in for the signature, zlib for the
+encryption envelope - the point is integrity checking, not secrecy),
+and a DNS-redirect failover that promotes the spare.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.database import LittleTable
+from ..disk.storage import MemoryStorage, Storage
+from ..disk.vfs import SimulatedDisk
+from ..util.clock import Clock, micros_from_seconds
+
+FAILOVER_SECONDS = 90  # "only a minute or two, including the DNS TTL"
+
+
+class BackupError(Exception):
+    """A backup failed verification."""
+
+
+@dataclass
+class Snapshot:
+    """One point-in-time copy of every file on the spare."""
+
+    taken_at: int
+    files: Dict[str, bytes]
+
+
+class WarmSpare:
+    """The §2.2 spare: continuously archived, hourly snapshots,
+    nightly signed offsite backups."""
+
+    def __init__(self, clock: Clock, signing_key: bytes = b"meraki-spare",
+                 max_local_snapshots: int = 24):
+        self.clock = clock
+        self.storage: Storage = MemoryStorage()
+        self.signing_key = signing_key
+        self.max_local_snapshots = max_local_snapshots
+        self.snapshots: List[Snapshot] = []
+        self.last_sync_at: Optional[int] = None
+        self.syncs = 0
+
+    # ------------------------------------------------ continuous archival
+
+    def sync_from(self, primary: LittleTable) -> int:
+        """One 10-minute archival pass: rsync until nothing copies.
+
+        Returns the number of files copied.  Works because "an rsync
+        that copies no files is quick relative to the rate of new
+        tablets being written to disk" (§3.5).
+        """
+        copied = primary.archive_to(self.storage)
+        self.last_sync_at = self.clock.now()
+        self.syncs += 1
+        return copied
+
+    # ----------------------------------------------------------- backups
+
+    def take_local_snapshot(self) -> Snapshot:
+        """The hourly local backup, for recovery from "programming or
+        operational errors" (restoring state from before a bad write).
+        """
+        files = {name: self.storage.read_all(name)
+                 for name in self.storage.list()}
+        snapshot = Snapshot(taken_at=self.clock.now(), files=files)
+        self.snapshots.append(snapshot)
+        if len(self.snapshots) > self.max_local_snapshots:
+            self.snapshots.pop(0)
+        return snapshot
+
+    def restore_snapshot(self, snapshot: Snapshot) -> None:
+        """Roll the spare's storage back to a snapshot."""
+        for name in self.storage.list():
+            self.storage.delete(name)
+        for name, data in snapshot.files.items():
+            self.storage.write_file(name, data)
+
+    def offsite_backup(self) -> bytes:
+        """The nightly signed, encrypted backup blob for S3.
+
+        Layout: 32-byte HMAC-SHA256 signature, then the zlib-wrapped
+        JSON manifest of all files (hex-encoded).
+        """
+        manifest = {name: self.storage.read_all(name).hex()
+                    for name in self.storage.list()}
+        body = zlib.compress(
+            json.dumps({"taken_at": self.clock.now(),
+                        "files": manifest}).encode("utf-8"))
+        signature = hmac.new(self.signing_key, body,
+                             hashlib.sha256).digest()
+        return signature + body
+
+    def restore_offsite(self, blob: bytes) -> int:
+        """Verify and restore an offsite backup.  Returns file count."""
+        if len(blob) < 32:
+            raise BackupError("backup blob too short")
+        signature, body = blob[:32], blob[32:]
+        expected = hmac.new(self.signing_key, body,
+                            hashlib.sha256).digest()
+        if not hmac.compare_digest(signature, expected):
+            raise BackupError("backup signature verification failed")
+        payload = json.loads(zlib.decompress(body).decode("utf-8"))
+        for name in self.storage.list():
+            self.storage.delete(name)
+        for name, data_hex in payload["files"].items():
+            self.storage.write_file(name, bytes.fromhex(data_hex))
+        return len(payload["files"])
+
+
+@dataclass
+class DashboardDns:
+    """The customer/device -> shard mapping (§2.1): dashboard.meraki.com
+    redirects each customer to the host currently serving their shard."""
+
+    records: Dict[str, str] = field(default_factory=dict)
+
+    def point(self, shard_name: str, host: str) -> None:
+        self.records[shard_name] = host
+
+    def resolve(self, shard_name: str) -> str:
+        return self.records[shard_name]
+
+
+class FailoverController:
+    """Runs the §2.2 automated failover sequence."""
+
+    def __init__(self, shard_name: str, primary: LittleTable,
+                 spare: WarmSpare, dns: DashboardDns,
+                 clock: Clock):
+        self.shard_name = shard_name
+        self.primary = primary
+        self.spare = spare
+        self.dns = dns
+        self.clock = clock
+        self.failed_over = False
+        dns.point(shard_name, "primary")
+
+    def run_archival_tick(self) -> int:
+        """The every-10-minutes sync (call from the shard's cron)."""
+        if self.failed_over:
+            return 0
+        return self.spare.sync_from(self.primary)
+
+    def initiate_failover(self) -> LittleTable:
+        """Promote the spare: stop archival, repoint DNS, and open a
+        LittleTable over the spare's storage.
+
+        Customers "cannot view or reconfigure their networks" during
+        the window; the returned database serves from then on.
+        """
+        if self.failed_over:
+            raise RuntimeError("failover already completed")
+        self.failed_over = True
+        # The window covers automation plus the DNS cache TTL.
+        if hasattr(self.clock, "advance"):
+            self.clock.advance(micros_from_seconds(FAILOVER_SECONDS))
+        self.dns.point(self.shard_name, "spare")
+        # The cold tier (§6) is shared archive infrastructure (e.g.
+        # S3), not per-shard hardware: the promoted database keeps
+        # using the same one.
+        return LittleTable(disk=SimulatedDisk(self.spare.storage),
+                           config=self.primary.config,
+                           clock=self.clock,
+                           cold_disk=self.primary.cold_disk)

@@ -1,0 +1,84 @@
+"""mtunnel: the device <-> shard transport (§2.1), with failures.
+
+"Meraki's devices communicate with their hosting shard through a
+proprietary virtual private network, called mtunnel."  What the
+applications (§4) care about is not the tunnel itself but its failure
+mode: devices become unreachable for minutes or hours because of
+"problems with customers' uplinks or the broader Internet", and every
+grabber must cope - showing gaps after long unavailability, resuming
+counters after short ones.
+
+``MTunnel`` fronts a set of :class:`SimulatedDevice` objects and
+injects unavailability windows, either scripted or random.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..util.clock import Clock
+from ..util.xorshift import Xorshift64Star
+from .devices import SimulatedDevice
+
+
+class DeviceUnreachable(Exception):
+    """The device did not respond (uplink or Internet trouble)."""
+
+
+class MTunnel:
+    """Routes grabber fetches to devices, with injected outages."""
+
+    def __init__(self, clock: Clock, seed: int = 7):
+        self.clock = clock
+        self._devices: Dict[int, SimulatedDevice] = {}
+        self._outages: Dict[int, List[Tuple[int, int]]] = {}
+        self._rng = Xorshift64Star(seed=seed)
+        self.fetches = 0
+        self.failures = 0
+
+    # ------------------------------------------------------ registration
+
+    def register(self, device: SimulatedDevice) -> None:
+        self._devices[device.device_id] = device
+
+    def device_ids(self) -> List[int]:
+        return sorted(self._devices)
+
+    def schedule_outage(self, device_id: int, start: int, end: int) -> None:
+        """Make a device unreachable during [start, end)."""
+        if end <= start:
+            raise ValueError("outage must have positive duration")
+        self._outages.setdefault(device_id, []).append((start, end))
+
+    def _unreachable(self, device_id: int, now: int) -> bool:
+        return any(start <= now < end
+                   for start, end in self._outages.get(device_id, ()))
+
+    # ------------------------------------------------------------ access
+
+    def reach(self, device_id: int) -> SimulatedDevice:
+        """Contact a device, advancing its simulation to now.
+
+        Raises :class:`DeviceUnreachable` during an outage window.  The
+        device keeps accumulating data during outages (it is alive,
+        just unreachable), which is what makes re-reading after
+        recovery possible.
+        """
+        self.fetches += 1
+        try:
+            device = self._devices[device_id]
+        except KeyError:
+            raise DeviceUnreachable(f"unknown device {device_id}") from None
+        now = self.clock.now()
+        device.advance_to(now)
+        if self._unreachable(device_id, now):
+            self.failures += 1
+            raise DeviceUnreachable(f"device {device_id} offline")
+        return device
+
+    def try_reach(self, device_id: int) -> Optional[SimulatedDevice]:
+        """Like :meth:`reach` but returns None instead of raising."""
+        try:
+            return self.reach(device_id)
+        except DeviceUnreachable:
+            return None

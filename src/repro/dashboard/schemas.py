@@ -1,0 +1,125 @@
+"""Standard table schemas used by the Dashboard applications (§4).
+
+Each schema's primary key is chosen for the features built on it, per
+the paper's central advice: key (network, device, ts) makes both
+whole-network and single-device reads contiguous (Figure 1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.database import LittleTable
+from ..core.schema import Column, ColumnType, Schema
+from ..core.table import Table
+
+USAGE_TABLE = "usage"
+CLIENT_USAGE_TABLE = "client_usage"
+EVENTS_TABLE = "events"
+MOTION_TABLE = "motion"
+NETWORK_ROLLUP_TABLE = "usage_by_network_10m"
+TAG_ROLLUP_TABLE = "usage_by_tag_10m"
+UNIQUE_CLIENTS_TABLE = "unique_clients_by_network_1h"
+
+
+def usage_schema() -> Schema:
+    """Per-device transfer-rate samples (§4.1.1): key (N, D, t2),
+    value (t1, c2, r)."""
+    return Schema(
+        [
+            Column("network", ColumnType.INT64),
+            Column("device", ColumnType.INT64),
+            Column("ts", ColumnType.TIMESTAMP),
+            Column("prev_ts", ColumnType.TIMESTAMP),
+            Column("counter", ColumnType.INT64),
+            Column("rate", ColumnType.DOUBLE),
+        ],
+        key=["network", "device", "ts"],
+    )
+
+
+def client_usage_schema() -> Schema:
+    """Per-client transfer deltas, for top-client views and HLL."""
+    return Schema(
+        [
+            Column("network", ColumnType.INT64),
+            Column("client", ColumnType.STRING),
+            Column("ts", ColumnType.TIMESTAMP),
+            Column("bytes", ColumnType.INT64),
+        ],
+        key=["network", "client", "ts"],
+    )
+
+
+def events_schema() -> Schema:
+    """Device event logs (§4.2).  Sentinel rows use kind='sentinel'."""
+    return Schema(
+        [
+            Column("network", ColumnType.INT64),
+            Column("device", ColumnType.INT64),
+            Column("ts", ColumnType.TIMESTAMP),
+            Column("event_id", ColumnType.INT64),
+            Column("kind", ColumnType.STRING),
+            Column("detail", ColumnType.STRING),
+        ],
+        key=["network", "device", "ts"],
+    )
+
+
+def motion_schema() -> Schema:
+    """Camera motion events (§4.3), keyed on the camera identifier."""
+    return Schema(
+        [
+            Column("camera", ColumnType.INT64),
+            Column("ts", ColumnType.TIMESTAMP),
+            Column("duration", ColumnType.INT64),
+            Column("word", ColumnType.INT64),
+        ],
+        key=["camera", "ts"],
+    )
+
+
+def network_rollup_schema() -> Schema:
+    """10-minute per-network byte totals (§4.1.2)."""
+    return Schema(
+        [
+            Column("network", ColumnType.INT64),
+            Column("ts", ColumnType.TIMESTAMP),
+            Column("bytes", ColumnType.INT64),
+            Column("samples", ColumnType.INT64),
+        ],
+        key=["network", "ts"],
+    )
+
+
+def tag_rollup_schema() -> Schema:
+    """10-minute per-(customer, tag) byte totals (§4.1.2)."""
+    return Schema(
+        [
+            Column("customer", ColumnType.INT64),
+            Column("tag", ColumnType.STRING),
+            Column("ts", ColumnType.TIMESTAMP),
+            Column("bytes", ColumnType.INT64),
+        ],
+        key=["customer", "tag", "ts"],
+    )
+
+
+def unique_clients_schema() -> Schema:
+    """Hourly per-network HyperLogLog sketches of distinct clients."""
+    return Schema(
+        [
+            Column("network", ColumnType.INT64),
+            Column("ts", ColumnType.TIMESTAMP),
+            Column("sketch", ColumnType.BLOB),
+        ],
+        key=["network", "ts"],
+    )
+
+
+def ensure_table(db: LittleTable, name: str, schema: Schema,
+                 ttl_micros: Optional[int] = None) -> Table:
+    """Create the table if needed; return it."""
+    if db.has_table(name):
+        return db.table(name)
+    return db.create_table(name, schema, ttl_micros=ttl_micros)

@@ -1,0 +1,156 @@
+"""Shard splitting (paper §2.2, load balancing).
+
+"To keep Dashboard responsive, the team splits overloaded shards by
+mapping roughly half of their customers to each of two new child
+shards.  To maintain high resource utilization, the operations team
+assigns new customers to underloaded shards during customer sign-up."
+
+A split partitions the parent's customers across two children and
+migrates each customer's slice of every LittleTable table: usage rows
+follow their network, motion rows follow their camera, rollups follow
+their network/customer keys.  This is exactly the operation the
+paper's key choices make cheap - each customer's data is contiguous
+in the keyspace, so migration is a handful of prefix scans rather
+than a full-table shuffle.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.row import KeyRange, Query
+from ..core.table import Table
+from . import schemas
+from .shard import Shard, ShardTopology
+
+
+def _network_owner(shard: Shard) -> Dict[int, int]:
+    """network_id -> customer_id, from the config store."""
+    return {
+        network.network_id: network.customer_id
+        for customer in shard.config_store.customers()
+        for network in shard.config_store.networks_of(customer.customer_id)
+    }
+
+
+def _device_owner(shard: Shard) -> Dict[int, int]:
+    """device_id -> customer_id."""
+    owners = {}
+    network_owner = _network_owner(shard)
+    for device in shard.config_store.all_devices():
+        owners[device.device_id] = network_owner[device.network_id]
+    return owners
+
+
+def _row_customer_resolvers(shard: Shard) -> Dict[str, Callable]:
+    """Per-table: map a row to the customer that owns it."""
+    networks = _network_owner(shard)
+    devices = _device_owner(shard)
+    return {
+        schemas.USAGE_TABLE: lambda row: networks.get(row[0]),
+        schemas.CLIENT_USAGE_TABLE: lambda row: networks.get(row[0]),
+        schemas.EVENTS_TABLE: lambda row: networks.get(row[0]),
+        schemas.MOTION_TABLE: lambda row: devices.get(row[0]),
+        schemas.NETWORK_ROLLUP_TABLE: lambda row: networks.get(row[0]),
+        schemas.TAG_ROLLUP_TABLE: lambda row: row[0],  # keyed by customer
+        schemas.UNIQUE_CLIENTS_TABLE: lambda row: networks.get(row[0]),
+    }
+
+
+def split_shard(parent: Shard) -> Tuple[Shard, Shard, Dict[int, int]]:
+    """Split ``parent`` into two child shards.
+
+    Customers are partitioned half-and-half (by id order, a stand-in
+    for the operations team's judgement); each child receives its
+    customers' config and time-series rows.  Returns
+    ``(child_a, child_b, assignment)`` where assignment maps
+    customer_id -> 0 or 1.
+
+    The parent's in-memory rows are flushed first so the children see
+    everything; the parent should be decommissioned afterwards.
+    """
+    customers = parent.config_store.customers()
+    if len(customers) < 2:
+        raise ValueError("need at least two customers to split a shard")
+    parent.db.flush_all()
+    assignment = {
+        customer.customer_id: (0 if index < (len(customers) + 1) // 2 else 1)
+        for index, customer in enumerate(customers)
+    }
+    children = (
+        _empty_child(parent, seed_offset=1),
+        _empty_child(parent, seed_offset=2),
+    )
+    _copy_config(parent, children, assignment)
+    _copy_rows(parent, children, assignment)
+    return children[0], children[1], assignment
+
+
+def _empty_child(parent: Shard, seed_offset: int) -> Shard:
+    child = Shard(
+        ShardTopology(customers=0, networks_per_customer=0,
+                      aps_per_network=0, cameras_per_network=0,
+                      seed=parent.topology.seed + seed_offset),
+        clock=parent.clock,
+    )
+    return child
+
+
+def _copy_config(parent: Shard, children, assignment) -> None:
+    """Recreate each customer's config tree on its child, preserving
+    ids (devices keep their identities across the split, as they must:
+    their keys embed the ids)."""
+    for customer in parent.config_store.customers():
+        child = children[assignment[customer.customer_id]]
+        store = child.config_store
+        # Preserve ids by writing directly into the store's maps; the
+        # public add_* API would renumber.
+        store._customers[customer.customer_id] = customer
+        store._next_customer = max(store._next_customer,
+                                   customer.customer_id + 1)
+        for network in parent.config_store.networks_of(
+                customer.customer_id):
+            store._networks[network.network_id] = network
+            store._next_network = max(store._next_network,
+                                      network.network_id + 1)
+            for device in parent.config_store.devices_in(
+                    network.network_id):
+                store._devices[device.device_id] = device
+                store._next_device = max(store._next_device,
+                                         device.device_id + 1)
+                simulated = parent.mtunnel._devices.get(device.device_id)
+                if simulated is not None:
+                    child.mtunnel.register(simulated)
+
+
+def _copy_rows(parent: Shard, children, assignment) -> Dict[str, int]:
+    """Migrate every table's rows to the owning child."""
+    resolvers = _row_customer_resolvers(parent)
+    moved: Dict[str, int] = {}
+    for name in parent.db.table_names():
+        resolve = resolvers.get(name)
+        if resolve is None:
+            continue
+        source = parent.db.table(name)
+        destinations: List[Table] = [
+            child.db.table(name) for child in children
+        ]
+        batches: List[List] = [[], []]
+        count = 0
+        for row in source.scan(Query()):
+            customer = resolve(row)
+            if customer is None or customer not in assignment:
+                continue
+            batch = batches[assignment[customer]]
+            batch.append(row)
+            count += 1
+            if len(batch) >= 512:
+                destinations[assignment[customer]].insert_tuples(batch)
+                batch.clear()
+        for index, batch in enumerate(batches):
+            if batch:
+                destinations[index].insert_tuples(batch)
+        moved[name] = count
+    for child in children:
+        child.db.flush_all()
+    return moved

@@ -1,0 +1,23 @@
+"""Simulated spinning-disk substrate.
+
+See DESIGN.md section 2: the paper evaluates on a single 7,200 RPM
+spindle; this package provides the storage backends plus a first-order
+disk cost model so benchmarks can report paper-comparable disk time.
+"""
+
+from .model import DiskModel, DiskParameters, IoStats, KIB, MIB
+from .storage import FileStorage, MemoryStorage, Storage, StorageError
+from .vfs import SimulatedDisk
+
+__all__ = [
+    "DiskModel",
+    "DiskParameters",
+    "IoStats",
+    "KIB",
+    "MIB",
+    "FileStorage",
+    "MemoryStorage",
+    "Storage",
+    "StorageError",
+    "SimulatedDisk",
+]

@@ -1,0 +1,83 @@
+"""The simulated disk: a storage backend plus the disk cost model.
+
+``SimulatedDisk`` is what the engine talks to.  Every operation both
+performs the real byte movement against the backend *and* charges
+modeled time to the :class:`~repro.disk.model.DiskModel`.  Benchmarks
+read the model's elapsed time and stats to report paper-comparable
+numbers; tests mostly ignore the model and use the real bytes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .model import DiskModel, DiskParameters, IoStats
+from .storage import MemoryStorage, Storage
+
+
+class SimulatedDisk:
+    """A file namespace with spinning-disk time accounting."""
+
+    def __init__(self, storage: Optional[Storage] = None,
+                 params: Optional[DiskParameters] = None):
+        self.storage = storage if storage is not None else MemoryStorage()
+        self.model = DiskModel(params)
+
+    # Convenience passthroughs -----------------------------------------
+
+    @property
+    def stats(self) -> IoStats:
+        return self.model.stats
+
+    @property
+    def elapsed_s(self) -> float:
+        """Total modeled disk time consumed so far."""
+        return self.model.elapsed_s
+
+    def drop_caches(self) -> None:
+        """Clear the modeled page cache (as the paper does between runs)."""
+        self.model.drop_caches()
+
+    # File operations ---------------------------------------------------
+
+    def write_file(self, name: str, data: bytes) -> float:
+        """Write a whole new file; returns modeled seconds."""
+        self.storage.write_file(name, data)
+        self.model.allocate(name, len(data))
+        return self.model.charge_write(name, len(data))
+
+    def open(self, name: str) -> None:
+        """Charge the inode-read seek for first open of a file.
+
+        The engine calls this before reading a tablet's footer; it is
+        how the paper's "three seeks to read a tablet's footer" (inode,
+        trailer, footer) arises in the model.
+        """
+        self.model.charge_open(name)
+
+    def read(self, name: str, offset: int, length: int) -> bytes:
+        """Read bytes, charging modeled time for uncached chunks."""
+        data = self.storage.read(name, offset, length)
+        self.model.charge_read(name, offset, len(data))
+        return data
+
+    def read_all(self, name: str) -> bytes:
+        return self.read(name, 0, self.size(name))
+
+    def size(self, name: str) -> int:
+        return self.storage.size(name)
+
+    def exists(self, name: str) -> bool:
+        return self.storage.exists(name)
+
+    def delete(self, name: str) -> None:
+        self.storage.delete(name)
+        self.model.release(name)
+
+    def rename(self, old: str, new: str) -> None:
+        """Atomic rename (free in the model: metadata only)."""
+        self.storage.rename(old, new)
+        self.model.rename(old, new)
+
+    def list(self, prefix: str = "") -> List[str]:
+        return self.storage.list(prefix)

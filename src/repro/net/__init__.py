@@ -1,0 +1,9 @@
+"""TCP client/server protocol (the paper's adaptor <-> server link)."""
+
+from .client import LittleTableClient
+from .protocol import ConnectionLost, ProtocolError
+from .remote import RemoteDatabase, RemoteTable
+from .server import LittleTableServer
+
+__all__ = ["LittleTableClient", "LittleTableServer", "ConnectionLost",
+           "ProtocolError", "RemoteDatabase", "RemoteTable"]

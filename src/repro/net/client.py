@@ -1,0 +1,259 @@
+"""The client adaptor.
+
+Plays the role of the paper's SQLite-side adaptor (§3.1, §3.5):
+
+* keeps a persistent TCP connection so a server crash is detected as a
+  disconnection (after which the application re-checks what survived
+  and re-inserts, §4.1);
+* downloads the table list and schemas on connect;
+* batches inserts ("the SQLite adaptor takes clients' inserts and
+  transmits them to the LittleTable server in batches", §3.1);
+* transparently continues queries that hit the server's row limit by
+  re-submitting with the start bound moved past the last returned key
+  (§3.5).
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.errors import (
+    DuplicateKeyError,
+    LittleTableError,
+    NoSuchTableError,
+    TableExistsError,
+)
+from ..core.schema import Schema
+from .protocol import (
+    ConnectionLost,
+    decode_row,
+    encode_key,
+    encode_row,
+    recv_message,
+    send_message,
+)
+
+_ERROR_TYPES = {
+    "DuplicateKeyError": DuplicateKeyError,
+    "NoSuchTableError": NoSuchTableError,
+    "TableExistsError": TableExistsError,
+}
+
+
+class LittleTableClient:
+    """A connection to a LittleTable server."""
+
+    def __init__(self, host: str, port: int, insert_batch_rows: int = 512):
+        self._address = (host, port)
+        self._sock: Optional[socket.socket] = None
+        self.insert_batch_rows = insert_batch_rows
+        self._pending: Dict[str, List[Tuple[Any, ...]]] = {}
+        self.connect()
+
+    # ------------------------------------------------------- connection
+
+    def connect(self) -> None:
+        """(Re)establish the persistent connection."""
+        self.close()
+        sock = socket.create_connection(self._address, timeout=10)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "LittleTableClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def connected(self) -> bool:
+        return self._sock is not None
+
+    def _call(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        if self._sock is None:
+            raise ConnectionLost("not connected")
+        try:
+            send_message(self._sock, message)
+            response = recv_message(self._sock)
+        except (ConnectionLost, OSError) as exc:
+            # The persistent connection broke: surface it so the
+            # application can run its recovery protocol (§4.1).
+            self.close()
+            if isinstance(exc, ConnectionLost):
+                raise
+            raise ConnectionLost(str(exc)) from exc
+        if response.get("ok"):
+            return response
+        error_type = _ERROR_TYPES.get(response.get("error", ""),
+                                      LittleTableError)
+        raise error_type(response.get("message", "server error"))
+
+    def ping(self) -> bool:
+        """Round-trip liveness check."""
+        return bool(self._call({"cmd": "ping"}).get("pong"))
+
+    # ----------------------------------------------------------- schema
+
+    def list_tables(self) -> Dict[str, Schema]:
+        """Download the table list and schemas (connect-time step)."""
+        response = self._call({"cmd": "list_tables"})
+        return {
+            entry["name"]: Schema.from_dict(entry["schema"])
+            for entry in response["tables"]
+        }
+
+    def create_table(self, name: str, schema: Schema,
+                     ttl_micros: Optional[int] = None) -> None:
+        self._call({"cmd": "create_table", "table": name,
+                    "schema": schema.to_dict(), "ttl_micros": ttl_micros})
+
+    def drop_table(self, name: str) -> None:
+        self._call({"cmd": "drop_table", "table": name})
+
+    # ----------------------------------------------------------- writes
+
+    def insert(self, table: str, rows: Sequence[Dict[str, Any]]) -> int:
+        """Insert dict rows immediately (no client-side batching)."""
+        if not rows:
+            return 0
+        columns = sorted({name for row in rows for name in row})
+        encoded = [encode_row([row.get(c) for c in columns]) for row in rows]
+        response = self._call({"cmd": "insert", "table": table,
+                               "rows": encoded, "columns": columns,
+                               "dicts": True})
+        return response["inserted"]
+
+    def buffer_insert(self, table: str, row: Tuple[Any, ...]) -> None:
+        """Queue one positional row; flushes at the batch size (§3.1)."""
+        queue = self._pending.setdefault(table, [])
+        queue.append(tuple(row))
+        if len(queue) >= self.insert_batch_rows:
+            self.flush_inserts(table)
+
+    def flush_inserts(self, table: Optional[str] = None) -> int:
+        """Send buffered rows now.  Returns rows sent."""
+        tables = [table] if table is not None else list(self._pending)
+        sent = 0
+        for name in tables:
+            queue = self._pending.get(name)
+            if not queue:
+                continue
+            encoded = [encode_row(row) for row in queue]
+            self._pending[name] = []
+            response = self._call({"cmd": "insert", "table": name,
+                                   "rows": encoded})
+            sent += response["inserted"]
+        return sent
+
+    @property
+    def pending_rows(self) -> int:
+        return sum(len(q) for q in self._pending.values())
+
+    # ---------------------------------------------------------- queries
+
+    def query(self, table: str,
+              key_min: Optional[Sequence[Any]] = None,
+              key_max: Optional[Sequence[Any]] = None,
+              key_min_inclusive: bool = True,
+              key_max_inclusive: bool = True,
+              ts_min: Optional[int] = None,
+              ts_max: Optional[int] = None,
+              descending: bool = False,
+              limit: Optional[int] = None) -> Iterator[Tuple[Any, ...]]:
+        """Stream rows, transparently continuing past the server limit.
+
+        The continuation re-submits with the start bound moved to the
+        last returned key, exclusive (§3.5) - for descending queries,
+        the *end* bound moves instead.
+        """
+        returned = 0
+        current_min = encode_key(key_min)
+        current_max = encode_key(key_max)
+        min_inclusive = key_min_inclusive
+        max_inclusive = key_max_inclusive
+        while True:
+            request = {
+                "cmd": "query", "table": table,
+                "key_min": current_min, "key_max": current_max,
+                "key_min_inclusive": min_inclusive,
+                "key_max_inclusive": max_inclusive,
+                "ts_min": ts_min, "ts_max": ts_max,
+                "descending": descending,
+            }
+            if limit is not None:
+                request["limit"] = limit - returned
+            response = self._call(request)
+            rows = [decode_row(row) for row in response["rows"]]
+            last_row: Optional[Tuple[Any, ...]] = None
+            for row in rows:
+                yield row
+                last_row = row
+                returned += 1
+                if limit is not None and returned >= limit:
+                    return
+            if not response.get("more_available") or last_row is None:
+                return
+            # Continue from just past the last key we saw.  The key is
+            # the row's leading columns per the schema; clients that
+            # stream know their schema, but to stay schema-agnostic we
+            # ask the server for it lazily.
+            key = self._key_of(table, last_row)
+            if descending:
+                current_max = encode_key(key)
+                max_inclusive = False
+            else:
+                current_min = encode_key(key)
+                min_inclusive = False
+
+    def latest(self, table: str, prefix: Sequence[Any],
+               max_lookback_micros: Optional[int] = None
+               ) -> Optional[Tuple[Any, ...]]:
+        """Latest row for a key prefix (§3.4.5)."""
+        response = self._call({
+            "cmd": "latest", "table": table,
+            "prefix": encode_key(tuple(prefix)),
+            "max_lookback_micros": max_lookback_micros,
+        })
+        row = response.get("row")
+        return None if row is None else decode_row(row)
+
+    def flush(self, table: str, before_ts: Optional[int] = None) -> int:
+        """Force rows to disk; with ``before_ts``, only rows older
+        than it must be durable on return (§4.1.2's proposed command).
+        Returns the number of tablets written."""
+        response = self._call({"cmd": "flush", "table": table,
+                               "before_ts": before_ts})
+        return response["tablets_written"]
+
+    def bulk_delete(self, table: str, prefix: Sequence[Any]) -> int:
+        """Delete all rows whose key starts with ``prefix`` (§7's
+        compliance feature).  Returns rows removed."""
+        response = self._call({"cmd": "bulk_delete", "table": table,
+                               "prefix": encode_key(tuple(prefix))})
+        return response["rows_removed"]
+
+    # ---------------------------------------------------------- helpers
+
+    def _key_of(self, table: str, row: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        schema = self._schema(table)
+        return schema.key_of(row)
+
+    def _schema(self, table: str) -> Schema:
+        cache = getattr(self, "_schema_cache", None)
+        if cache is None:
+            cache = {}
+            self._schema_cache = cache
+        if table not in cache:
+            cache.update(self.list_tables())
+        if table not in cache:
+            raise NoSuchTableError(f"no such table: {table!r}")
+        return cache[table]

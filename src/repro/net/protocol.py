@@ -1,0 +1,115 @@
+"""Wire protocol between the client adaptor and the server.
+
+The paper's clients load an adaptor into SQLite's virtual-table
+interface; "internally, the adaptor communicates with the server over
+TCP to get a list of available tables, determine the schema and sort
+order of each table, and perform inserts or queries" (§3.1).  The
+adaptor "maintains a persistent TCP connection to the server in order
+to detect server crashes" (§3.1).
+
+This module defines the framing and message encoding: each frame is a
+4-byte big-endian length followed by a UTF-8 JSON document.  Blob
+values are wrapped as ``{"$b": <base64>}`` so rows survive JSON.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import socket
+import struct
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+_LENGTH = struct.Struct(">I")
+
+
+class ProtocolError(Exception):
+    """Malformed frame or message."""
+
+
+class ConnectionLost(Exception):
+    """The peer closed the connection (e.g. a server crash)."""
+
+
+# ---------------------------------------------------------------- values
+
+def encode_value(value: Any) -> Any:
+    """Make one column value JSON-safe."""
+    if isinstance(value, (bytes, bytearray)):
+        return {"$b": base64.b64encode(bytes(value)).decode("ascii")}
+    return value
+
+
+def decode_value(value: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if isinstance(value, dict) and "$b" in value:
+        return base64.b64decode(value["$b"])
+    return value
+
+
+def encode_row(row: Sequence[Any]) -> List[Any]:
+    return [encode_value(v) for v in row]
+
+
+def decode_row(row: Sequence[Any]) -> Tuple[Any, ...]:
+    return tuple(decode_value(v) for v in row)
+
+
+def encode_key(key: Optional[Sequence[Any]]) -> Optional[List[Any]]:
+    return None if key is None else [encode_value(v) for v in key]
+
+
+def decode_key(key: Optional[Sequence[Any]]) -> Optional[Tuple[Any, ...]]:
+    return None if key is None else tuple(decode_value(v) for v in key)
+
+
+# ---------------------------------------------------------------- frames
+
+def send_message(sock: socket.socket, message: Dict[str, Any]) -> None:
+    """Serialize and send one frame."""
+    payload = json.dumps(message).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame too large: {len(payload)} bytes")
+    sock.sendall(_LENGTH.pack(len(payload)) + payload)
+
+
+def recv_message(sock: socket.socket) -> Dict[str, Any]:
+    """Receive one frame; raises ConnectionLost on EOF."""
+    header = _recv_exact(sock, _LENGTH.size)
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame too large: {length} bytes")
+    payload = _recv_exact(sock, length)
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"bad frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("frame payload must be a JSON object")
+    return message
+
+
+def _recv_exact(sock: socket.socket, length: int) -> bytes:
+    chunks = []
+    remaining = length
+    while remaining:
+        try:
+            chunk = sock.recv(remaining)
+        except (ConnectionResetError, BrokenPipeError, OSError) as exc:
+            raise ConnectionLost(str(exc)) from exc
+        if not chunk:
+            raise ConnectionLost("peer closed the connection")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def error_response(kind: str, message: str) -> Dict[str, Any]:
+    return {"ok": False, "error": kind, "message": message}
+
+
+def ok_response(**fields: Any) -> Dict[str, Any]:
+    response = {"ok": True}
+    response.update(fields)
+    return response

@@ -1,0 +1,193 @@
+"""Remote database adapter: SQL on the client side of the wire.
+
+In the paper the SQL layer lives in the *client* - an adaptor loaded
+into SQLite that speaks the binary protocol to the server (§3.1).
+:class:`RemoteDatabase` reproduces that architecture: it exposes
+enough of the :class:`~repro.core.database.LittleTable` interface for
+:class:`~repro.sqlapi.executor.SqlSession` to run unchanged, while
+every operation actually crosses the TCP connection:
+
+    client = LittleTableClient(host, port)
+    sql = SqlSession(RemoteDatabase(client))
+    sql.execute("SELECT ... FROM usage WHERE ...")
+
+Queries stream with the server row limit and more-available
+continuation; schemas are fetched lazily and cached until a schema-
+changing statement invalidates them.
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.errors import NoSuchTableError
+from ..core.row import DESCENDING, Query
+from ..core.schema import Column, Schema
+from .client import LittleTableClient
+
+
+class RemoteTable:
+    """Client-side handle to one server table."""
+
+    def __init__(self, database: "RemoteDatabase", name: str):
+        self._database = database
+        self.name = name
+
+    @property
+    def _client(self) -> LittleTableClient:
+        return self._database.client
+
+    @property
+    def schema(self) -> Schema:
+        return self._database._schema(self.name)
+
+    @property
+    def ttl_micros(self) -> Optional[int]:
+        return self._database._ttl(self.name)
+
+    # ----------------------------------------------------------- writes
+
+    def insert(self, rows: Sequence[Dict[str, Any]]) -> int:
+        return self._client.insert(self.name, rows)
+
+    def insert_tuples(self, rows: Sequence[Tuple[Any, ...]]) -> int:
+        schema = self.schema
+        return self.insert([schema.row_to_dict(row) for row in rows])
+
+    # ---------------------------------------------------------- queries
+
+    def scan(self, query: Query) -> Iterator[Tuple[Any, ...]]:
+        """Stream a bounding-box query over the wire.
+
+        The client adaptor transparently continues past the server's
+        row limit (§3.5).
+        """
+        key_range = query.key_range
+        time_range = query.time_range
+        # Exclusive ts bounds become half-open integer bounds (ts is
+        # integer microseconds).
+        ts_min = time_range.min_ts
+        if ts_min is not None and not time_range.min_inclusive:
+            ts_min += 1
+        ts_max = time_range.max_ts
+        if ts_max is not None and not time_range.max_inclusive:
+            ts_max -= 1
+        return self._client.query(
+            self.name,
+            key_min=key_range.min_prefix,
+            key_max=key_range.max_prefix,
+            key_min_inclusive=key_range.min_inclusive,
+            key_max_inclusive=key_range.max_inclusive,
+            ts_min=ts_min, ts_max=ts_max,
+            descending=query.direction == DESCENDING,
+            limit=query.limit,
+        )
+
+    def latest(self, prefix: Sequence[Any],
+               max_lookback_micros: Optional[int] = None
+               ) -> Optional[Tuple[Any, ...]]:
+        return self._client.latest(self.name, prefix,
+                                   max_lookback_micros=max_lookback_micros)
+
+    # ----------------------------------------------- admin & lifecycle
+
+    def flush_all(self) -> List[int]:
+        count = self._client.flush(self.name)
+        return list(range(count))
+
+    def flush_before(self, ts: int) -> List[int]:
+        count = self._client.flush(self.name, before_ts=ts)
+        return list(range(count))
+
+    def bulk_delete(self, prefix: Sequence[Any]) -> int:
+        return self._client.bulk_delete(self.name, prefix)
+
+    def append_column(self, column: Column) -> None:
+        self._database._alter(self.name, "add_column",
+                              column=column)
+
+    def widen_column(self, name: str) -> None:
+        self._database._alter(self.name, "widen_column", column_name=name)
+
+    def set_ttl(self, ttl_micros: Optional[int]) -> None:
+        self._database._alter(self.name, "set_ttl", ttl_micros=ttl_micros)
+
+
+class RemoteDatabase:
+    """The database-shaped facade over a client connection."""
+
+    def __init__(self, client: LittleTableClient):
+        self.client = client
+        self._schemas: Optional[Dict[str, Schema]] = None
+        self._ttls: Dict[str, Optional[int]] = {}
+
+    # ------------------------------------------------------------ cache
+
+    def invalidate(self) -> None:
+        """Drop the cached table list (after DDL or a reconnect)."""
+        self._schemas = None
+        self._ttls = {}
+
+    def _load(self) -> Dict[str, Schema]:
+        if self._schemas is None:
+            response = self.client._call({"cmd": "list_tables"})
+            self._schemas = {}
+            for entry in response["tables"]:
+                self._schemas[entry["name"]] = Schema.from_dict(
+                    entry["schema"])
+                self._ttls[entry["name"]] = entry.get("ttl_micros")
+        return self._schemas
+
+    def _schema(self, name: str) -> Schema:
+        schemas = self._load()
+        if name not in schemas:
+            self.invalidate()
+            schemas = self._load()
+        if name not in schemas:
+            raise NoSuchTableError(f"no such table: {name!r}")
+        return schemas[name]
+
+    def _ttl(self, name: str) -> Optional[int]:
+        self._schema(name)
+        return self._ttls.get(name)
+
+    def _alter(self, table: str, action: str, **fields: Any) -> None:
+        request: Dict[str, Any] = {"cmd": "alter", "table": table,
+                                   "action": action}
+        if "column" in fields:
+            column = fields.pop("column")
+            default = column.default
+            if isinstance(default, (bytes, bytearray)):
+                default = {"b64": base64.b64encode(
+                    bytes(default)).decode("ascii")}
+            request["column"] = {
+                "name": column.name,
+                "type": column.type.value,
+                "default": default,
+            }
+        request.update(fields)
+        self.client._call(request)
+        self.invalidate()
+
+    # ---------------------------------------------------------- catalog
+
+    def table_names(self) -> List[str]:
+        return sorted(self._load())
+
+    def has_table(self, name: str) -> bool:
+        return name in self._load()
+
+    def table(self, name: str) -> RemoteTable:
+        self._schema(name)  # raises NoSuchTableError when absent
+        return RemoteTable(self, name)
+
+    def create_table(self, name: str, schema: Schema,
+                     ttl_micros: Optional[int] = None) -> RemoteTable:
+        self.client.create_table(name, schema, ttl_micros=ttl_micros)
+        self.invalidate()
+        return RemoteTable(self, name)
+
+    def drop_table(self, name: str) -> None:
+        self.client.drop_table(name)
+        self.invalidate()

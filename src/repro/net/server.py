@@ -1,0 +1,292 @@
+"""The LittleTable TCP server.
+
+"LittleTable is a relational database, run as an independent server
+process" (§3.1).  This server wraps a :class:`~repro.core.LittleTable`
+instance and serves the adaptor protocol: table listing, schema
+download, batched inserts, bounding-box queries with the server row
+limit and more-available flag (§3.5), and latest-row lookups.
+
+Inserts to a table are serialized through the table's lock; queries run
+against immutable tablet state plus memtable snapshots, matching the
+paper's small-lock design (§3.4.4).  Queries concurrent with an insert
+may see some, all, or none of its rows (§3.1).
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+from typing import Any, Dict, Optional
+
+from ..core.database import LittleTable
+from ..core.errors import LittleTableError
+from ..core.row import ASCENDING, DESCENDING, KeyRange, Query, TimeRange
+from ..core.schema import Schema
+from . import protocol
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    def handle(self) -> None:
+        server: LittleTableServer = self.server.littletable  # type: ignore
+        sock: socket.socket = self.request
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        server._register_connection(sock)
+        try:
+            self._serve(server, sock)
+        finally:
+            server._unregister_connection(sock)
+
+    def _serve(self, server: "LittleTableServer",
+               sock: socket.socket) -> None:
+        while True:
+            try:
+                request = protocol.recv_message(sock)
+            except (protocol.ConnectionLost, protocol.ProtocolError):
+                return
+            response = server.dispatch(request)
+            try:
+                protocol.send_message(sock, response)
+            except (protocol.ConnectionLost, OSError):
+                return
+
+
+class _ThreadingServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class LittleTableServer:
+    """Serves a LittleTable database over TCP."""
+
+    def __init__(self, db: LittleTable, host: str = "127.0.0.1",
+                 port: int = 0,
+                 maintenance_interval_s: Optional[float] = None):
+        self.db = db
+        self._tcp = _ThreadingServer((host, port), _Handler)
+        self._tcp.littletable = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+        self._connections: set = set()
+        self._connections_lock = threading.Lock()
+        # Optional background maintenance (flush by age, merges, TTL),
+        # the server-side counterpart of the paper's background
+        # threads.  Per-table locks serialize it with client commands.
+        self.maintenance_interval_s = maintenance_interval_s
+        self._maintenance_thread: Optional[threading.Thread] = None
+        self._maintenance_stop = threading.Event()
+
+    def run_maintenance(self) -> Dict[str, Dict[str, int]]:
+        """One maintenance tick over every table, under its lock."""
+        work: Dict[str, Dict[str, int]] = {}
+        for name in self.db.table_names():
+            table = self.db.table(name)
+            with table.lock:
+                work[name] = table.maintenance()
+        return work
+
+    def _maintenance_loop(self) -> None:
+        while not self._maintenance_stop.wait(self.maintenance_interval_s):
+            try:
+                self.run_maintenance()
+            except Exception:  # pragma: no cover - keep the loop alive
+                pass
+
+    def _register_connection(self, sock: socket.socket) -> None:
+        with self._connections_lock:
+            self._connections.add(sock)
+
+    def _unregister_connection(self, sock: socket.socket) -> None:
+        with self._connections_lock:
+            self._connections.discard(sock)
+
+    @property
+    def address(self) -> tuple:
+        """The (host, port) the server is bound to."""
+        return self._tcp.server_address
+
+    def start(self) -> None:
+        """Serve in a background thread."""
+        self._thread = threading.Thread(
+            target=self._tcp.serve_forever, kwargs={"poll_interval": 0.05},
+            daemon=True)
+        self._thread.start()
+        if self.maintenance_interval_s is not None:
+            self._maintenance_stop.clear()
+            self._maintenance_thread = threading.Thread(
+                target=self._maintenance_loop, daemon=True)
+            self._maintenance_thread.start()
+
+    def stop(self) -> None:
+        """Stop serving and drop all connections (looks like a crash
+        to clients: their persistent connection breaks, §3.1)."""
+        self._maintenance_stop.set()
+        if self._maintenance_thread is not None:
+            self._maintenance_thread.join(timeout=5)
+            self._maintenance_thread = None
+        self._tcp.shutdown()
+        self._tcp.server_close()
+        with self._connections_lock:
+            for sock in list(self._connections):
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+            self._connections.clear()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "LittleTableServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # --------------------------------------------------------- dispatch
+
+    def dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Handle one request message (also usable without TCP).
+
+        Never raises: engine errors and malformed requests come back
+        as error responses, keeping the server up (a bad client must
+        not look like a server crash to the other clients).
+        """
+        command = request.get("cmd")
+        handler = getattr(self, f"_cmd_{command}", None)
+        if handler is None:
+            return protocol.error_response(
+                "ProtocolError", f"unknown command {command!r}")
+        try:
+            return handler(request)
+        except LittleTableError as exc:
+            return protocol.error_response(type(exc).__name__, str(exc))
+        except Exception as exc:  # defensive: keep the server up
+            return protocol.error_response("InternalError", str(exc))
+
+    def _cmd_ping(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return protocol.ok_response(pong=True)
+
+    def _cmd_list_tables(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        tables = []
+        for name in self.db.table_names():
+            table = self.db.table(name)
+            tables.append({
+                "name": name,
+                "schema": table.schema.to_dict(),
+                "ttl_micros": table.ttl_micros,
+            })
+        return protocol.ok_response(tables=tables)
+
+    def _cmd_create_table(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        schema = Schema.from_dict(request["schema"])
+        self.db.create_table(request["table"], schema,
+                             ttl_micros=request.get("ttl_micros"))
+        return protocol.ok_response()
+
+    def _cmd_drop_table(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        self.db.drop_table(request["table"])
+        return protocol.ok_response()
+
+    def _cmd_insert(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        table = self.db.table(request["table"])
+        rows = [protocol.decode_row(row) for row in request["rows"]]
+        with table.lock:
+            if request.get("dicts"):
+                inserted = table.insert(
+                    [dict(zip(request["columns"], row)) for row in rows])
+            else:
+                inserted = table.insert_tuples(rows)
+        return protocol.ok_response(inserted=inserted)
+
+    def _cmd_query(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        # The query materializes under the table lock: merges and TTL
+        # reclaim delete tablet files, and a scan racing one would read
+        # a vanished file.  Commands are short (the server row limit
+        # bounds them), so this per-table serialization costs little
+        # and makes the threaded server linearizable per table.
+        table = self.db.table(request["table"])
+        key_range = KeyRange(
+            min_prefix=protocol.decode_key(request.get("key_min")),
+            min_inclusive=request.get("key_min_inclusive", True),
+            max_prefix=protocol.decode_key(request.get("key_max")),
+            max_inclusive=request.get("key_max_inclusive", True),
+        )
+        time_range = TimeRange(
+            min_ts=request.get("ts_min"),
+            min_inclusive=request.get("ts_min_inclusive", True),
+            max_ts=request.get("ts_max"),
+            max_inclusive=request.get("ts_max_inclusive", True),
+        )
+        direction = (DESCENDING if request.get("descending") else ASCENDING)
+        query = Query(key_range, time_range, direction,
+                      request.get("limit"))
+        with table.lock:
+            result = table.query(query)
+        return protocol.ok_response(
+            rows=[protocol.encode_row(row) for row in result.rows],
+            more_available=result.more_available,
+            rows_scanned=result.stats.rows_scanned,
+        )
+
+    def _cmd_latest(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        table = self.db.table(request["table"])
+        with table.lock:
+            row = table.latest(
+                protocol.decode_key(request["prefix"]) or (),
+                max_lookback_micros=request.get("max_lookback_micros"),
+            )
+        return protocol.ok_response(
+            row=None if row is None else protocol.encode_row(row))
+
+    def _cmd_maintenance(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """One background tick over every table, under its lock."""
+        return protocol.ok_response(work=self.run_maintenance())
+
+    def _cmd_flush(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """The §4.1.2 proposed flush command: force rows to disk."""
+        table = self.db.table(request["table"])
+        before_ts = request.get("before_ts")
+        with table.lock:
+            if before_ts is None:
+                written = table.flush_all()
+            else:
+                written = table.flush_before(before_ts)
+        return protocol.ok_response(tablets_written=len(written))
+
+    def _cmd_bulk_delete(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """The §7 compliance bulk delete, by key prefix."""
+        table = self.db.table(request["table"])
+        prefix = protocol.decode_key(request["prefix"]) or ()
+        with table.lock:
+            removed = table.bulk_delete(prefix)
+        return protocol.ok_response(rows_removed=removed)
+
+    def _cmd_alter(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Schema changes (§3.5): append column, widen int32, set TTL."""
+        import base64
+
+        from ..core.schema import Column, ColumnType
+
+        table = self.db.table(request["table"])
+        action = request.get("action")
+        with table.lock:
+            if action == "add_column":
+                spec = request["column"]
+                default = spec.get("default")
+                if isinstance(default, dict) and "b64" in default:
+                    default = base64.b64decode(default["b64"])
+                table.append_column(Column(
+                    spec["name"], ColumnType(spec["type"]), default))
+            elif action == "widen_column":
+                table.widen_column(request["column_name"])
+            elif action == "set_ttl":
+                table.set_ttl(request.get("ttl_micros"))
+            else:
+                return protocol.error_response(
+                    "ProtocolError", f"unknown alter action {action!r}")
+        return protocol.ok_response()

@@ -1,0 +1,9 @@
+"""SQL front end: the role of the paper's SQLite virtual-table adaptor."""
+
+from .executor import SqlResult, SqlSession
+from .lexer import SqlError, tokenize
+from .parser import parse
+from .planner import Plan, plan_where
+
+__all__ = ["SqlResult", "SqlSession", "SqlError", "tokenize", "parse",
+           "Plan", "plan_where"]

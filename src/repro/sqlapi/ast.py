@@ -1,0 +1,132 @@
+"""AST node definitions for the SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: Any  # int, float, str, or bytes
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    name: str
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """column OP literal.  op is one of =, !=, <, <=, >, >=."""
+
+    column: str
+    op: str
+    value: Any
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """COUNT/SUM/AVG/MIN/MAX over a column ('*' only for COUNT)."""
+
+    func: str
+    column: str  # "*" for COUNT(*)
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """A plain column in the select list, optionally aliased."""
+
+    column: str
+    alias: Optional[str] = None
+
+
+@dataclass
+class Select:
+    table: str
+    items: List[Any]  # SelectItem | Aggregate; empty means SELECT *
+    star: bool = False
+    where: List[Comparison] = field(default_factory=list)
+    group_by: List[str] = field(default_factory=list)
+    order_desc: bool = False
+    has_order_by: bool = False
+    limit: Optional[int] = None
+
+
+@dataclass
+class Insert:
+    table: str
+    columns: List[str]
+    rows: List[List[Any]]
+
+
+@dataclass
+class ColumnDef:
+    name: str
+    type_name: str  # canonical: int32|int64|double|timestamp|string|blob
+    default: Optional[Any] = None
+
+
+@dataclass
+class CreateTable:
+    table: str
+    columns: List[ColumnDef]
+    primary_key: List[str]
+    ttl_seconds: Optional[int] = None
+
+
+@dataclass
+class DropTable:
+    table: str
+
+
+@dataclass
+class AddColumn:
+    table: str
+    column: ColumnDef
+
+
+@dataclass
+class WidenColumn:
+    table: str
+    column: str
+
+
+@dataclass
+class SetTtl:
+    table: str
+    ttl_seconds: Optional[int]  # None clears the TTL
+
+
+@dataclass
+class ShowTables:
+    pass
+
+
+@dataclass
+class DescribeTable:
+    table: str
+
+
+@dataclass
+class Delete:
+    """Bulk delete by key prefix (the §7 compliance feature)."""
+
+    table: str
+    where: List[Comparison] = field(default_factory=list)
+
+
+@dataclass
+class Flush:
+    """FLUSH t [BEFORE ts] - the §4.1.2 proposed flush command."""
+
+    table: str
+    before_ts: Optional[int] = None
+
+
+@dataclass
+class Explain:
+    """EXPLAIN SELECT ...: show the planned access path."""
+
+    select: "Select"

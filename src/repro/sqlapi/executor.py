@@ -1,0 +1,401 @@
+"""SQL execution against a LittleTable database.
+
+:class:`SqlSession` plays the role of the paper's SQLite adaptor
+(§3.1): it knows each table's schema and sort order, translates SQL
+into bounding-box queries, and - because the server returns rows in
+primary-key order - can aggregate GROUP BY prefixes of the key without
+resorting the data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..core.database import LittleTable
+from ..core.row import ASCENDING, DESCENDING, Query
+from ..core.schema import Column, ColumnType, Schema
+from ..util.clock import MICROS_PER_SECOND
+from . import ast
+from .lexer import SqlError
+from .parser import parse
+from .planner import Plan, evaluate_residuals, plan_where
+
+_TYPES = {
+    "int32": ColumnType.INT32,
+    "int64": ColumnType.INT64,
+    "double": ColumnType.DOUBLE,
+    "timestamp": ColumnType.TIMESTAMP,
+    "string": ColumnType.STRING,
+    "blob": ColumnType.BLOB,
+}
+
+
+@dataclass
+class SqlResult:
+    """The outcome of one statement."""
+
+    columns: List[str]
+    rows: List[Tuple[Any, ...]]
+    rows_affected: int = 0
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def scalar(self) -> Any:
+        """The single value of a one-row, one-column result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise SqlError("result is not a single scalar")
+        return self.rows[0][0]
+
+
+class SqlSession:
+    """Executes SQL statements against a LittleTable instance."""
+
+    def __init__(self, db: LittleTable):
+        self.db = db
+
+    def execute(self, sql: str) -> SqlResult:
+        """Parse and execute one statement."""
+        statement = parse(sql)
+        if isinstance(statement, ast.Select):
+            return self._select(statement)
+        if isinstance(statement, ast.Insert):
+            return self._insert(statement)
+        if isinstance(statement, ast.CreateTable):
+            return self._create_table(statement)
+        if isinstance(statement, ast.DropTable):
+            self.db.drop_table(statement.table)
+            return SqlResult([], [], 0)
+        if isinstance(statement, ast.AddColumn):
+            column = _make_column(statement.column)
+            self.db.table(statement.table).append_column(column)
+            return SqlResult([], [], 0)
+        if isinstance(statement, ast.WidenColumn):
+            self.db.table(statement.table).widen_column(statement.column)
+            return SqlResult([], [], 0)
+        if isinstance(statement, ast.SetTtl):
+            ttl = statement.ttl_seconds
+            self.db.table(statement.table).set_ttl(
+                None if ttl is None else ttl * MICROS_PER_SECOND)
+            return SqlResult([], [], 0)
+        if isinstance(statement, ast.ShowTables):
+            names = self.db.table_names()
+            return SqlResult(["table"], [(n,) for n in names])
+        if isinstance(statement, ast.DescribeTable):
+            return self._describe(statement.table)
+        if isinstance(statement, ast.Explain):
+            return self._explain(statement.select)
+        if isinstance(statement, ast.Delete):
+            return self._delete(statement)
+        if isinstance(statement, ast.Flush):
+            table = self.db.table(statement.table)
+            if statement.before_ts is None:
+                written = table.flush_all()
+            else:
+                written = table.flush_before(statement.before_ts)
+            return SqlResult([], [], len(written))
+        raise SqlError(f"unhandled statement {statement!r}")
+
+    def _explain(self, statement: ast.Select) -> SqlResult:
+        """Show the planned access path for a SELECT.
+
+        Reveals whether the WHERE clause hit the clustered fast path -
+        "a little thought about storage layout up front is a
+        relatively small cost to pay for snappy performance" (§7) -
+        or degenerated into residual filtering over a wide scan.
+        """
+        table = self.db.table(statement.table)
+        schema = table.schema
+        plan = plan_where(schema, statement.where)
+        lines = []
+        kr = plan.key_range
+        if kr.min_prefix is None and kr.max_prefix is None:
+            lines.append(("key bounds", "none (full key space)"))
+        else:
+            low = "-inf" if kr.min_prefix is None else (
+                f"{kr.min_prefix!r} "
+                f"({'incl' if kr.min_inclusive else 'excl'})")
+            high = "+inf" if kr.max_prefix is None else (
+                f"{kr.max_prefix!r} "
+                f"({'incl' if kr.max_inclusive else 'excl'})")
+            lines.append(("key bounds", f"{low} .. {high}"))
+        lines.append(("key prefix depth",
+                      f"{plan.key_prefix_depth} of "
+                      f"{schema.key_width - 1} key columns"))
+        tr = plan.time_range
+        if tr.min_ts is None and tr.max_ts is None:
+            lines.append(("time bounds", "none (all tablets)"))
+        else:
+            lines.append(("time bounds",
+                          f"{tr.min_ts} .. {tr.max_ts}"))
+        tablets = getattr(table, "on_disk_tablets", None)
+        if tablets is not None:
+            overlapping = sum(
+                1 for meta in tablets
+                if tr.overlaps(meta.min_ts, meta.max_ts)
+            )
+            lines.append(("tablets", f"{overlapping} of "
+                          f"{len(tablets)} on disk "
+                          f"(+ {table.unflushed_memtable_count} in memory)"))
+        else:
+            # Remote adapter: tablet metadata stays server-side.
+            lines.append(("tablets", "server-side (remote session)"))
+        if plan.residuals:
+            residuals = ", ".join(
+                f"{c.column} {c.op} {c.value!r}" for c in plan.residuals)
+            lines.append(("residual filters", residuals))
+        else:
+            lines.append(("residual filters", "none"))
+        aggregates = [i for i in statement.items
+                      if isinstance(i, ast.Aggregate)]
+        if aggregates or statement.group_by:
+            key_without_ts = [n for n in schema.key if n != "ts"]
+            streaming = (statement.group_by
+                         == key_without_ts[:len(statement.group_by)])
+            lines.append(("aggregation",
+                          "streaming (group = key prefix)" if streaming
+                          else "hashed (group not a key prefix)"))
+        return SqlResult(["property", "value"], lines)
+
+    def _delete(self, statement: ast.Delete) -> SqlResult:
+        table = self.db.table(statement.table)
+        schema = table.schema
+        by_column = {}
+        for comparison in statement.where:
+            if not schema.has_column(comparison.column):
+                raise SqlError(f"no such column: {comparison.column!r}")
+            if comparison.column in by_column:
+                raise SqlError(
+                    f"duplicate predicate on {comparison.column!r}")
+            by_column[comparison.column] = comparison.value
+        key_columns = [name for name in schema.key if name != "ts"]
+        prefix = []
+        for name in key_columns:
+            if name not in by_column:
+                break
+            prefix.append(by_column.pop(name))
+        if by_column or not prefix:
+            raise SqlError(
+                "DELETE predicates must cover a leading prefix of the "
+                f"key columns {key_columns} (and nothing else)")
+        removed = table.bulk_delete(tuple(prefix))
+        return SqlResult([], [], removed)
+
+    # --------------------------------------------------------------- DDL
+
+    def _create_table(self, statement: ast.CreateTable) -> SqlResult:
+        columns = [_make_column(c) for c in statement.columns]
+        schema = Schema(columns, statement.primary_key)
+        ttl = (None if statement.ttl_seconds is None
+               else statement.ttl_seconds * MICROS_PER_SECOND)
+        self.db.create_table(statement.table, schema, ttl_micros=ttl)
+        return SqlResult([], [], 0)
+
+    def _describe(self, table_name: str) -> SqlResult:
+        table = self.db.table(table_name)
+        schema = table.schema
+        rows = []
+        for column in schema.columns:
+            key_position = (
+                schema.key.index(column.name) + 1
+                if column.name in schema.key else 0
+            )
+            rows.append((column.name, column.type.value, key_position))
+        return SqlResult(["column", "type", "key_position"], rows)
+
+    # ------------------------------------------------------------ INSERT
+
+    def _insert(self, statement: ast.Insert) -> SqlResult:
+        table = self.db.table(statement.table)
+        dict_rows = [dict(zip(statement.columns, values))
+                     for values in statement.rows]
+        count = table.insert(dict_rows)
+        return SqlResult([], [], count)
+
+    # ------------------------------------------------------------ SELECT
+
+    def _select(self, statement: ast.Select) -> SqlResult:
+        table = self.db.table(statement.table)
+        schema = table.schema
+        plan = plan_where(schema, statement.where)
+        aggregates = [i for i in statement.items
+                      if isinstance(i, ast.Aggregate)]
+        plain = [i for i in statement.items
+                 if isinstance(i, ast.SelectItem)]
+        for item in plain:
+            if not schema.has_column(item.column):
+                raise SqlError(f"no such column: {item.column!r}")
+        for item in aggregates:
+            if item.column != "*" and not schema.has_column(item.column):
+                raise SqlError(f"no such column: {item.column!r}")
+        for name in statement.group_by:
+            if not schema.has_column(name):
+                raise SqlError(f"no such column: {name!r}")
+
+        if aggregates or statement.group_by:
+            return self._select_aggregate(statement, table, plan,
+                                          aggregates, plain)
+        return self._select_plain(statement, table, plan, plain)
+
+    def _rows(self, table, statement: ast.Select, plan: Plan,
+              push_limit: bool) -> Iterator[Tuple[Any, ...]]:
+        direction = DESCENDING if statement.order_desc else ASCENDING
+        limit = statement.limit if (push_limit and not plan.residuals) else None
+        query = Query(plan.key_range, plan.time_range, direction, limit)
+        schema = table.schema
+        for row in table.scan(query):
+            if plan.residuals and not evaluate_residuals(
+                    plan.residuals, schema, row):
+                continue
+            yield row
+
+    def _select_plain(self, statement: ast.Select, table, plan: Plan,
+                      plain: List[ast.SelectItem]) -> SqlResult:
+        schema = table.schema
+        if statement.star or not plain:
+            names = [c.name for c in schema.columns]
+            indexes = list(range(len(schema.columns)))
+        else:
+            names = [item.alias or item.column for item in plain]
+            indexes = [schema.column_index(item.column) for item in plain]
+        rows: List[Tuple[Any, ...]] = []
+        for row in self._rows(table, statement, plan, push_limit=True):
+            rows.append(tuple(row[i] for i in indexes))
+            if statement.limit is not None and len(rows) >= statement.limit:
+                break
+        return SqlResult(names, rows)
+
+    def _select_aggregate(self, statement: ast.Select, table, plan: Plan,
+                          aggregates: List[ast.Aggregate],
+                          plain: List[ast.SelectItem]) -> SqlResult:
+        schema = table.schema
+        group_by = list(statement.group_by)
+        for item in plain:
+            if item.column not in group_by:
+                raise SqlError(
+                    f"column {item.column!r} must appear in GROUP BY"
+                )
+        if not aggregates and group_by:
+            raise SqlError("GROUP BY without aggregates is not supported")
+
+        group_indexes = [schema.column_index(name) for name in group_by]
+        # Rows arrive sorted by primary key; if the GROUP BY columns are
+        # a prefix of the key, groups are contiguous and we can stream
+        # (the §3.1 "perform the aggregation without resorting" path).
+        key_without_ts = [name for name in schema.key if name != "ts"]
+        streaming = group_by == key_without_ts[:len(group_by)]
+
+        output_names = (
+            [item.alias or item.column for item in plain]
+            + [agg.alias or _aggregate_name(agg) for agg in aggregates]
+        )
+        # Columns to emit per group, in select-list order: we emit the
+        # plain items (all group columns) then aggregate values.
+        plain_indexes = [schema.column_index(item.column) for item in plain]
+        if not plain and group_by:
+            # Bare GROUP BY: emit the grouping columns for usability.
+            output_names = group_by + output_names
+            plain_indexes = group_indexes
+
+        rows_out: List[Tuple[Any, ...]] = []
+
+        def finish_group(group_row, accumulators):
+            prefix = tuple(group_row[i] for i in plain_indexes)
+            rows_out.append(prefix + tuple(a.result() for a in accumulators))
+
+        if streaming:
+            current_key = None
+            current_row = None
+            accumulators = None
+            for row in self._rows(table, statement, plan, push_limit=False):
+                group_key = tuple(row[i] for i in group_indexes)
+                if group_key != current_key:
+                    if current_key is not None:
+                        finish_group(current_row, accumulators)
+                        if (statement.limit is not None
+                                and len(rows_out) >= statement.limit):
+                            return SqlResult(output_names, rows_out)
+                    current_key = group_key
+                    current_row = row
+                    accumulators = [_Accumulator(agg, schema)
+                                    for agg in aggregates]
+                for accumulator in accumulators:
+                    accumulator.add(row)
+            if current_key is not None:
+                finish_group(current_row, accumulators)
+        else:
+            groups: Dict[Tuple[Any, ...], Tuple[Any, List[_Accumulator]]] = {}
+            order: List[Tuple[Any, ...]] = []
+            for row in self._rows(table, statement, plan, push_limit=False):
+                group_key = tuple(row[i] for i in group_indexes)
+                if group_key not in groups:
+                    groups[group_key] = (
+                        row, [_Accumulator(agg, schema) for agg in aggregates]
+                    )
+                    order.append(group_key)
+                for accumulator in groups[group_key][1]:
+                    accumulator.add(row)
+            for group_key in sorted(order) if group_by else order:
+                group_row, accumulators = groups[group_key]
+                finish_group(group_row, accumulators)
+
+        if not group_by and not rows_out:
+            # Aggregates over an empty table still return one row.
+            rows_out.append(tuple(
+                _Accumulator(agg, schema).result() for agg in aggregates))
+        if statement.limit is not None:
+            rows_out = rows_out[:statement.limit]
+        return SqlResult(output_names, rows_out)
+
+
+def _aggregate_name(agg: ast.Aggregate) -> str:
+    return f"{agg.func.lower()}({agg.column})"
+
+
+def _make_column(definition: ast.ColumnDef) -> Column:
+    try:
+        column_type = _TYPES[definition.type_name]
+    except KeyError:
+        raise SqlError(f"unknown type {definition.type_name!r}") from None
+    return Column(definition.name, column_type, definition.default)
+
+
+class _Accumulator:
+    """One aggregate function over one group."""
+
+    def __init__(self, agg: ast.Aggregate, schema: Schema):
+        self.func = agg.func
+        self.index = (None if agg.column == "*"
+                      else schema.column_index(agg.column))
+        self.count = 0
+        self.total: Any = 0
+        self.minimum: Any = None
+        self.maximum: Any = None
+
+    def add(self, row: Tuple[Any, ...]) -> None:
+        self.count += 1
+        if self.index is None:
+            return
+        value = row[self.index]
+        if self.func in ("SUM", "AVG"):
+            self.total += value
+        elif self.func == "MIN":
+            if self.minimum is None or value < self.minimum:
+                self.minimum = value
+        elif self.func == "MAX":
+            if self.maximum is None or value > self.maximum:
+                self.maximum = value
+
+    def result(self) -> Any:
+        if self.func == "COUNT":
+            return self.count
+        if self.func == "SUM":
+            return self.total
+        if self.func == "AVG":
+            return self.total / self.count if self.count else 0.0
+        if self.func == "MIN":
+            return self.minimum
+        if self.func == "MAX":
+            return self.maximum
+        raise SqlError(f"unknown aggregate {self.func!r}")

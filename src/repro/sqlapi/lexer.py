@@ -1,0 +1,152 @@
+"""SQL tokenizer.
+
+The paper (§2.3.2) stresses that an SQL interface was decisive for
+developer uptake ("our first implementation ... had an XML-based query
+language, and developer uptake was sluggish until a subsequent version
+added SQL support").  This package provides that interface for the
+reproduction: a small SQL dialect covering the operations LittleTable
+actually supports.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List
+
+
+class SqlError(Exception):
+    """Raised for lexical, syntactic, or planning errors."""
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    BLOB = "blob"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    END = "end"
+
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "AND", "OR", "GROUP", "BY", "ORDER",
+    "LIMIT", "ASC", "DESC", "INSERT", "INTO", "VALUES", "CREATE",
+    "TABLE", "PRIMARY", "KEY", "DEFAULT", "DROP", "ALTER", "ADD",
+    "COLUMN", "SET", "TTL", "WITH", "NONE", "AS", "BETWEEN", "NOT",
+    "NULL", "COUNT", "SUM", "AVG", "MIN", "MAX", "INT32", "INT64",
+    "INTEGER", "DOUBLE", "TIMESTAMP", "STRING", "TEXT", "BLOB", "TO",
+    "WIDEN", "LATEST", "TABLES", "SHOW", "DESCRIBE", "TRUE", "FALSE",
+    "DELETE", "FLUSH", "BEFORE", "EXPLAIN",
+}
+
+_OPERATORS = ("<=", ">=", "!=", "<>", "=", "<", ">")
+_PUNCT = "(),*;."
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def matches_keyword(self, *keywords: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in keywords
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize one SQL statement.  Raises SqlError on bad input."""
+    return list(_tokens(text))
+
+
+def _tokens(text: str) -> Iterator[Token]:
+    position = 0
+    length = len(text)
+    while position < length:
+        ch = text[position]
+        if ch.isspace():
+            position += 1
+            continue
+        if ch == "-" and text.startswith("--", position):
+            newline = text.find("\n", position)
+            position = length if newline == -1 else newline + 1
+            continue
+        if ch == "'":
+            value, position = _read_string(text, position)
+            yield Token(TokenType.STRING, value, position)
+            continue
+        if ch in ("x", "X") and text.startswith("'", position + 1):
+            raw, end = _read_string(text, position + 1)
+            try:
+                bytes.fromhex(raw)
+            except ValueError:
+                raise SqlError(f"bad hex blob at {position}: {raw!r}")
+            yield Token(TokenType.BLOB, raw, position)
+            position = end
+            continue
+        if ch.isdigit() or (ch in "+-" and position + 1 < length
+                            and text[position + 1].isdigit()):
+            start = position
+            position += 1
+            while position < length and (text[position].isdigit()
+                                         or text[position] in ".eE"
+                                         or (text[position] in "+-"
+                                             and text[position - 1] in "eE")):
+                position += 1
+            yield Token(TokenType.NUMBER, text[start:position], start)
+            continue
+        if ch.isalpha() or ch == "_":
+            start = position
+            while position < length and (text[position].isalnum()
+                                         or text[position] == "_"):
+                position += 1
+            word = text[start:position]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                yield Token(TokenType.KEYWORD, upper, start)
+            else:
+                yield Token(TokenType.IDENTIFIER, word, start)
+            continue
+        if ch == '"':
+            end = text.find('"', position + 1)
+            if end == -1:
+                raise SqlError(f"unterminated quoted identifier at {position}")
+            yield Token(TokenType.IDENTIFIER, text[position + 1:end], position)
+            position = end + 1
+            continue
+        matched_op = None
+        for op in _OPERATORS:
+            if text.startswith(op, position):
+                matched_op = op
+                break
+        if matched_op:
+            yield Token(TokenType.OPERATOR,
+                        "!=" if matched_op == "<>" else matched_op, position)
+            position += len(matched_op)
+            continue
+        if ch in _PUNCT:
+            yield Token(TokenType.PUNCT, ch, position)
+            position += 1
+            continue
+        raise SqlError(f"unexpected character {ch!r} at {position}")
+    yield Token(TokenType.END, "", length)
+
+
+def _read_string(text: str, position: int) -> tuple:
+    """Read a single-quoted string with '' escaping; returns
+    (value, next_position)."""
+    assert text[position] == "'"
+    position += 1
+    out = []
+    while position < len(text):
+        ch = text[position]
+        if ch == "'":
+            if text.startswith("''", position):
+                out.append("'")
+                position += 2
+                continue
+            return "".join(out), position + 1
+        out.append(ch)
+        position += 1
+    raise SqlError("unterminated string literal")

@@ -1,0 +1,387 @@
+"""Recursive-descent parser for the SQL subset.
+
+Supported statements (one per parse call; a trailing ';' is allowed):
+
+* ``CREATE TABLE t (col TYPE [DEFAULT lit], ..., PRIMARY KEY (a, ts))
+  [WITH TTL <seconds>]``
+* ``DROP TABLE t``
+* ``ALTER TABLE t ADD COLUMN col TYPE [DEFAULT lit]``
+* ``ALTER TABLE t WIDEN COLUMN col`` (int32 -> int64, §3.5)
+* ``ALTER TABLE t SET TTL <seconds> | NONE``
+* ``INSERT INTO t (a, b, ...) VALUES (...), (...)``
+* ``SELECT */cols/aggregates FROM t [WHERE conj] [GROUP BY cols]
+  [ORDER BY KEY [ASC|DESC]] [LIMIT n]``
+* ``SHOW TABLES`` / ``DESCRIBE t``
+
+WHERE supports conjunctions of ``col OP literal`` comparisons and
+``col BETWEEN a AND b``; OR is not supported (LittleTable queries are
+single bounding boxes, §3.1).  ``ORDER BY KEY`` orders by the primary
+key, the only order the server produces.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from . import ast
+from .lexer import SqlError, Token, TokenType, tokenize
+
+_TYPE_NAMES = {
+    "INT32": "int32",
+    "INT64": "int64",
+    "INTEGER": "int64",
+    "DOUBLE": "double",
+    "TIMESTAMP": "timestamp",
+    "STRING": "string",
+    "TEXT": "string",
+    "BLOB": "blob",
+}
+
+_AGGREGATES = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+
+
+def parse(sql: str):
+    """Parse one SQL statement into an AST node."""
+    return _Parser(tokenize(sql)).parse_statement()
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    # ------------------------------------------------------- primitives
+
+    def _peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.type is not TokenType.END:
+            self._index += 1
+        return token
+
+    def _expect_keyword(self, *keywords: str) -> Token:
+        token = self._advance()
+        if not token.matches_keyword(*keywords):
+            raise SqlError(
+                f"expected {' or '.join(keywords)}, got {token.value!r}"
+            )
+        return token
+
+    def _expect_punct(self, punct: str) -> None:
+        token = self._advance()
+        if token.type is not TokenType.PUNCT or token.value != punct:
+            raise SqlError(f"expected {punct!r}, got {token.value!r}")
+
+    def _accept_punct(self, punct: str) -> bool:
+        token = self._peek()
+        if token.type is TokenType.PUNCT and token.value == punct:
+            self._advance()
+            return True
+        return False
+
+    def _accept_keyword(self, *keywords: str) -> Optional[Token]:
+        token = self._peek()
+        if token.matches_keyword(*keywords):
+            return self._advance()
+        return None
+
+    def _identifier(self) -> str:
+        token = self._advance()
+        if token.type is TokenType.IDENTIFIER:
+            return token.value
+        # Allow non-reserved-looking keywords as identifiers where
+        # unambiguous (e.g. a column named "key" is NOT allowed; keep
+        # it strict and simple).
+        raise SqlError(f"expected identifier, got {token.value!r}")
+
+    def _column_name(self) -> str:
+        """A column name: identifier, or the 'ts' timestamp column."""
+        return self._identifier()
+
+    def _literal(self) -> Any:
+        token = self._advance()
+        if token.type is TokenType.NUMBER:
+            text = token.value
+            if any(ch in text for ch in ".eE"):
+                return float(text)
+            return int(text)
+        if token.type is TokenType.STRING:
+            return token.value
+        if token.type is TokenType.BLOB:
+            return bytes.fromhex(token.value)
+        if token.matches_keyword("NULL"):
+            raise SqlError("NULL values are not supported (use sentinels)")
+        if token.matches_keyword("TRUE"):
+            return 1
+        if token.matches_keyword("FALSE"):
+            return 0
+        raise SqlError(f"expected literal, got {token.value!r}")
+
+    def _end(self) -> None:
+        self._accept_punct(";")
+        token = self._peek()
+        if token.type is not TokenType.END:
+            raise SqlError(f"unexpected trailing input: {token.value!r}")
+
+    # -------------------------------------------------------- statements
+
+    def parse_statement(self):
+        token = self._peek()
+        if token.matches_keyword("SELECT"):
+            return self._select()
+        if token.matches_keyword("INSERT"):
+            return self._insert()
+        if token.matches_keyword("CREATE"):
+            return self._create_table()
+        if token.matches_keyword("DROP"):
+            return self._drop_table()
+        if token.matches_keyword("ALTER"):
+            return self._alter_table()
+        if token.matches_keyword("SHOW"):
+            self._advance()
+            self._expect_keyword("TABLES")
+            self._end()
+            return ast.ShowTables()
+        if token.matches_keyword("DESCRIBE"):
+            self._advance()
+            table = self._identifier()
+            self._end()
+            return ast.DescribeTable(table)
+        if token.matches_keyword("EXPLAIN"):
+            self._advance()
+            select = self._select()
+            return ast.Explain(select)
+        if token.matches_keyword("DELETE"):
+            return self._delete()
+        if token.matches_keyword("FLUSH"):
+            return self._flush()
+        raise SqlError(f"unsupported statement starting with {token.value!r}")
+
+    def _delete(self) -> ast.Delete:
+        """``DELETE FROM t WHERE k1 = v [AND k2 = v]`` - bulk delete by
+        key prefix, the only delete LittleTable supports beyond TTL
+        aging (the §7 compliance feature)."""
+        self._expect_keyword("DELETE")
+        self._expect_keyword("FROM")
+        table = self._identifier()
+        self._expect_keyword("WHERE")
+        where = self._conjunction()
+        self._end()
+        for comparison in where:
+            if comparison.op != "=":
+                raise SqlError(
+                    "DELETE supports only key-prefix equality predicates "
+                    "(rows otherwise only age out, §3.1)")
+        return ast.Delete(table, where)
+
+    def _flush(self) -> ast.Flush:
+        """``FLUSH t [BEFORE ts]`` - force rows to disk (§4.1.2's
+        proposed command)."""
+        self._expect_keyword("FLUSH")
+        table = self._identifier()
+        before_ts = None
+        if self._accept_keyword("BEFORE"):
+            before_ts = self._literal()
+            if not isinstance(before_ts, int) or before_ts < 0:
+                raise SqlError("FLUSH BEFORE takes a non-negative "
+                               "timestamp in microseconds")
+        self._end()
+        return ast.Flush(table, before_ts)
+
+    # ------------------------------------------------------------ SELECT
+
+    def _select(self) -> ast.Select:
+        self._expect_keyword("SELECT")
+        items: List[Any] = []
+        star = False
+        if self._accept_punct("*"):
+            star = True
+        else:
+            while True:
+                items.append(self._select_item())
+                if not self._accept_punct(","):
+                    break
+        self._expect_keyword("FROM")
+        table = self._identifier()
+        select = ast.Select(table=table, items=items, star=star)
+        if self._accept_keyword("WHERE"):
+            select.where = self._conjunction()
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            select.group_by.append(self._column_name())
+            while self._accept_punct(","):
+                select.group_by.append(self._column_name())
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            self._expect_keyword("KEY")
+            select.has_order_by = True
+            if self._accept_keyword("DESC"):
+                select.order_desc = True
+            else:
+                self._accept_keyword("ASC")
+        if self._accept_keyword("LIMIT"):
+            limit = self._literal()
+            if not isinstance(limit, int) or limit < 0:
+                raise SqlError("LIMIT must be a non-negative integer")
+            select.limit = limit
+        self._end()
+        return select
+
+    def _select_item(self):
+        token = self._peek()
+        if token.matches_keyword(*_AGGREGATES):
+            func = self._advance().value
+            self._expect_punct("(")
+            if self._accept_punct("*"):
+                if func != "COUNT":
+                    raise SqlError(f"{func}(*) is not supported")
+                column = "*"
+            else:
+                column = self._column_name()
+            self._expect_punct(")")
+            alias = self._alias()
+            return ast.Aggregate(func, column, alias)
+        column = self._column_name()
+        return ast.SelectItem(column, self._alias())
+
+    def _alias(self) -> Optional[str]:
+        if self._accept_keyword("AS"):
+            return self._identifier()
+        return None
+
+    def _conjunction(self) -> List[ast.Comparison]:
+        comparisons = [*self._predicate()]
+        while self._accept_keyword("AND"):
+            comparisons.extend(self._predicate())
+        if self._peek().matches_keyword("OR"):
+            raise SqlError(
+                "OR is not supported: LittleTable queries are a single "
+                "bounding box (issue multiple queries instead)"
+            )
+        return comparisons
+
+    def _predicate(self) -> List[ast.Comparison]:
+        column = self._column_name()
+        if self._accept_keyword("BETWEEN"):
+            low = self._literal()
+            self._expect_keyword("AND")
+            high = self._literal()
+            return [ast.Comparison(column, ">=", low),
+                    ast.Comparison(column, "<=", high)]
+        token = self._advance()
+        if token.type is not TokenType.OPERATOR:
+            raise SqlError(f"expected comparison operator, got "
+                           f"{token.value!r}")
+        return [ast.Comparison(column, token.value, self._literal())]
+
+    # ------------------------------------------------------------ INSERT
+
+    def _insert(self) -> ast.Insert:
+        self._expect_keyword("INSERT")
+        self._expect_keyword("INTO")
+        table = self._identifier()
+        self._expect_punct("(")
+        columns = [self._column_name()]
+        while self._accept_punct(","):
+            columns.append(self._column_name())
+        self._expect_punct(")")
+        self._expect_keyword("VALUES")
+        rows: List[List[Any]] = []
+        while True:
+            self._expect_punct("(")
+            values = [self._literal()]
+            while self._accept_punct(","):
+                values.append(self._literal())
+            self._expect_punct(")")
+            if len(values) != len(columns):
+                raise SqlError(
+                    f"row has {len(values)} values for {len(columns)} columns"
+                )
+            rows.append(values)
+            if not self._accept_punct(","):
+                break
+        self._end()
+        return ast.Insert(table, columns, rows)
+
+    # --------------------------------------------------------------- DDL
+
+    def _type_name(self) -> str:
+        token = self._advance()
+        if token.type is TokenType.KEYWORD and token.value in _TYPE_NAMES:
+            return _TYPE_NAMES[token.value]
+        raise SqlError(f"unknown column type {token.value!r}")
+
+    def _column_def(self) -> ast.ColumnDef:
+        name = self._column_name()
+        type_name = self._type_name()
+        default = None
+        if self._accept_keyword("DEFAULT"):
+            default = self._literal()
+        return ast.ColumnDef(name, type_name, default)
+
+    def _create_table(self) -> ast.CreateTable:
+        self._expect_keyword("CREATE")
+        self._expect_keyword("TABLE")
+        table = self._identifier()
+        self._expect_punct("(")
+        columns: List[ast.ColumnDef] = []
+        primary_key: List[str] = []
+        while True:
+            if self._accept_keyword("PRIMARY"):
+                self._expect_keyword("KEY")
+                self._expect_punct("(")
+                primary_key.append(self._column_name())
+                while self._accept_punct(","):
+                    primary_key.append(self._column_name())
+                self._expect_punct(")")
+            else:
+                columns.append(self._column_def())
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(")")
+        ttl_seconds = None
+        if self._accept_keyword("WITH"):
+            self._expect_keyword("TTL")
+            ttl = self._literal()
+            if not isinstance(ttl, int) or ttl <= 0:
+                raise SqlError("TTL must be a positive integer of seconds")
+            ttl_seconds = ttl
+        self._end()
+        if not primary_key:
+            raise SqlError("CREATE TABLE requires a PRIMARY KEY clause")
+        return ast.CreateTable(table, columns, primary_key, ttl_seconds)
+
+    def _drop_table(self) -> ast.DropTable:
+        self._expect_keyword("DROP")
+        self._expect_keyword("TABLE")
+        table = self._identifier()
+        self._end()
+        return ast.DropTable(table)
+
+    def _alter_table(self):
+        self._expect_keyword("ALTER")
+        self._expect_keyword("TABLE")
+        table = self._identifier()
+        if self._accept_keyword("ADD"):
+            self._expect_keyword("COLUMN")
+            column = self._column_def()
+            self._end()
+            return ast.AddColumn(table, column)
+        if self._accept_keyword("WIDEN"):
+            self._expect_keyword("COLUMN")
+            column = self._column_name()
+            self._end()
+            return ast.WidenColumn(table, column)
+        if self._accept_keyword("SET"):
+            self._expect_keyword("TTL")
+            if self._accept_keyword("NONE"):
+                self._end()
+                return ast.SetTtl(table, None)
+            ttl = self._literal()
+            if not isinstance(ttl, int) or ttl <= 0:
+                raise SqlError("TTL must be a positive integer of seconds")
+            self._end()
+            return ast.SetTtl(table, ttl)
+        raise SqlError("expected ADD COLUMN, WIDEN COLUMN, or SET TTL")

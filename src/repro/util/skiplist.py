@@ -1,0 +1,134 @@
+"""A skip list: the ordered map behind in-memory tablets.
+
+The paper implements in-memory tablets as balanced binary trees
+(Section 3.2).  A skip list provides the same O(log n) insert and
+ordered traversal with a much simpler implementation, which matches
+LittleTable's stated bias toward ease of implementation (Section 7).
+
+Keys may be any mutually-comparable values (in practice, tuples of
+column values).  Keys are unique; inserting an existing key fails
+unless ``replace=True`` is given.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+from .xorshift import Xorshift64Star
+
+_MAX_LEVEL = 24
+
+
+class _Node:
+    __slots__ = ("key", "value", "forward")
+
+    def __init__(self, key: Any, value: Any, level: int):
+        self.key = key
+        self.value = value
+        self.forward: List[Optional["_Node"]] = [None] * level
+
+
+class SkipList:
+    """An ordered map with O(log n) expected insert and seek.
+
+    >>> sl = SkipList()
+    >>> sl.insert(2, "b") and sl.insert(1, "a")
+    True
+    >>> list(sl.items())
+    [(1, 'a'), (2, 'b')]
+    """
+
+    def __init__(self, seed: int = 0xC0FFEE):
+        self._head = _Node(None, None, _MAX_LEVEL)
+        self._level = 1
+        self._length = 0
+        self._rng = Xorshift64Star(seed)
+
+    def __len__(self) -> int:
+        return self._length
+
+    def _random_level(self) -> int:
+        # Each level is half as likely as the one below (p = 1/2).
+        level = 1
+        bits = self._rng.next_u64()
+        while bits & 1 and level < _MAX_LEVEL:
+            level += 1
+            bits >>= 1
+        return level
+
+    def _find_predecessors(self, key: Any) -> List[_Node]:
+        """Return, per level, the last node with a key strictly < key."""
+        update: List[_Node] = [self._head] * _MAX_LEVEL
+        node = self._head
+        for level in range(self._level - 1, -1, -1):
+            nxt = node.forward[level]
+            while nxt is not None and nxt.key < key:
+                node = nxt
+                nxt = node.forward[level]
+            update[level] = node
+        return update
+
+    def insert(self, key: Any, value: Any, replace: bool = False) -> bool:
+        """Insert ``key``.  Returns False if the key already exists
+        (and ``replace`` is False); the existing value is kept."""
+        update = self._find_predecessors(key)
+        candidate = update[0].forward[0]
+        if candidate is not None and candidate.key == key:
+            if replace:
+                candidate.value = value
+                return True
+            return False
+        level = self._random_level()
+        if level > self._level:
+            self._level = level
+        node = _Node(key, value, level)
+        for i in range(level):
+            node.forward[i] = update[i].forward[i]
+            update[i].forward[i] = node
+        self._length += 1
+        return True
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Return the value stored for ``key``, or ``default``."""
+        node = self._find_predecessors(key)[0].forward[0]
+        if node is not None and node.key == key:
+            return node.value
+        return default
+
+    def __contains__(self, key: Any) -> bool:
+        node = self._find_predecessors(key)[0].forward[0]
+        return node is not None and node.key == key
+
+    def first_key(self) -> Any:
+        """Return the smallest key, or None if empty."""
+        node = self._head.forward[0]
+        return node.key if node is not None else None
+
+    def last_key(self) -> Any:
+        """Return the largest key, or None if empty.  O(log n)."""
+        node = self._head
+        for level in range(self._level - 1, -1, -1):
+            while node.forward[level] is not None:
+                node = node.forward[level]
+        return node.key if node is not self._head else None
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """Iterate all (key, value) pairs in ascending key order."""
+        node = self._head.forward[0]
+        while node is not None:
+            yield node.key, node.value
+            node = node.forward[0]
+
+    def items_from(self, key: Any, inclusive: bool = True) -> Iterator[Tuple[Any, Any]]:
+        """Iterate pairs with key >= ``key`` (or > if not inclusive)."""
+        node = self._find_predecessors(key)[0].forward[0]
+        if node is not None and not inclusive and node.key == key:
+            node = node.forward[0]
+        while node is not None:
+            yield node.key, node.value
+            node = node.forward[0]
+
+    def keys(self) -> Iterator[Any]:
+        """Iterate all keys in ascending order."""
+        for key, _value in self.items():
+            yield key

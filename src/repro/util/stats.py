@@ -1,0 +1,119 @@
+"""Small statistics helpers used by the evaluation harness.
+
+The paper's microbenchmarks report means with 95% confidence intervals
+computed from the Student's t-distribution (Section 5.1.1), Figure 6 is
+a linear regression of latency on tablet count, and Figures 7-10 are
+cumulative distribution functions.  This module provides exactly those
+tools, with no dependency on numpy/scipy so that the core library stays
+dependency-free (the benchmark suite may still use numpy for speed).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean.  Raises on an empty sequence."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def sample_stddev(values: Sequence[float]) -> float:
+    """Sample (n-1) standard deviation; 0.0 for fewer than two values."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (n - 1))
+
+
+# Two-sided 97.5% quantiles of the t-distribution by degrees of freedom.
+# Enough entries for the paper's 26-trial benchmarks; beyond the table we
+# use the normal approximation.
+_T_975 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
+    7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228, 11: 2.201, 12: 2.179,
+    13: 2.160, 14: 2.145, 15: 2.131, 16: 2.120, 17: 2.110, 18: 2.101,
+    19: 2.093, 20: 2.086, 21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064,
+    25: 2.060, 26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+    40: 2.021, 60: 2.000, 120: 1.980,
+}
+
+
+def t_critical_975(dof: int) -> float:
+    """Two-sided 95% t critical value for ``dof`` degrees of freedom."""
+    if dof <= 0:
+        raise ValueError("degrees of freedom must be positive")
+    if dof in _T_975:
+        return _T_975[dof]
+    for limit in (40, 60, 120):
+        if dof < limit:
+            return _T_975[limit]
+    return 1.96
+
+
+def confidence_interval_95(values: Sequence[float]) -> Tuple[float, float]:
+    """Return ``(mean, half_width)`` of the 95% CI, as in the paper."""
+    mu = mean(values)
+    n = len(values)
+    if n < 2:
+        return mu, 0.0
+    half = t_critical_975(n - 1) * sample_stddev(values) / math.sqrt(n)
+    return mu, half
+
+
+def percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolated percentile of an already-sorted sequence."""
+    if not sorted_values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = fraction * (len(sorted_values) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return sorted_values[low]
+    weight = rank - low
+    return sorted_values[low] * (1 - weight) + sorted_values[high] * weight
+
+
+def cdf_points(values: Iterable[float]) -> List[Tuple[float, float]]:
+    """Return (value, cumulative_fraction) points of the empirical CDF."""
+    ordered = sorted(values)
+    if not ordered:
+        return []
+    n = len(ordered)
+    return [(v, (i + 1) / n) for i, v in enumerate(ordered)]
+
+
+def cdf_at(values: Sequence[float], threshold: float) -> float:
+    """Fraction of ``values`` that are <= ``threshold``."""
+    if not values:
+        raise ValueError("cdf of empty sequence")
+    return sum(1 for v in values if v <= threshold) / len(values)
+
+
+def linear_regression(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:
+    """Least-squares fit ``y = slope * x + intercept``.
+
+    Returns ``(slope, intercept)``.  Used to reproduce Figure 6's
+    ms-per-tablet slopes.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    if len(xs) < 2:
+        raise ValueError("regression needs at least two points")
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var = sum((x - mean_x) ** 2 for x in xs)
+    if var == 0:
+        raise ValueError("regression undefined for constant x")
+    slope = cov / var
+    return slope, mean_y - slope * mean_x

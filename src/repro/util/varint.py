@@ -1,0 +1,68 @@
+"""Variable-length integer encoding for the on-disk row format.
+
+LittleTable stores rows in a compact binary format inside 64 kB blocks.
+We use LEB128-style varints for unsigned quantities (lengths, counts)
+and zigzag varints for signed column values, the same building blocks
+used by most LSM storage formats.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+def encode_uvarint(value: int) -> bytes:
+    """Encode a non-negative int as a LEB128 varint."""
+    if value < 0:
+        raise ValueError("uvarint cannot encode negative values")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_uvarint(buf: bytes, offset: int = 0) -> Tuple[int, int]:
+    """Decode a varint from ``buf`` at ``offset``.
+
+    Returns ``(value, next_offset)``.
+    """
+    result = 0
+    shift = 0
+    pos = offset
+    while True:
+        if pos >= len(buf):
+            raise ValueError("truncated uvarint")
+        byte = buf[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 70:
+            raise ValueError("uvarint too long")
+
+
+def zigzag_encode(value: int) -> int:
+    """Map a signed int to an unsigned one with small magnitudes small."""
+    return (value << 1) ^ (value >> 63) if value < 0 else value << 1
+
+
+def zigzag_decode(value: int) -> int:
+    """Inverse of :func:`zigzag_encode`."""
+    return (value >> 1) ^ -(value & 1)
+
+
+def encode_svarint(value: int) -> bytes:
+    """Encode a signed int as a zigzag varint."""
+    return encode_uvarint(zigzag_encode(value))
+
+
+def decode_svarint(buf: bytes, offset: int = 0) -> Tuple[int, int]:
+    """Decode a zigzag varint.  Returns ``(value, next_offset)``."""
+    raw, pos = decode_uvarint(buf, offset)
+    return zigzag_decode(raw), pos

@@ -1,0 +1,8 @@
+"""Workload generators: microbenchmark rows (§5.1) and the synthetic
+production fleet (§5.2)."""
+
+from .fleet import FleetSynthesizer, ShardStats, TableStats
+from .rows import BenchRowGenerator, bench_schema
+
+__all__ = ["FleetSynthesizer", "ShardStats", "TableStats",
+           "BenchRowGenerator", "bench_schema"]

@@ -1,0 +1,67 @@
+"""Shared fixtures: schemas, clocks, and engine builders."""
+
+import pytest
+
+from repro.core import Column, ColumnType, EngineConfig, LittleTable, Schema
+from repro.disk import SimulatedDisk
+from repro.util.clock import MICROS_PER_DAY, VirtualClock
+
+# A stable "now" far from the epoch: day 10,000 (2-Jan-1997), aligned to
+# a week boundary plus a bit so period math is interesting.
+BASE_TIME = 10_000 * MICROS_PER_DAY + 5 * 3_600_000_000
+
+
+def usage_schema():
+    """The paper's running example: (network, device, ts) -> counters."""
+    return Schema(
+        [
+            Column("network", ColumnType.INT64),
+            Column("device", ColumnType.INT64),
+            Column("ts", ColumnType.TIMESTAMP),
+            Column("bytes", ColumnType.INT64),
+            Column("rate", ColumnType.DOUBLE),
+        ],
+        key=["network", "device", "ts"],
+    )
+
+
+def event_schema():
+    """Event-log style schema with a string payload."""
+    return Schema(
+        [
+            Column("network", ColumnType.INT64),
+            Column("device", ColumnType.INT64),
+            Column("ts", ColumnType.TIMESTAMP),
+            Column("event_id", ColumnType.INT64),
+            Column("contents", ColumnType.STRING),
+        ],
+        key=["network", "device", "ts"],
+    )
+
+
+@pytest.fixture
+def clock():
+    return VirtualClock(start=BASE_TIME)
+
+
+@pytest.fixture
+def small_config():
+    """Tiny flush/merge sizes so tests exercise multi-tablet paths."""
+    return EngineConfig(
+        block_size_bytes=1024,
+        flush_size_bytes=16 * 1024,
+        max_merged_tablet_bytes=256 * 1024,
+        merge_min_age_micros=0,
+        merge_rollover_delay_fraction=0.0,
+        server_row_limit=100_000,
+    )
+
+
+@pytest.fixture
+def db(clock, small_config):
+    return LittleTable(disk=SimulatedDisk(), config=small_config, clock=clock)
+
+
+@pytest.fixture
+def usage_table(db):
+    return db.create_table("usage", usage_schema())

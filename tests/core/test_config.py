@@ -1,0 +1,129 @@
+"""Tests for EngineConfig validation and the ablation knobs."""
+
+import pytest
+
+from repro.core import EngineConfig, LittleTable, Query
+from repro.core.periods import UNPARTITIONED_PERIOD, period_for
+from repro.disk import SimulatedDisk
+from repro.util.clock import MICROS_PER_DAY, VirtualClock
+
+from ..conftest import BASE_TIME, usage_schema
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        EngineConfig().validate()
+
+    def test_block_size_positive(self):
+        with pytest.raises(ValueError):
+            EngineConfig(block_size_bytes=0).validate()
+
+    def test_flush_size_positive(self):
+        with pytest.raises(ValueError):
+            EngineConfig(flush_size_bytes=0).validate()
+
+    def test_max_merged_at_least_flush(self):
+        with pytest.raises(ValueError):
+            EngineConfig(flush_size_bytes=100,
+                         max_merged_tablet_bytes=50).validate()
+
+    def test_compression_codecs(self):
+        EngineConfig(compression="none").validate()
+        EngineConfig(compression="zlib").validate()
+        with pytest.raises(ValueError):
+            EngineConfig(compression="lzo").validate()
+
+    def test_merge_policy_names(self):
+        for policy in ("adjacent-half", "always-all", "never"):
+            EngineConfig(merge_policy=policy).validate()
+        with pytest.raises(ValueError):
+            EngineConfig(merge_policy="sometimes").validate()
+
+    def test_server_row_limit_positive(self):
+        with pytest.raises(ValueError):
+            EngineConfig(server_row_limit=0).validate()
+
+
+class TestUnpartitionedAblation:
+    def test_unpartitioned_period_for(self):
+        period = period_for(123, 456, partitioned=False)
+        assert period == UNPARTITIONED_PERIOD
+        assert period.contains(0)
+        assert period.contains(10**15)
+
+    def test_single_memtable_without_partitioning(self, clock):
+        config = EngineConfig(time_partitioning=False)
+        db = LittleTable(disk=SimulatedDisk(), config=config, clock=clock)
+        table = db.create_table("t", usage_schema())
+        # Rows a month apart land in the same filling memtable.
+        table.insert([
+            {"network": 1, "device": 1, "ts": clock.now(), "bytes": 0,
+             "rate": 0.0},
+            {"network": 1, "device": 2,
+             "ts": clock.now() - 30 * MICROS_PER_DAY, "bytes": 0,
+             "rate": 0.0},
+        ])
+        assert table.unflushed_memtable_count == 1
+
+    def test_partitioned_uses_separate_memtables(self, usage_table, clock):
+        usage_table.insert([
+            {"network": 1, "device": 1, "ts": clock.now(), "bytes": 0,
+             "rate": 0.0},
+            {"network": 1, "device": 2,
+             "ts": clock.now() - 30 * MICROS_PER_DAY, "bytes": 0,
+             "rate": 0.0},
+        ])
+        assert usage_table.unflushed_memtable_count == 2
+
+
+class TestMergePolicyAblations:
+    def _flushed_table(self, clock, policy):
+        config = EngineConfig(merge_policy=policy, merge_min_age_micros=0,
+                              merge_rollover_delay_fraction=0.0)
+        db = LittleTable(disk=SimulatedDisk(), config=config, clock=clock)
+        table = db.create_table("t", usage_schema())
+        for batch in range(4):
+            table.insert([{"network": 1, "device": d, "ts": clock.now(),
+                           "bytes": batch, "rate": 0.0} for d in range(5)])
+            clock.advance_seconds(1)
+            table.flush_all()
+        return table
+
+    def test_never_policy_never_merges(self, clock):
+        table = self._flushed_table(clock, "never")
+        assert table.maybe_merge() is None
+        assert len(table.on_disk_tablets) == 4
+
+    def test_always_all_merges_to_one(self, clock):
+        table = self._flushed_table(clock, "always-all")
+        assert table.maybe_merge() is not None
+        assert len(table.on_disk_tablets) == 1
+        assert len(table.query(Query()).rows) == 20
+
+    def test_paper_policy_preserves_rows(self, clock):
+        table = self._flushed_table(clock, "adjacent-half")
+        while table.maybe_merge() is not None:
+            pass
+        assert len(table.query(Query()).rows) == 20
+
+
+class TestReaderCacheEviction:
+    def test_evict_then_reload(self, usage_table, clock, db):
+        usage_table.insert([{"network": 1, "device": 1, "ts": clock.now(),
+                             "bytes": 1, "rate": 0.0}])
+        usage_table.flush_all()
+        assert len(usage_table.query(Query()).rows) == 1
+        usage_table.evict_reader_cache()
+        # Still readable: footers reload on demand (§3.5).
+        assert len(usage_table.query(Query()).rows) == 1
+
+    def test_eviction_makes_footer_reads_cold(self, usage_table, clock, db):
+        usage_table.insert([{"network": 1, "device": 1, "ts": clock.now(),
+                             "bytes": 1, "rate": 0.0}])
+        usage_table.flush_all()
+        usage_table.query(Query())
+        db.disk.drop_caches()
+        usage_table.evict_reader_cache()
+        before = db.disk.stats.seeks
+        usage_table.query(Query())
+        assert db.disk.stats.seeks > before

@@ -1,0 +1,94 @@
+"""Unit tests for the merge cursor (repro.core.cursor)."""
+
+import pytest
+
+from repro.core.cursor import execute_query, merge_sorted
+from repro.core.row import DESCENDING, KeyRange, Query, QueryStats, TimeRange
+from repro.core.schema import Column, ColumnType, Schema
+
+
+def make_schema():
+    return Schema(
+        [Column("k", ColumnType.INT64),
+         Column("ts", ColumnType.TIMESTAMP),
+         Column("v", ColumnType.INT64)],
+        key=["k", "ts"],
+    )
+
+
+def rows_for(keys):
+    return [(k, ts, k * 100) for k, ts in keys]
+
+
+class TestMergeSorted:
+    def test_single_source_passthrough(self):
+        schema = make_schema()
+        rows = rows_for([(1, 10), (2, 20)])
+        merged = list(merge_sorted([iter(rows)], schema.key_of))
+        assert merged == rows
+
+    def test_interleaved_sources(self):
+        schema = make_schema()
+        a = rows_for([(1, 10), (3, 10), (5, 10)])
+        b = rows_for([(2, 10), (4, 10), (6, 10)])
+        merged = list(merge_sorted([iter(a), iter(b)], schema.key_of))
+        assert [r[0] for r in merged] == [1, 2, 3, 4, 5, 6]
+
+    def test_descending_merge(self):
+        schema = make_schema()
+        a = rows_for([(5, 10), (3, 10), (1, 10)])
+        b = rows_for([(4, 10), (2, 10)])
+        merged = list(merge_sorted([iter(a), iter(b)], schema.key_of,
+                                   descending=True))
+        assert [r[0] for r in merged] == [5, 4, 3, 2, 1]
+
+    def test_empty_sources(self):
+        schema = make_schema()
+        assert list(merge_sorted([iter(()), iter(())], schema.key_of)) == []
+
+
+class TestExecuteQuery:
+    def _run(self, sources, query, now=1_000_000, ttl=None):
+        stats = QueryStats()
+        rows = list(execute_query(sources, make_schema(), query, now, ttl,
+                                  stats))
+        return rows, stats
+
+    def test_time_filter_counts_scanned(self):
+        rows = rows_for([(1, 10), (1, 20), (1, 30)])
+        query = Query(time_range=TimeRange.between(15, 25))
+        got, stats = self._run([iter(rows)], query)
+        assert [r[1] for r in got] == [20]
+        assert stats.rows_scanned == 3
+        assert stats.rows_returned == 1
+
+    def test_ttl_filters_expired(self):
+        rows = rows_for([(1, 10), (1, 500)])
+        got, stats = self._run([iter(rows)], Query(), now=600, ttl=200)
+        assert [r[1] for r in got] == [500]
+
+    def test_no_ttl_returns_all(self):
+        rows = rows_for([(1, 10), (1, 500)])
+        got, _stats = self._run([iter(rows)], Query(), now=600, ttl=None)
+        assert len(got) == 2
+
+    def test_limit_stops_early(self):
+        rows = rows_for([(k, 10) for k in range(100)])
+        got, stats = self._run([iter(rows)], Query(limit=5))
+        assert len(got) == 5
+        # Stopping early means not everything was scanned.
+        assert stats.rows_scanned <= 6
+
+    def test_exclusive_time_bounds(self):
+        rows = rows_for([(1, 10), (1, 20), (1, 30)])
+        query = Query(time_range=TimeRange(min_ts=10, min_inclusive=False,
+                                           max_ts=30, max_inclusive=False))
+        got, _stats = self._run([iter(rows)], query)
+        assert [r[1] for r in got] == [20]
+
+    def test_descending_direction(self):
+        a = rows_for([(3, 10), (2, 10)])
+        b = rows_for([(4, 10), (1, 10)])
+        got, _stats = self._run([iter(a), iter(b)],
+                                Query(direction=DESCENDING))
+        assert [r[0] for r in got] == [4, 3, 2, 1]

@@ -1,0 +1,88 @@
+"""Tests for repro.core.descriptor."""
+
+import pytest
+
+from repro.core.descriptor import TableDescriptor
+from repro.core.errors import CorruptTabletError
+from repro.core.schema import Column, ColumnType, Schema
+from repro.core.tablet import TabletMeta
+from repro.disk import SimulatedDisk
+
+
+def make_schema():
+    return Schema(
+        [Column("k", ColumnType.INT64), Column("ts", ColumnType.TIMESTAMP)],
+        key=["k", "ts"],
+    )
+
+
+def make_meta(tablet_id=1):
+    return TabletMeta(
+        tablet_id=tablet_id, filename=f"tables/t/tab-{tablet_id:08d}.lt",
+        min_ts=100, max_ts=200, row_count=10, size_bytes=1234,
+        schema_version=1, created_at=50,
+    )
+
+
+class TestDescriptor:
+    def test_save_load_round_trip(self):
+        disk = SimulatedDisk()
+        desc = TableDescriptor("t", make_schema(), ttl_micros=999)
+        desc.tablets.append(make_meta())
+        desc.save(disk)
+        loaded = TableDescriptor.load(disk, "t")
+        assert loaded.name == "t"
+        assert loaded.schema == make_schema()
+        assert loaded.ttl_micros == 999
+        assert len(loaded.tablets) == 1
+        assert loaded.tablets[0] == make_meta()
+
+    def test_save_replaces_atomically(self):
+        disk = SimulatedDisk()
+        desc = TableDescriptor("t", make_schema())
+        desc.save(disk)
+        desc.tablets.append(make_meta())
+        desc.save(disk)
+        loaded = TableDescriptor.load(disk, "t")
+        assert len(loaded.tablets) == 1
+        # No temp files left behind.
+        assert disk.list("tables/t/") == ["tables/t/descriptor.json"]
+
+    def test_tablet_id_allocation(self):
+        desc = TableDescriptor("t", make_schema())
+        assert desc.allocate_tablet_id() == 1
+        assert desc.allocate_tablet_id() == 2
+        assert desc.next_tablet_id == 3
+
+    def test_allocation_survives_round_trip(self):
+        disk = SimulatedDisk()
+        desc = TableDescriptor("t", make_schema())
+        desc.allocate_tablet_id()
+        desc.allocate_tablet_id()
+        desc.save(disk)
+        loaded = TableDescriptor.load(disk, "t")
+        assert loaded.allocate_tablet_id() == 3
+
+    def test_tablet_filename(self):
+        desc = TableDescriptor("usage", make_schema())
+        assert desc.tablet_filename(7) == "tables/usage/tab-00000007.lt"
+
+    def test_exists_and_list(self):
+        disk = SimulatedDisk()
+        assert not TableDescriptor.exists(disk, "t")
+        TableDescriptor("t", make_schema()).save(disk)
+        TableDescriptor("usage", make_schema()).save(disk)
+        assert TableDescriptor.exists(disk, "t")
+        assert TableDescriptor.list_tables(disk) == ["t", "usage"]
+
+    def test_corrupt_json_raises(self):
+        disk = SimulatedDisk()
+        disk.write_file("tables/bad/descriptor.json", b"{not json")
+        with pytest.raises(CorruptTabletError):
+            TableDescriptor.load(disk, "bad")
+
+    def test_missing_fields_raise(self):
+        disk = SimulatedDisk()
+        disk.write_file("tables/bad/descriptor.json", b"{}")
+        with pytest.raises(CorruptTabletError):
+            TableDescriptor.load(disk, "bad")

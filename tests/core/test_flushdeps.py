@@ -1,0 +1,82 @@
+"""Tests for repro.core.flushdeps (the §3.4.3 dependency graph)."""
+
+from repro.core.flushdeps import FlushDependencies
+
+
+class TestFlushDependencies:
+    def test_single_tablet_no_deps(self):
+        deps = FlushDependencies()
+        deps.record_insert(1)
+        deps.record_insert(1)
+        assert deps.flush_group(1) == [1]
+
+    def test_switch_creates_dependency(self):
+        deps = FlushDependencies()
+        deps.record_insert(1)
+        deps.record_insert(2)  # edge 1 -> 2: 1 must flush before 2
+        assert deps.dependencies_of(2) == {1}
+        assert deps.dependencies_of(1) == set()
+        group = deps.flush_group(2)
+        assert set(group) == {1, 2}
+        assert group[-1] == 2
+
+    def test_flushing_independent_tablet(self):
+        deps = FlushDependencies()
+        deps.record_insert(1)
+        deps.record_insert(2)
+        assert deps.flush_group(1) == [1]  # 1 depends on nothing
+
+    def test_chain(self):
+        deps = FlushDependencies()
+        for target in (1, 2, 3):
+            deps.record_insert(target)
+        group = deps.flush_group(3)
+        assert set(group) == {1, 2, 3}
+        assert group[-1] == 3
+
+    def test_cycle(self):
+        deps = FlushDependencies()
+        deps.record_insert(1)
+        deps.record_insert(2)  # 1 -> 2
+        deps.record_insert(1)  # 2 -> 1: cycle
+        group1 = deps.flush_group(1)
+        group2 = deps.flush_group(2)
+        assert set(group1) == {1, 2}
+        assert set(group2) == {1, 2}
+
+    def test_mark_flushed_clears(self):
+        deps = FlushDependencies()
+        deps.record_insert(1)
+        deps.record_insert(2)
+        deps.mark_flushed([1, 2])
+        assert deps.flush_group(2) == [2]
+        deps.record_insert(3)
+        # Last-insert pointer was cleared; no edge 2 -> 3 appears
+        # because 2 is gone.
+        assert deps.dependencies_of(3) == set()
+
+    def test_partial_flush_keeps_remaining_edges(self):
+        deps = FlushDependencies()
+        deps.record_insert(1)
+        deps.record_insert(2)  # 1 -> 2
+        deps.record_insert(3)  # 2 -> 3
+        deps.mark_flushed([1])
+        group = deps.flush_group(3)
+        assert set(group) == {2, 3}
+
+    def test_interleaving_produces_transitive_group(self):
+        # Inserts alternate between two tablets, then a third appears.
+        deps = FlushDependencies()
+        deps.record_insert(1)
+        deps.record_insert(2)
+        deps.record_insert(1)
+        deps.record_insert(3)
+        group = deps.flush_group(3)
+        assert set(group) == {1, 2, 3}
+
+    def test_last_insert_edge_after_flush_of_other(self):
+        deps = FlushDependencies()
+        deps.record_insert(1)
+        deps.mark_flushed([9])  # unrelated id: pointer stays on 1
+        deps.record_insert(2)
+        assert deps.dependencies_of(2) == {1}

@@ -1,0 +1,145 @@
+"""Tests for repro.core.periods (the §3.4.2 time binning)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.periods import (
+    FOUR_HOURS,
+    Period,
+    PeriodLevel,
+    day_floor,
+    level_length,
+    period_for,
+    rollover_delay,
+    week_floor,
+)
+from repro.util.clock import (
+    MICROS_PER_DAY,
+    MICROS_PER_HOUR,
+    MICROS_PER_WEEK,
+)
+
+NOW = 10_000 * MICROS_PER_DAY + 13 * MICROS_PER_HOUR  # mid-day, mid-week
+
+
+class TestFloors:
+    def test_day_floor(self):
+        assert day_floor(NOW) == 10_000 * MICROS_PER_DAY
+        assert day_floor(10_000 * MICROS_PER_DAY) == 10_000 * MICROS_PER_DAY
+
+    def test_week_floor_epoch_aligned(self):
+        assert week_floor(NOW) % MICROS_PER_WEEK == 0
+        assert week_floor(NOW) <= NOW < week_floor(NOW) + MICROS_PER_WEEK
+
+
+class TestPeriodFor:
+    def test_current_day_is_four_hour_bins(self):
+        ts = day_floor(NOW) + 5 * MICROS_PER_HOUR
+        period = period_for(ts, NOW)
+        assert period.level == PeriodLevel.FOUR_HOUR
+        assert period.length == FOUR_HOURS
+        assert period.contains(ts)
+        assert period.start % FOUR_HOURS == 0
+
+    def test_future_timestamps_are_four_hour_bins(self):
+        period = period_for(NOW + MICROS_PER_WEEK, NOW)
+        assert period.level == PeriodLevel.FOUR_HOUR
+
+    def test_earlier_this_week_is_day_bins(self):
+        ts = day_floor(NOW) - MICROS_PER_HOUR  # yesterday
+        if ts >= week_floor(NOW):
+            period = period_for(ts, NOW)
+            assert period.level == PeriodLevel.DAY
+            assert period.length == MICROS_PER_DAY
+            assert period.contains(ts)
+
+    def test_older_is_week_bins(self):
+        ts = week_floor(NOW) - 1  # last week
+        period = period_for(ts, NOW)
+        assert period.level == PeriodLevel.WEEK
+        assert period.length == MICROS_PER_WEEK
+        assert period.contains(ts)
+
+    def test_ancient_is_week_bins(self):
+        period = period_for(0, NOW)
+        assert period.level == PeriodLevel.WEEK
+        assert period.start == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            period_for(-1, NOW)
+
+    def test_six_four_hour_periods_per_day(self):
+        day = day_floor(NOW)
+        starts = {
+            period_for(day + h * MICROS_PER_HOUR, NOW).start
+            for h in range(24)
+        }
+        assert len(starts) == 6
+
+    def test_rollover_coarsens(self):
+        # A 4-hour bin today becomes part of a day bin tomorrow and a
+        # week bin after the week turns.
+        ts = day_floor(NOW) + MICROS_PER_HOUR
+        assert period_for(ts, NOW).level == PeriodLevel.FOUR_HOUR
+        tomorrow = NOW + MICROS_PER_DAY
+        assert period_for(ts, tomorrow).level in (
+            PeriodLevel.DAY, PeriodLevel.WEEK)
+        next_month = NOW + 5 * MICROS_PER_WEEK
+        assert period_for(ts, next_month).level == PeriodLevel.WEEK
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        ts=st.integers(0, 20_000 * MICROS_PER_DAY),
+        now=st.integers(0, 20_000 * MICROS_PER_DAY),
+    )
+    def test_period_always_contains_ts(self, ts, now):
+        period = period_for(ts, now)
+        assert period.contains(ts)
+        assert period.start % period.length == 0
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        ts1=st.integers(0, 20_000 * MICROS_PER_DAY),
+        ts2=st.integers(0, 20_000 * MICROS_PER_DAY),
+        now=st.integers(0, 20_000 * MICROS_PER_DAY),
+    )
+    def test_periods_disjoint_or_identical(self, ts1, ts2, now):
+        """At a fixed 'now', two periods never partially overlap."""
+        p1 = period_for(ts1, now)
+        p2 = period_for(ts2, now)
+        if p1 == p2:
+            return
+        assert p1.end <= p2.start or p2.end <= p1.start
+
+
+class TestLevelLength:
+    def test_lengths(self):
+        assert level_length(PeriodLevel.FOUR_HOUR) == FOUR_HOURS
+        assert level_length(PeriodLevel.DAY) == MICROS_PER_DAY
+        assert level_length(PeriodLevel.WEEK) == MICROS_PER_WEEK
+
+
+class TestRolloverDelay:
+    def _period(self):
+        return Period(0, MICROS_PER_WEEK, PeriodLevel.WEEK)
+
+    def test_deterministic(self):
+        period = self._period()
+        assert rollover_delay("t", period, 1.0) == rollover_delay(
+            "t", period, 1.0)
+
+    def test_spreads_across_tables(self):
+        period = self._period()
+        delays = {rollover_delay(f"table{i}", period, 1.0) for i in range(50)}
+        assert len(delays) > 40
+
+    def test_bounded_by_period(self):
+        period = self._period()
+        for i in range(50):
+            delay = rollover_delay(f"table{i}", period, 1.0)
+            assert 0 <= delay < period.length
+
+    def test_zero_scale_no_delay(self):
+        assert rollover_delay("t", self._period(), 0.0) == 0

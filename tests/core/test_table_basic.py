@@ -1,0 +1,175 @@
+"""Table-level insert/query behaviour (paper §3.1, §3.2)."""
+
+import pytest
+
+from repro.core import (
+    DESCENDING,
+    DuplicateKeyError,
+    KeyRange,
+    Query,
+    TimeRange,
+)
+from repro.core.errors import ValidationError
+from repro.util.clock import MICROS_PER_MINUTE
+
+from ..conftest import BASE_TIME
+
+
+def fill_usage(table, clock, networks=3, devices=4, samples=5,
+               minute_gap=1):
+    """Insert a grid of rows, advancing the clock between samples."""
+    rows = []
+    for sample in range(samples):
+        batch = []
+        for network in range(networks):
+            for device in range(devices):
+                batch.append({
+                    "network": network, "device": device,
+                    "ts": clock.now(), "bytes": network * 1000 + device,
+                    "rate": float(sample),
+                })
+        table.insert(batch)
+        rows.extend(batch)
+        clock.advance(minute_gap * MICROS_PER_MINUTE)
+    return rows
+
+
+class TestInsert:
+    def test_insert_returns_count(self, usage_table):
+        count = usage_table.insert([
+            {"network": 1, "device": 1, "ts": BASE_TIME, "bytes": 5,
+             "rate": 1.0},
+        ])
+        assert count == 1
+        assert usage_table.counters.rows_inserted == 1
+
+    def test_omitted_ts_uses_now(self, usage_table, clock):
+        usage_table.insert([{"network": 1, "device": 1, "bytes": 5,
+                             "rate": 1.0}])
+        result = usage_table.query(Query())
+        assert result.rows[0][2] == clock.now()
+
+    def test_future_and_past_timestamps_allowed(self, usage_table, clock):
+        past = clock.now() - 30 * MICROS_PER_MINUTE
+        future = clock.now() + 30 * MICROS_PER_MINUTE
+        usage_table.insert([
+            {"network": 1, "device": 1, "ts": past, "bytes": 1, "rate": 0.0},
+            {"network": 1, "device": 1, "ts": future, "bytes": 2, "rate": 0.0},
+        ])
+        assert len(usage_table.query(Query()).rows) == 2
+
+    def test_invalid_row_rejected(self, usage_table):
+        with pytest.raises(ValidationError):
+            usage_table.insert([{"network": "not-an-int", "device": 1,
+                                 "ts": 1, "bytes": 1, "rate": 0.0}])
+
+    def test_duplicate_key_raises(self, usage_table):
+        row = {"network": 1, "device": 1, "ts": BASE_TIME, "bytes": 5,
+               "rate": 1.0}
+        usage_table.insert([row])
+        with pytest.raises(DuplicateKeyError):
+            usage_table.insert([dict(row, bytes=99)])
+
+
+class TestQuery:
+    def test_results_sorted_by_primary_key(self, usage_table, clock):
+        fill_usage(usage_table, clock)
+        rows = usage_table.query(Query()).rows
+        keys = [usage_table.schema.key_of(r) for r in rows]
+        assert keys == sorted(keys)
+
+    def test_key_prefix_query(self, usage_table, clock):
+        fill_usage(usage_table, clock)
+        result = usage_table.query(Query(KeyRange.prefix((1,))))
+        assert result.rows
+        assert all(r[0] == 1 for r in result.rows)
+
+    def test_device_prefix_query(self, usage_table, clock):
+        fill_usage(usage_table, clock)
+        result = usage_table.query(Query(KeyRange.prefix((2, 3))))
+        assert len(result.rows) == 5
+        assert all(r[0] == 2 and r[1] == 3 for r in result.rows)
+
+    def test_time_bounded_query(self, usage_table, clock):
+        start = clock.now()
+        fill_usage(usage_table, clock, samples=5)
+        bound = TimeRange.between(start + MICROS_PER_MINUTE,
+                                  start + 3 * MICROS_PER_MINUTE)
+        result = usage_table.query(Query(time_range=bound))
+        assert len(result.rows) == 3 * 12  # samples 1..3 of 12 keys each
+
+    def test_two_dimensional_bounding_box(self, usage_table, clock):
+        start = clock.now()
+        fill_usage(usage_table, clock, samples=5)
+        result = usage_table.query(Query(
+            KeyRange.prefix((1,)),
+            TimeRange.between(start, start + MICROS_PER_MINUTE),
+        ))
+        assert len(result.rows) == 2 * 4  # 2 samples x 4 devices
+
+    def test_descending_query(self, usage_table, clock):
+        fill_usage(usage_table, clock)
+        asc = usage_table.query(Query()).rows
+        desc = usage_table.query(Query(direction=DESCENDING)).rows
+        assert desc == asc[::-1]
+
+    def test_limit(self, usage_table, clock):
+        fill_usage(usage_table, clock)
+        result = usage_table.query(Query(limit=7))
+        assert len(result.rows) == 7
+
+    def test_query_spans_memtables_and_disk(self, usage_table, clock):
+        first_half = fill_usage(usage_table, clock, samples=3)
+        usage_table.flush_all()
+        second_half = fill_usage(usage_table, clock, samples=2)
+        result = usage_table.query(Query())
+        assert len(result.rows) == len(first_half) + len(second_half)
+
+    def test_query_after_flush_returns_same_rows(self, usage_table, clock):
+        fill_usage(usage_table, clock)
+        before = usage_table.query(Query()).rows
+        usage_table.flush_all()
+        assert usage_table.query(Query()).rows == before
+
+    def test_empty_table(self, usage_table):
+        result = usage_table.query(Query())
+        assert result.rows == []
+        assert not result.more_available
+
+
+class TestServerRowLimit:
+    def test_more_available_and_continuation(self, db, clock):
+        from ..conftest import usage_schema
+
+        db.config.server_row_limit = 10
+        table = db.create_table("limited", usage_schema())
+        for device in range(25):
+            table.insert([{"network": 1, "device": device,
+                           "ts": clock.now(), "bytes": device, "rate": 0.0}])
+        first = table.query(Query())
+        assert len(first.rows) == 10
+        assert first.more_available
+        # Continue the way the SQLite adaptor does (§3.5): move the
+        # start bound past the last returned key.
+        collected = list(first.rows)
+        while True:
+            last_key = table.schema.key_of(collected[-1])
+            result = table.query(Query(KeyRange(min_prefix=last_key,
+                                                min_inclusive=False)))
+            collected.extend(result.rows)
+            if not result.more_available:
+                break
+        assert len(collected) == 25
+        keys = [table.schema.key_of(r) for r in collected]
+        assert keys == sorted(set(keys))
+
+
+class TestScanRatioAccounting:
+    def test_time_filtered_rows_count_as_scanned(self, usage_table, clock):
+        start = clock.now()
+        fill_usage(usage_table, clock, networks=1, devices=1, samples=10)
+        usage_table.flush_all()
+        narrow = TimeRange.between(start, start)
+        result = usage_table.query(Query(KeyRange.prefix((0, 0)), narrow))
+        assert len(result.rows) == 1
+        assert result.stats.rows_scanned > result.stats.rows_returned

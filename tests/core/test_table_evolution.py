@@ -1,0 +1,127 @@
+"""Schema evolution (paper §3.5): append columns, widen int32, no
+tablet rewrites."""
+
+import pytest
+
+from repro.core import Column, ColumnType, Query, SchemaError
+
+
+def row(device, ts, value=0):
+    return {"network": 1, "device": device, "ts": ts, "bytes": value,
+            "rate": 0.0}
+
+
+class TestAppendColumn:
+    def test_old_rows_get_default(self, usage_table, clock):
+        usage_table.insert([row(1, clock.now())])
+        usage_table.flush_all()
+        usage_table.append_column(
+            Column("packets", ColumnType.INT64, default=-1))
+        rows = usage_table.query(Query()).rows
+        assert rows[0][-1] == -1
+
+    def test_new_rows_store_new_column(self, usage_table, clock):
+        usage_table.append_column(Column("packets", ColumnType.INT64))
+        usage_table.insert([
+            {"network": 1, "device": 1, "ts": clock.now(), "bytes": 0,
+             "rate": 0.0, "packets": 77},
+        ])
+        assert usage_table.query(Query()).rows[0][-1] == 77
+
+    def test_no_tablet_rewrites(self, usage_table, clock):
+        usage_table.insert([row(1, clock.now())])
+        usage_table.flush_all()
+        files_before = {t.filename for t in usage_table.on_disk_tablets}
+        usage_table.append_column(Column("packets", ColumnType.INT64))
+        files_after = {t.filename for t in usage_table.on_disk_tablets}
+        assert files_before == files_after
+
+    def test_mixed_versions_in_one_query(self, usage_table, clock):
+        usage_table.insert([row(1, clock.now())])
+        usage_table.flush_all()
+        usage_table.append_column(
+            Column("packets", ColumnType.INT64, default=0))
+        clock.advance_seconds(1)
+        usage_table.insert([
+            {"network": 1, "device": 2, "ts": clock.now(), "bytes": 0,
+             "rate": 0.0, "packets": 5},
+        ])
+        usage_table.flush_all()
+        rows = usage_table.query(Query()).rows
+        assert len(rows) == 2
+        assert all(len(r) == 6 for r in rows)
+
+    def test_survives_recovery(self, usage_table, clock, db):
+        usage_table.insert([row(1, clock.now())])
+        usage_table.flush_all()
+        usage_table.append_column(
+            Column("packets", ColumnType.INT64, default=9))
+        recovered = db.simulate_crash()
+        table = recovered.table("usage")
+        assert table.schema.has_column("packets")
+        assert table.query(Query()).rows[0][-1] == 9
+
+    def test_merge_upgrades_row_versions(self, usage_table, clock, db):
+        usage_table.insert([row(1, clock.now())])
+        usage_table.flush_all()
+        usage_table.append_column(
+            Column("packets", ColumnType.INT64, default=3))
+        clock.advance_seconds(1)
+        usage_table.insert([row(2, clock.now())])
+        usage_table.flush_all()
+        clock.advance_seconds(120)
+        db.maintenance_until_quiet()
+        rows = usage_table.query(Query()).rows
+        assert len(rows) == 2
+        assert all(r[-1] == 3 for r in rows)
+
+
+class TestWidenColumn:
+    def test_old_int32_values_readable_as_int64(self, db, clock):
+        from repro.core import Schema
+
+        schema = Schema(
+            [Column("k", ColumnType.INT64),
+             Column("ts", ColumnType.TIMESTAMP),
+             Column("count", ColumnType.INT32)],
+            key=["k", "ts"],
+        )
+        table = db.create_table("narrow", schema)
+        table.insert([{"k": 1, "ts": clock.now(), "count": 2**31 - 1}])
+        table.flush_all()
+        table.widen_column("count")
+        clock.advance_seconds(1)
+        table.insert([{"k": 2, "ts": clock.now(), "count": 2**40}])
+        rows = table.query(Query()).rows
+        assert rows[0][2] == 2**31 - 1
+        assert rows[1][2] == 2**40
+
+    def test_widen_rejects_wrong_type(self, usage_table):
+        with pytest.raises(SchemaError):
+            usage_table.widen_column("rate")
+
+
+class TestDropRecreate:
+    def test_drop_and_recreate_with_new_schema(self, db, clock):
+        from repro.core import Schema
+
+        schema_v1 = Schema(
+            [Column("k", ColumnType.INT64),
+             Column("ts", ColumnType.TIMESTAMP)],
+            key=["k", "ts"],
+        )
+        table = db.create_table("feature", schema_v1)
+        table.insert([{"k": 1, "ts": clock.now()}])
+        table.flush_all()
+        db.drop_table("feature")
+        assert not db.has_table("feature")
+        assert db.disk.list("tables/feature/") == []
+        schema_v2 = Schema(
+            [Column("k", ColumnType.INT64),
+             Column("extra", ColumnType.STRING),
+             Column("ts", ColumnType.TIMESTAMP)],
+            key=["k", "ts"],
+        )
+        table2 = db.create_table("feature", schema_v2)
+        table2.insert([{"k": 1, "extra": "x", "ts": clock.now()}])
+        assert len(table2.query(Query()).rows) == 1

@@ -1,0 +1,242 @@
+"""Tests for the paper's proposed extensions, implemented here:
+
+* ``flush_before`` - the explicit flush command §4.1.2 proposes so
+  aggregators need not assume a 20-minute persistence horizon;
+* ``bulk_delete`` - the §7 privacy-compliance bulk delete;
+* the cold storage tier - the §6 LHAM-style archive for old tablets.
+"""
+
+import pytest
+
+from repro.core import (
+    EngineConfig,
+    KeyRange,
+    LittleTable,
+    Query,
+    QueryError,
+    TimeRange,
+)
+from repro.disk import DiskParameters, SimulatedDisk
+from repro.util.clock import MICROS_PER_DAY, MICROS_PER_MINUTE, MICROS_PER_WEEK
+
+from ..conftest import usage_schema
+
+
+def row(device, ts, network=1, value=0):
+    return {"network": network, "device": device, "ts": ts, "bytes": value,
+            "rate": 0.0}
+
+
+class TestFlushBefore:
+    def test_flushes_only_older_memtables(self, usage_table, clock):
+        old_ts = clock.now() - 30 * MICROS_PER_DAY
+        usage_table.insert([row(1, old_ts), row(2, clock.now())])
+        assert usage_table.unflushed_memtable_count == 2
+        written = usage_table.flush_before(clock.now() - MICROS_PER_DAY)
+        assert len(written) == 1
+        assert usage_table.unflushed_memtable_count == 1
+
+    def test_flushed_data_survives_crash(self, usage_table, clock, db):
+        # The guarantee: after flush_before(t), every row with ts < t
+        # is durable.  (Whole memtables flush, so newer rows sharing a
+        # memtable may be persisted too - that is allowed.)
+        cutoff_ts = clock.now()
+        usage_table.insert([row(1, cutoff_ts - MICROS_PER_MINUTE)])
+        clock.advance(MICROS_PER_MINUTE)
+        usage_table.insert([row(2, clock.now())])
+        usage_table.flush_before(cutoff_ts)
+        recovered = db.simulate_crash()
+        rows = recovered.table("usage").query(Query()).rows
+        assert any(r[1] == 1 for r in rows)
+
+    def test_noop_when_nothing_older(self, usage_table, clock):
+        usage_table.insert([row(1, clock.now())])
+        assert usage_table.flush_before(clock.now() - MICROS_PER_DAY) == []
+
+    def test_dependencies_flush_along(self, usage_table, clock):
+        # Old row, then current row, then old row again: flushing the
+        # old memtable drags the current one (cycle), keeping the
+        # prefix-durability guarantee.
+        old_ts = clock.now() - 30 * MICROS_PER_DAY
+        usage_table.insert([row(1, old_ts)])
+        usage_table.insert([row(2, clock.now())])
+        usage_table.insert([row(3, old_ts + 1)])
+        usage_table.flush_before(clock.now() - MICROS_PER_DAY)
+        assert usage_table.unflushed_memtable_count == 0
+
+
+class TestBulkDelete:
+    def _filled(self, usage_table, clock):
+        base = clock.now()
+        rows = []
+        for network in (1, 2, 3):
+            for device in range(4):
+                for sample in range(5):
+                    rows.append(row(device, base + sample, network=network,
+                                    value=sample))
+        usage_table.insert(rows)
+        usage_table.flush_all()
+        return usage_table
+
+    def test_deletes_network_prefix(self, usage_table, clock):
+        table = self._filled(usage_table, clock)
+        removed = table.bulk_delete((2,))
+        assert removed == 20
+        remaining = table.query(Query()).rows
+        assert len(remaining) == 40
+        assert all(r[0] != 2 for r in remaining)
+
+    def test_deletes_device_prefix(self, usage_table, clock):
+        table = self._filled(usage_table, clock)
+        removed = table.bulk_delete((1, 3))
+        assert removed == 5
+        assert table.query(Query(KeyRange.prefix((1, 3)))).rows == []
+        assert len(table.query(Query(KeyRange.prefix((1,)))).rows) == 15
+
+    def test_deletes_unflushed_rows_too(self, usage_table, clock):
+        usage_table.insert([row(1, clock.now(), network=7)])
+        removed = usage_table.bulk_delete((7,))
+        assert removed == 1
+        assert usage_table.query(Query(KeyRange.prefix((7,)))).rows == []
+
+    def test_untouched_tablets_not_rewritten(self, usage_table, clock):
+        base = clock.now()
+        usage_table.insert([row(1, base, network=1)])
+        usage_table.flush_all()
+        clock.advance_seconds(1)
+        usage_table.insert([row(1, clock.now(), network=2)])
+        usage_table.flush_all()
+        files_before = {t.filename for t in usage_table.on_disk_tablets}
+        usage_table.bulk_delete((2,))
+        files_after = {t.filename for t in usage_table.on_disk_tablets}
+        # The network-1 tablet is untouched; the network-2 one is gone.
+        survivors = files_before & files_after
+        assert len(survivors) == 1
+
+    def test_missing_prefix_removes_nothing(self, usage_table, clock):
+        table = self._filled(usage_table, clock)
+        assert table.bulk_delete((99,)) == 0
+        assert len(table.query(Query()).rows) == 60
+
+    def test_survives_crash(self, usage_table, clock, db):
+        table = self._filled(usage_table, clock)
+        table.bulk_delete((1,))
+        recovered = db.simulate_crash()
+        rows = recovered.table("usage").query(Query()).rows
+        assert len(rows) == 40
+        assert all(r[0] != 1 for r in rows)
+
+    def test_prefix_validation(self, usage_table, clock):
+        with pytest.raises(QueryError):
+            usage_table.bulk_delete(())
+        with pytest.raises(QueryError):
+            usage_table.bulk_delete((1, 2, clock.now()))  # full key
+
+    def test_reinsert_after_delete_allowed(self, usage_table, clock):
+        ts = clock.now()
+        usage_table.insert([row(1, ts, network=5)])
+        usage_table.flush_all()
+        usage_table.bulk_delete((5,))
+        # The key is free again: no phantom duplicate errors.
+        usage_table.insert([row(1, ts, network=5, value=99)])
+        rows = usage_table.query(Query(KeyRange.prefix((5,)))).rows
+        assert [r[3] for r in rows] == [99]
+
+
+class TestColdTier:
+    def _db(self, clock):
+        # A slow "archive" tier: higher latency, lower throughput.
+        cold = SimulatedDisk(params=DiskParameters(
+            seek_time_s=0.050, read_throughput_bps=30 * 1024 * 1024))
+        db = LittleTable(disk=SimulatedDisk(),
+                         config=EngineConfig(merge_min_age_micros=0),
+                         clock=clock, cold_disk=cold)
+        return db, cold
+
+    def _aged_table(self, db, clock):
+        table = db.create_table("usage", usage_schema())
+        old = clock.now() - 10 * MICROS_PER_WEEK
+        table.insert([row(d, old) for d in range(5)])
+        table.flush_all()
+        table.insert([row(d, clock.now()) for d in range(5)])
+        table.flush_all()
+        return table
+
+    def test_migration_moves_files(self, clock):
+        db, cold = self._db(clock)
+        table = self._aged_table(db, clock)
+        moved = table.migrate_to_cold(clock.now() - MICROS_PER_WEEK)
+        assert moved == 1
+        tiers = sorted(t.tier for t in table.on_disk_tablets)
+        assert tiers == ["cold", "hot"]
+        cold_meta = next(t for t in table.on_disk_tablets
+                         if t.tier == "cold")
+        assert cold.exists(cold_meta.filename)
+        assert not db.disk.exists(cold_meta.filename)
+
+    def test_queries_read_cold_transparently(self, clock):
+        db, _cold = self._db(clock)
+        table = self._aged_table(db, clock)
+        before = table.query(Query()).rows
+        table.migrate_to_cold(clock.now() - MICROS_PER_WEEK)
+        table.evict_reader_cache()
+        assert table.query(Query()).rows == before
+
+    def test_cold_tablets_never_merge(self, clock):
+        db, _cold = self._db(clock)
+        table = db.create_table("usage", usage_schema())
+        old = clock.now() - 10 * MICROS_PER_WEEK
+        table.insert([row(1, old)])
+        table.flush_all()
+        table.insert([row(2, old + 1000)])
+        table.flush_all()
+        table.migrate_to_cold(clock.now())
+        assert all(t.tier == "cold" for t in table.on_disk_tablets)
+        assert table.maybe_merge() is None
+
+    def test_migration_survives_recovery(self, clock):
+        db, cold = self._db(clock)
+        table = self._aged_table(db, clock)
+        table.migrate_to_cold(clock.now() - MICROS_PER_WEEK)
+        expected = table.query(Query()).rows
+        recovered = db.simulate_crash()
+        assert recovered.table("usage").query(Query()).rows == expected
+
+    def test_ttl_reclaims_cold_tablets(self, clock):
+        db, cold = self._db(clock)
+        table = self._aged_table(db, clock)
+        table.migrate_to_cold(clock.now() - MICROS_PER_WEEK)
+        table.set_ttl(MICROS_PER_WEEK)
+        assert table.expire_tablets() == 1
+        assert all(t.tier == "hot" for t in table.on_disk_tablets)
+        assert cold.list() == []
+
+    def test_bulk_delete_rewrites_within_cold_tier(self, clock):
+        db, cold = self._db(clock)
+        table = self._aged_table(db, clock)
+        table.migrate_to_cold(clock.now() - MICROS_PER_WEEK)
+        # Device 2 has one row in the cold tablet and one in the hot.
+        removed = table.bulk_delete((1, 2))
+        assert removed == 2
+        cold_meta = next(t for t in table.on_disk_tablets
+                         if t.tier == "cold")
+        # The cold tablet was rewritten in place on the cold tier.
+        assert cold.exists(cold_meta.filename)
+        assert cold_meta.row_count == 4
+        assert table.query(Query(KeyRange.prefix((1, 2)))).rows == []
+
+    def test_migrate_without_cold_store_rejected(self, usage_table, clock):
+        with pytest.raises(QueryError):
+            usage_table.migrate_to_cold(clock.now())
+
+    def test_cold_reads_are_slower(self, clock):
+        db, cold = self._db(clock)
+        table = self._aged_table(db, clock)
+        table.migrate_to_cold(clock.now() - MICROS_PER_WEEK)
+        table.evict_reader_cache()
+        db.disk.drop_caches()
+        cold.drop_caches()
+        old_range = TimeRange.between(None, clock.now() - MICROS_PER_WEEK)
+        table.query(Query(time_range=old_range))
+        # The cold device charged its own (slower) time.
+        assert cold.elapsed_s > 0

@@ -1,0 +1,124 @@
+"""Latest-row-for-prefix queries (paper §3.4.5)."""
+
+import pytest
+
+from repro.core import Query, QueryError
+from repro.util.clock import MICROS_PER_DAY, MICROS_PER_HOUR, MICROS_PER_MINUTE
+
+
+def row(network, device, ts, value=0):
+    return {"network": network, "device": device, "ts": ts, "bytes": value,
+            "rate": 0.0}
+
+
+class TestLatest:
+    def test_latest_for_full_prefix(self, usage_table, clock):
+        base = clock.now()
+        usage_table.insert([row(1, 1, base, value=10),
+                            row(1, 1, base + 100, value=20),
+                            row(1, 2, base + 999, value=30)])
+        latest = usage_table.latest((1, 1))
+        assert latest[2] == base + 100
+        assert latest[3] == 20
+
+    def test_latest_for_shorter_prefix_scans_for_max_ts(self, usage_table,
+                                                        clock):
+        base = clock.now()
+        usage_table.insert([row(1, 5, base + 50),
+                            row(1, 1, base + 300),
+                            row(1, 9, base + 100)])
+        latest = usage_table.latest((1,))
+        assert latest[1] == 1
+        assert latest[2] == base + 300
+
+    def test_latest_missing_prefix_is_none(self, usage_table, clock):
+        usage_table.insert([row(1, 1, clock.now())])
+        assert usage_table.latest((9,)) is None
+
+    def test_empty_table(self, usage_table):
+        assert usage_table.latest((1, 1)) is None
+
+    def test_latest_found_across_flush(self, usage_table, clock):
+        base = clock.now()
+        usage_table.insert([row(1, 1, base)])
+        usage_table.flush_all()
+        usage_table.insert([row(1, 1, base + 5)])
+        assert usage_table.latest((1, 1))[2] == base + 5
+
+    def test_latest_arbitrarily_far_in_past(self, usage_table, clock):
+        old = clock.now() - 40 * MICROS_PER_DAY
+        usage_table.insert([row(1, 1, old)])
+        usage_table.flush_all()
+        # Plenty of newer rows for other keys.
+        usage_table.insert([row(2, d, clock.now()) for d in range(10)])
+        usage_table.flush_all()
+        assert usage_table.latest((1, 1))[2] == old
+
+    def test_max_lookback_bounds_search(self, usage_table, clock):
+        old = clock.now() - 40 * MICROS_PER_DAY
+        usage_table.insert([row(1, 1, old)])
+        usage_table.flush_all()
+        assert usage_table.latest(
+            (1, 1), max_lookback_micros=MICROS_PER_DAY) is None
+        assert usage_table.latest(
+            (1, 1), max_lookback_micros=50 * MICROS_PER_DAY)[2] == old
+
+    def test_latest_respects_ttl(self, db, clock):
+        from ..conftest import usage_schema
+
+        table = db.create_table("t", usage_schema(),
+                                ttl_micros=MICROS_PER_DAY)
+        table.insert([row(1, 1, clock.now() - 2 * MICROS_PER_DAY)])
+        assert table.latest((1, 1)) is None
+
+    def test_full_key_prefix_rejected(self, usage_table, clock):
+        with pytest.raises(QueryError):
+            usage_table.latest((1, 1, clock.now()))
+
+    def test_newest_group_wins_without_deep_scan(self, usage_table, clock):
+        """The search stops at the newest timespan group containing the
+        prefix, without opening cursors on older tablets."""
+        base = clock.now()
+        # Old tablet.
+        usage_table.insert([row(1, 1, base - 30 * MICROS_PER_DAY)])
+        usage_table.flush_all()
+        # New tablet with the same prefix.
+        usage_table.insert([row(1, 1, base)])
+        usage_table.flush_all()
+        old_tablet, new_tablet = sorted(
+            usage_table.on_disk_tablets, key=lambda t: t.min_ts)
+        usage_table.disk.drop_caches()
+        before = usage_table.disk.stats.snapshot()
+        latest = usage_table.latest((1, 1))
+        assert latest[2] == base
+        # Bytes read should be bounded by the newer tablet's size (plus
+        # footer overhead), i.e. we did not scan the old tablet's data.
+        delta = usage_table.disk.stats.delta_since(before)
+        assert delta.bytes_read < new_tablet.size_bytes + 4096
+
+    def test_bloom_prunes_groups_without_prefix(self, usage_table, clock):
+        base = clock.now()
+        usage_table.insert([row(1, 1, base - 30 * MICROS_PER_DAY)])
+        usage_table.flush_all()
+        usage_table.insert([row(2, 2, base)])
+        usage_table.flush_all()
+        # Prefix (1,) exists only in the old group; Bloom filters let
+        # the newer group be skipped without reading data blocks.
+        latest = usage_table.latest((1,))
+        assert latest[2] == base - 30 * MICROS_PER_DAY
+
+
+class TestSentinelPattern:
+    def test_sentinel_bounds_recovery_scan(self, usage_table, clock):
+        """§4.2's mitigation: periodically insert a sentinel so latest()
+        never needs to look further back than one sentinel period."""
+        base = clock.now()
+        usage_table.insert([row(1, 1, base - 10 * MICROS_PER_DAY)])
+        # Sentinel written every hour keeps the latest row recent.
+        for hour in range(3):
+            clock.advance(MICROS_PER_HOUR)
+            usage_table.insert([row(1, 1, clock.now(), value=-1)])
+        found = usage_table.latest((1, 1),
+                                   max_lookback_micros=2 * MICROS_PER_HOUR)
+        assert found is not None
+        assert found[3] == -1

@@ -1,0 +1,95 @@
+"""Primary-key uniqueness enforcement (paper §3.4.4)."""
+
+import pytest
+
+from repro.core import DuplicateKeyError, Query
+from repro.util.clock import MICROS_PER_DAY, MICROS_PER_MINUTE
+
+from ..conftest import BASE_TIME
+
+
+def row(network, device, ts, value=0):
+    return {"network": network, "device": device, "ts": ts, "bytes": value,
+            "rate": 0.0}
+
+
+class TestFastPaths:
+    def test_ascending_timestamps_fast_path(self, usage_table, clock):
+        # The most common case: server-assigned "now" timestamps.
+        for i in range(10):
+            usage_table.insert([row(1, 1, clock.now() + i)])
+        assert usage_table.counters.rows_inserted == 10
+
+    def test_ascending_keys_within_period_fast_path(self, usage_table, clock):
+        # Aggregators insert rows of each period in ascending key
+        # order; same ts, increasing key.
+        ts = clock.now()
+        for device in range(10):
+            usage_table.insert([row(1, device, ts)])
+        assert usage_table.counters.rows_inserted == 10
+
+    def test_duplicate_in_memtable_detected(self, usage_table, clock):
+        ts = clock.now()
+        usage_table.insert([row(1, 1, ts)])
+        with pytest.raises(DuplicateKeyError):
+            usage_table.insert([row(1, 1, ts, value=42)])
+
+    def test_duplicate_on_disk_detected(self, usage_table, clock):
+        ts = clock.now()
+        usage_table.insert([row(1, 1, ts)])
+        usage_table.flush_all()
+        with pytest.raises(DuplicateKeyError):
+            usage_table.insert([row(1, 1, ts)])
+
+    def test_duplicate_across_periods_detected(self, usage_table, clock):
+        old_ts = clock.now() - 30 * MICROS_PER_DAY
+        usage_table.insert([row(1, 1, old_ts)])
+        usage_table.flush_all()
+        clock.advance(MICROS_PER_MINUTE)
+        with pytest.raises(DuplicateKeyError):
+            usage_table.insert([row(1, 1, old_ts)])
+
+    def test_same_ts_different_key_ok(self, usage_table, clock):
+        ts = clock.now()
+        usage_table.insert([row(1, 1, ts)])
+        usage_table.insert([row(1, 2, ts)])
+        usage_table.insert([row(2, 1, ts)])
+        assert usage_table.counters.rows_inserted == 3
+
+    def test_out_of_order_insert_with_smaller_key_checks_disk(
+            self, usage_table, clock):
+        ts = clock.now()
+        usage_table.insert([row(5, 5, ts)])
+        usage_table.flush_all()
+        # Smaller key, older ts: neither fast path applies; the point
+        # query must find no duplicate and allow the insert.
+        usage_table.insert([row(1, 1, ts - MICROS_PER_MINUTE)])
+        assert len(usage_table.query(Query()).rows) == 2
+
+    def test_bloom_filters_skip_non_matching_tablets(self, db, clock):
+        from ..conftest import usage_schema
+
+        table = db.create_table("bloomed", usage_schema())
+        ts = clock.now()
+        table.insert([row(n, d, ts) for n in range(5) for d in range(5)])
+        table.flush_all()
+        db.disk.drop_caches()
+        before = db.disk.stats.bytes_read
+        # A key below the period max with an unseen (network, device):
+        # the Bloom filter answers without reading blocks.  (Footer
+        # reads still occur.)
+        table.insert([row(0, 0, ts - 1)])
+        # If blooms were consulted, the slow path touched at most the
+        # footer, not every data block.
+        data_read = db.disk.stats.bytes_read - before
+        assert data_read < db.disk.size(
+            table.on_disk_tablets[0].filename)
+
+
+class TestBatchSemantics:
+    def test_batch_with_internal_duplicate(self, usage_table, clock):
+        ts = clock.now()
+        with pytest.raises(DuplicateKeyError):
+            usage_table.insert([row(1, 1, ts), row(1, 1, ts)])
+        # The first row stays (inserts are not transactional).
+        assert len(usage_table.query(Query()).rows) == 1

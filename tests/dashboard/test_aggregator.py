@@ -1,0 +1,257 @@
+"""Tests for the aggregators and rollups (§4.1.2)."""
+
+import pytest
+
+from repro.core import KeyRange, LittleTable, Query, TimeRange
+from repro.dashboard import (
+    ConfigStore,
+    MTunnel,
+    NetworkUsageRollup,
+    SimulatedDevice,
+    TagUsageRollup,
+    UniqueClientsRollup,
+    UsageGrabber,
+    find_latest_ts,
+)
+from repro.dashboard import schemas
+from repro.dashboard.aggregator import PERSISTENCE_HORIZON_MICROS
+from repro.disk import SimulatedDisk
+from repro.util.clock import (
+    MICROS_PER_DAY,
+    MICROS_PER_HOUR,
+    MICROS_PER_MINUTE,
+    VirtualClock,
+)
+
+START = 10_000 * MICROS_PER_DAY
+
+
+@pytest.fixture
+def world():
+    clock = VirtualClock(start=START)
+    db = LittleTable(disk=SimulatedDisk(), clock=clock)
+    config = ConfigStore()
+    customer = config.add_customer("school")
+    network = config.add_network(customer.customer_id, "campus")
+    tunnel = MTunnel(clock)
+    for index in range(4):
+        device = config.add_device(network.network_id, f"ap-{index}")
+        tunnel.register(SimulatedDevice(device.device_id, network.network_id,
+                                        seed=21, start=START))
+    config.tag_device(1, "classrooms")
+    config.tag_device(2, "classrooms")
+    config.tag_device(3, "playing-fields")
+    usage = schemas.ensure_table(db, schemas.USAGE_TABLE,
+                                 schemas.usage_schema())
+    clients = schemas.ensure_table(db, schemas.CLIENT_USAGE_TABLE,
+                                   schemas.client_usage_schema())
+    grabber = UsageGrabber(usage, tunnel, config, clock,
+                           client_table=clients)
+    return clock, db, config, usage, clients, grabber
+
+
+def drive(clock, grabber, minutes):
+    for _ in range(minutes):
+        clock.advance(MICROS_PER_MINUTE)
+        grabber.poll()
+
+
+class TestFindLatestTs:
+    def test_empty_table_returns_none(self, world):
+        clock, db, _config, usage, _clients, _grabber = world
+        assert find_latest_ts(usage, clock.now()) is None
+
+    def test_finds_exact_latest(self, world):
+        clock, db, _config, usage, _clients, grabber = world
+        drive(clock, grabber, 5)
+        expected = max(r[2] for r in usage.query(Query()).rows)
+        assert find_latest_ts(usage, clock.now()) == expected
+
+    def test_finds_latest_far_in_past(self, world):
+        clock, db, _config, usage, _clients, grabber = world
+        drive(clock, grabber, 3)
+        expected = max(r[2] for r in usage.query(Query()).rows)
+        clock.advance(30 * MICROS_PER_DAY)  # long idle gap
+        assert find_latest_ts(usage, clock.now()) == expected
+
+    def test_uses_few_queries(self, world):
+        clock, db, _config, usage, _clients, grabber = world
+        drive(clock, grabber, 5)
+        queries_before = usage.counters.queries
+        find_latest_ts(usage, clock.now())
+        used = usage.counters.queries - queries_before
+        # Exponential + binary search: logarithmic, not a table scan.
+        assert used < 80
+
+
+class TestNetworkRollup:
+    def test_rollup_totals_match_source(self, world):
+        clock, db, _config, usage, _clients, grabber = world
+        rollup_table = schemas.ensure_table(
+            db, schemas.NETWORK_ROLLUP_TABLE, schemas.network_rollup_schema())
+        aggregator = NetworkUsageRollup(usage, rollup_table, clock)
+        drive(clock, grabber, 45)
+        outcome = aggregator.run()
+        assert outcome.periods_processed >= 2
+        rows = rollup_table.query(Query()).rows
+        assert rows
+        # Each rollup row's bytes equal the sum over its period.
+        for network, period_start, total, samples in rows:
+            period_rows = usage.query(Query(
+                KeyRange.prefix((network,)),
+                TimeRange(min_ts=period_start,
+                          max_ts=period_start + 10 * MICROS_PER_MINUTE,
+                          max_inclusive=False))).rows
+            expected = sum(
+                int(rate * ((ts - prev) / 1_000_000.0))
+                for _n, _d, ts, prev, _c, rate in period_rows)
+            assert total == expected
+            assert samples == len(period_rows)
+
+    def test_respects_persistence_horizon(self, world):
+        clock, db, _config, usage, _clients, grabber = world
+        rollup_table = schemas.ensure_table(
+            db, schemas.NETWORK_ROLLUP_TABLE, schemas.network_rollup_schema())
+        aggregator = NetworkUsageRollup(usage, rollup_table, clock)
+        drive(clock, grabber, 45)
+        aggregator.run()
+        horizon = clock.now() - PERSISTENCE_HORIZON_MICROS
+        for _network, period_start, _total, _samples in \
+                rollup_table.query(Query()).rows:
+            assert period_start + 10 * MICROS_PER_MINUTE <= horizon
+
+    def test_incremental_runs_do_not_duplicate(self, world):
+        clock, db, _config, usage, _clients, grabber = world
+        rollup_table = schemas.ensure_table(
+            db, schemas.NETWORK_ROLLUP_TABLE, schemas.network_rollup_schema())
+        aggregator = NetworkUsageRollup(usage, rollup_table, clock)
+        drive(clock, grabber, 40)
+        aggregator.run()
+        drive(clock, grabber, 20)
+        aggregator.run()
+        keys = [(r[0], r[1]) for r in rollup_table.query(Query()).rows]
+        assert len(keys) == len(set(keys))
+
+    def test_recovery_resumes_after_crash(self, world):
+        clock, db, _config, usage, _clients, grabber = world
+        rollup_table = schemas.ensure_table(
+            db, schemas.NETWORK_ROLLUP_TABLE, schemas.network_rollup_schema())
+        aggregator = NetworkUsageRollup(usage, rollup_table, clock)
+        drive(clock, grabber, 45)
+        aggregator.run()
+        db.flush_all()
+        rows_before = rollup_table.query(Query()).rows
+        # Crash: the aggregator process restarts, rediscovers position.
+        recovered = db.simulate_crash()
+        usage2 = recovered.table(schemas.USAGE_TABLE)
+        rollup2 = recovered.table(schemas.NETWORK_ROLLUP_TABLE)
+        aggregator2 = NetworkUsageRollup(usage2, rollup2, clock)
+        resumed_from = aggregator2.recover()
+        assert resumed_from is not None
+        grabber.rebuild_cache(usage2)
+        grabber.client_table = None
+        drive(clock, grabber, 30)
+        aggregator2.run()
+        rows_after = rollup2.query(Query()).rows
+        keys = [(r[0], r[1]) for r in rows_after]
+        assert len(keys) == len(set(keys))
+        assert len(rows_after) > len(rows_before)
+
+
+class TestFlushCommandMode:
+    def test_aggregates_up_to_now(self, world):
+        """With the §4.1.2 flush command, the aggregator need not trail
+        the 20-minute persistence horizon."""
+        clock, db, _config, usage, _clients, grabber = world
+        rollup_table = schemas.ensure_table(
+            db, schemas.NETWORK_ROLLUP_TABLE, schemas.network_rollup_schema())
+        aggregator = NetworkUsageRollup(usage, rollup_table, clock)
+        aggregator.use_flush_command = True
+        drive(clock, grabber, 25)
+        aggregator.run()
+        latest_period = max(
+            r[1] for r in rollup_table.query(Query()).rows)
+        # The most recent *complete* 10-minute period is covered, even
+        # though it is inside the 20-minute horizon.
+        assert latest_period >= clock.now() - 20 * MICROS_PER_MINUTE
+
+    def test_source_rows_are_durable_after_run(self, world):
+        clock, db, _config, usage, _clients, grabber = world
+        rollup_table = schemas.ensure_table(
+            db, schemas.NETWORK_ROLLUP_TABLE, schemas.network_rollup_schema())
+        aggregator = NetworkUsageRollup(usage, rollup_table, clock)
+        aggregator.use_flush_command = True
+        drive(clock, grabber, 25)
+        aggregator.run()
+        rows_visible = len(usage.query(Query()).rows)
+        recovered = db.simulate_crash()
+        survivors = len(recovered.table(schemas.USAGE_TABLE)
+                        .query(Query()).rows)
+        assert survivors == rows_visible  # flush_before(now) persisted all
+
+
+class TestTagRollup:
+    def test_join_against_config_store(self, world):
+        clock, db, config, usage, _clients, grabber = world
+        tag_table = schemas.ensure_table(
+            db, schemas.TAG_ROLLUP_TABLE, schemas.tag_rollup_schema())
+        aggregator = TagUsageRollup(usage, tag_table, clock, config)
+        drive(clock, grabber, 45)
+        aggregator.run()
+        rows = tag_table.query(Query()).rows
+        tags = {r[1] for r in rows}
+        assert tags == {"classrooms", "playing-fields"}
+        assert all(r[0] == 1 for r in rows)  # customer id
+
+    def test_untagged_devices_excluded(self, world):
+        clock, db, config, usage, _clients, grabber = world
+        tag_table = schemas.ensure_table(
+            db, schemas.TAG_ROLLUP_TABLE, schemas.tag_rollup_schema())
+        aggregator = TagUsageRollup(usage, tag_table, clock, config)
+        drive(clock, grabber, 45)
+        aggregator.run()
+        rows = tag_table.query(Query()).rows
+        # Device 4 is untagged: classroom bytes < total network bytes.
+        classroom = sum(r[3] for r in rows if r[1] == "classrooms")
+        total = sum(
+            int(rate * ((ts - prev) / 1_000_000.0))
+            for _n, _d, ts, prev, _c, rate in usage.query(Query()).rows)
+        assert 0 < classroom < total
+
+
+class TestUniqueClients:
+    def test_hll_sketch_estimates_distinct_clients(self, world):
+        clock, db, _config, _usage, clients, grabber = world
+        sketch_table = schemas.ensure_table(
+            db, schemas.UNIQUE_CLIENTS_TABLE, schemas.unique_clients_schema())
+        aggregator = UniqueClientsRollup(clients, sketch_table, clock)
+        drive(clock, grabber, 90)  # > one hourly period + horizon
+        aggregator.run()
+        rows = sketch_table.query(Query()).rows
+        assert rows
+        # 4 devices x 8 clients = 32 distinct MACs in the network.
+        estimate = UniqueClientsRollup.estimate(rows[0])
+        assert abs(estimate - 32) / 32 < 0.2
+
+    def test_union_across_periods(self, world):
+        clock, db, _config, _usage, clients, grabber = world
+        sketch_table = schemas.ensure_table(
+            db, schemas.UNIQUE_CLIENTS_TABLE, schemas.unique_clients_schema())
+        aggregator = UniqueClientsRollup(clients, sketch_table, clock)
+        drive(clock, grabber, 150)
+        aggregator.run()
+        rows = sketch_table.query(Query()).rows
+        assert len(rows) >= 2
+        union = UniqueClientsRollup.union_estimate(rows)
+        # Same clients every hour: the union should not inflate.
+        assert abs(union - 32) / 32 < 0.2
+
+    def test_sketch_blob_is_fixed_size(self, world):
+        clock, db, _config, _usage, clients, grabber = world
+        sketch_table = schemas.ensure_table(
+            db, schemas.UNIQUE_CLIENTS_TABLE, schemas.unique_clients_schema())
+        aggregator = UniqueClientsRollup(clients, sketch_table, clock)
+        drive(clock, grabber, 90)
+        aggregator.run()
+        sizes = {len(r[2]) for r in sketch_table.query(Query()).rows}
+        assert len(sizes) == 1  # fixed-size representation (§4.1.2)

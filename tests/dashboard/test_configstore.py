@@ -1,0 +1,69 @@
+"""Tests for the config store (PostgreSQL stand-in)."""
+
+import pytest
+
+from repro.dashboard.configstore import ConfigError, ConfigStore
+
+
+@pytest.fixture
+def store():
+    store = ConfigStore()
+    customer = store.add_customer("acme")
+    network = store.add_network(customer.customer_id, "hq")
+    store.add_device(network.network_id, "ap-1")
+    store.add_device(network.network_id, "cam-1", kind="camera")
+    return store
+
+
+class TestHierarchy:
+    def test_ids_are_sequential(self, store):
+        second = store.add_customer("globex")
+        assert second.customer_id == 2
+
+    def test_network_requires_customer(self, store):
+        with pytest.raises(ConfigError):
+            store.add_network(99, "nowhere")
+
+    def test_device_requires_network(self, store):
+        with pytest.raises(ConfigError):
+            store.add_device(99, "ghost")
+
+    def test_lookups(self, store):
+        assert store.customer(1).name == "acme"
+        assert store.network(1).customer_id == 1
+        assert store.device(1).name == "ap-1"
+        with pytest.raises(ConfigError):
+            store.customer(42)
+
+    def test_devices_in_network(self, store):
+        devices = store.devices_in(1)
+        assert [d.name for d in devices] == ["ap-1", "cam-1"]
+
+    def test_all_devices_by_kind(self, store):
+        assert [d.name for d in store.all_devices(kind="camera")] == ["cam-1"]
+        assert len(store.all_devices()) == 2
+
+    def test_networks_of_customer(self, store):
+        assert [n.name for n in store.networks_of(1)] == ["hq"]
+
+    def test_customer_of_network(self, store):
+        assert store.customer_of_network(1).name == "acme"
+
+
+class TestTags:
+    def test_tag_untag(self, store):
+        store.tag_device(1, "classrooms")
+        assert store.tags_of(1) == {"classrooms"}
+        assert [d.device_id for d in store.devices_with_tag("classrooms")] \
+            == [1]
+        store.untag_device(1, "classrooms")
+        assert store.tags_of(1) == set()
+
+    def test_multiple_tags(self, store):
+        store.tag_device(1, "a")
+        store.tag_device(1, "b")
+        assert store.tags_of(1) == {"a", "b"}
+
+    def test_tags_are_per_device(self, store):
+        store.tag_device(1, "x")
+        assert store.tags_of(2) == set()

@@ -1,0 +1,147 @@
+"""Tests for the simulated devices."""
+
+import pytest
+
+from repro.dashboard.devices import (
+    GRID_COLS,
+    GRID_ROWS,
+    SimulatedDevice,
+    decode_motion_word,
+    encode_motion_word,
+)
+from repro.util.clock import MICROS_PER_HOUR, MICROS_PER_MINUTE
+
+START = 1_000_000_000_000
+
+
+def make_device(kind="ap", **kwargs):
+    return SimulatedDevice(1, 1, kind=kind, seed=5, start=START, **kwargs)
+
+
+class TestMotionWord:
+    def test_round_trip(self):
+        word = encode_motion_word(9, 8, 0xABCDEF)
+        assert decode_motion_word(word) == (9, 8, 0xABCDEF)
+        assert 0 <= word < (1 << 32)
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            encode_motion_word(16, 0, 1)
+        with pytest.raises(ValueError):
+            encode_motion_word(0, 16, 1)
+        with pytest.raises(ValueError):
+            encode_motion_word(0, 0, 1 << 24)
+
+    def test_grid_fits_nibbles(self):
+        assert GRID_COLS <= 16
+        assert GRID_ROWS <= 16
+
+
+class TestCounters:
+    def test_counter_monotone(self):
+        device = make_device()
+        previous = 0
+        for minute in range(1, 20):
+            device.advance_to(START + minute * MICROS_PER_MINUTE)
+            _t, counter = device.read_counter()
+            assert counter >= previous
+            previous = counter
+
+    def test_counter_grows_with_time(self):
+        device = make_device(mean_rate_bps=1000.0)
+        device.advance_to(START + MICROS_PER_HOUR)
+        _t, counter = device.read_counter()
+        # 1000 B/s for an hour, scaled by [0.5, 1.5).
+        assert 1_500_000 < counter < 5_500_000
+
+    def test_client_counters_sum_to_total(self):
+        device = make_device()
+        device.advance_to(START + 10 * MICROS_PER_MINUTE)
+        _t, clients = device.read_client_counters()
+        assert sum(clients.values()) == device.byte_counter
+
+    def test_time_cannot_go_backwards(self):
+        device = make_device()
+        device.advance_to(START + 100)
+        with pytest.raises(ValueError):
+            device.advance_to(START + 50)
+
+    def test_deterministic_for_seed(self):
+        a = make_device()
+        b = make_device()
+        a.advance_to(START + MICROS_PER_HOUR)
+        b.advance_to(START + MICROS_PER_HOUR)
+        assert a.read_counter() == b.read_counter()
+
+
+class TestEventLog:
+    def test_ids_monotonically_increase(self):
+        device = make_device(events_per_hour=600.0)
+        device.advance_to(START + MICROS_PER_HOUR)
+        events = device.events_after(None)
+        assert len(events) > 100
+        ids = [e.event_id for e in events]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == len(ids)
+
+    def test_events_after_id(self):
+        device = make_device(events_per_hour=60.0)
+        device.advance_to(START + MICROS_PER_HOUR)
+        all_events = device.events_after(None)
+        middle = all_events[len(all_events) // 2].event_id
+        newer = device.events_after(middle)
+        assert all(e.event_id > middle for e in newer)
+        assert len(newer) == len(all_events) - len(
+            [e for e in all_events if e.event_id <= middle])
+
+    def test_log_is_bounded(self):
+        device = make_device(events_per_hour=600.0, max_log_entries=50)
+        device.advance_to(START + 10 * MICROS_PER_HOUR)
+        events = device.events_after(None)
+        assert len(events) == 50
+
+    def test_oldest_event_after_truncation(self):
+        device = make_device(events_per_hour=600.0, max_log_entries=50)
+        device.advance_to(START + 10 * MICROS_PER_HOUR)
+        oldest = device.oldest_event()
+        assert oldest is not None
+        assert oldest.event_id == device.latest_event_id() - 49
+
+    def test_timestamps_within_elapsed_window(self):
+        device = make_device(events_per_hour=60.0)
+        device.advance_to(START + MICROS_PER_HOUR)
+        for event in device.events_after(None):
+            assert START <= event.ts <= START + MICROS_PER_HOUR
+
+
+class TestMotion:
+    def test_ap_produces_no_motion(self):
+        device = make_device(kind="ap")
+        device.advance_to(START + MICROS_PER_HOUR)
+        assert device.motion_after(None) == []
+
+    def test_camera_produces_motion(self):
+        camera = make_device(kind="camera", motion_per_hour=120.0)
+        camera.advance_to(START + MICROS_PER_HOUR)
+        events = camera.motion_after(None)
+        assert events
+        for event in events:
+            col, row, bits = decode_motion_word(event.word)
+            assert 0 <= col < GRID_COLS
+            assert 0 <= row < GRID_ROWS
+            assert bits != 0
+            assert event.duration_micros > 0
+
+    def test_motion_after_ts(self):
+        camera = make_device(kind="camera", motion_per_hour=120.0)
+        camera.advance_to(START + MICROS_PER_HOUR)
+        events = camera.motion_after(None)
+        cutoff = events[len(events) // 2].ts
+        newer = camera.motion_after(cutoff)
+        assert all(e.ts > cutoff for e in newer)
+
+    def test_motion_timestamps_sorted(self):
+        camera = make_device(kind="camera", motion_per_hour=120.0)
+        camera.advance_to(START + MICROS_PER_HOUR)
+        timestamps = [e.ts for e in camera.motion_after(None)]
+        assert timestamps == sorted(timestamps)

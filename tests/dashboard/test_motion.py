@@ -1,0 +1,173 @@
+"""Tests for MotionGrabber and motion search (§4.3)."""
+
+import pytest
+
+from repro.core import KeyRange, LittleTable, Query
+from repro.dashboard import (
+    ConfigStore,
+    MotionGrabber,
+    MotionSearch,
+    MTunnel,
+    PixelRect,
+    SimulatedDevice,
+)
+from repro.dashboard import schemas
+from repro.dashboard.devices import (
+    CELL_COLS_MB,
+    CELL_ROWS_MB,
+    MACROBLOCK_PX,
+    encode_motion_word,
+)
+from repro.dashboard.motion import word_intersects
+from repro.disk import SimulatedDisk
+from repro.util.clock import MICROS_PER_DAY, MICROS_PER_MINUTE, VirtualClock
+
+START = 10_000 * MICROS_PER_DAY
+
+
+def make_world(cameras=2):
+    clock = VirtualClock(start=START)
+    db = LittleTable(disk=SimulatedDisk(), clock=clock)
+    config = ConfigStore()
+    customer = config.add_customer("acme")
+    network = config.add_network(customer.customer_id, "hq")
+    tunnel = MTunnel(clock)
+    for index in range(cameras):
+        device = config.add_device(network.network_id, f"cam-{index}",
+                                   kind="camera")
+        tunnel.register(SimulatedDevice(
+            device.device_id, network.network_id, kind="camera", seed=13,
+            start=START, motion_per_hour=240.0))
+    table = schemas.ensure_table(db, schemas.MOTION_TABLE,
+                                 schemas.motion_schema())
+    grabber = MotionGrabber(table, tunnel, config, clock)
+    return clock, db, table, grabber
+
+
+def poll_minutes(clock, grabber, minutes):
+    for _ in range(minutes):
+        clock.advance(MICROS_PER_MINUTE)
+        grabber.poll()
+
+
+class TestWordIntersects:
+    def test_hit_in_cell(self):
+        # Motion in macroblock (0, 0) of coarse cell (0, 0).
+        word = encode_motion_word(0, 0, 0b1)
+        assert word_intersects(word, PixelRect(0, 0, 16, 16))
+        assert not word_intersects(word, PixelRect(16, 16, 32, 32))
+
+    def test_hit_in_specific_macroblock(self):
+        # Bit for macroblock row 2, col 3 within cell (1, 1).
+        bit = 2 * CELL_COLS_MB + 3
+        word = encode_motion_word(1, 1, 1 << bit)
+        col_px = (CELL_COLS_MB + 3) * MACROBLOCK_PX
+        row_px = (CELL_ROWS_MB + 2) * MACROBLOCK_PX
+        assert word_intersects(
+            word, PixelRect(col_px, row_px, col_px + 16, row_px + 16))
+        assert not word_intersects(word, PixelRect(0, 0, 16, 16))
+
+    def test_full_frame_matches_everything(self):
+        word = encode_motion_word(5, 4, 0x800001)
+        assert word_intersects(word, PixelRect(0, 0, 960, 540))
+
+    def test_empty_rect_rejected(self):
+        with pytest.raises(ValueError):
+            PixelRect(10, 10, 10, 20)
+
+
+class TestGrabber:
+    def test_motion_rows_inserted(self):
+        clock, _db, table, grabber = make_world()
+        poll_minutes(clock, grabber, 60)
+        rows = table.query(Query()).rows
+        assert rows
+        for camera, ts, duration, word in rows:
+            assert camera in (1, 2)
+            assert duration > 0
+            assert 0 <= word < (1 << 32)
+
+    def test_no_duplicates_across_polls(self):
+        clock, _db, table, grabber = make_world()
+        poll_minutes(clock, grabber, 60)
+        keys = [(r[0], r[1]) for r in table.query(Query()).rows]
+        assert len(keys) == len(set(keys))
+
+    def test_restart_resumes_from_latest_row(self):
+        clock, db, table, grabber = make_world()
+        poll_minutes(clock, grabber, 30)
+        db.flush_all()
+        count_before = len(table.query(Query()).rows)
+        grabber.rebuild_cache(table)  # simulate daemon restart
+        poll_minutes(clock, grabber, 1)
+        rows = table.query(Query()).rows
+        keys = [(r[0], r[1]) for r in rows]
+        assert len(keys) == len(set(keys))  # no re-inserted duplicates
+        assert len(rows) >= count_before
+
+
+class TestSearch:
+    def test_search_returns_newest_first(self):
+        clock, _db, table, grabber = make_world()
+        poll_minutes(clock, grabber, 120)
+        search = MotionSearch(table)
+        hits = search.search(1, PixelRect(0, 0, 960, 540))
+        timestamps = [h[0] for h in hits]
+        assert timestamps == sorted(timestamps, reverse=True)
+        assert hits
+
+    def test_search_rectangle_filters(self):
+        clock, _db, table, grabber = make_world()
+        poll_minutes(clock, grabber, 120)
+        search = MotionSearch(table)
+        rect = PixelRect(0, 0, 96, 64)  # one coarse cell
+        hits = search.search(1, rect)
+        for _ts, _duration, word in hits:
+            assert word_intersects(word, rect)
+        everything = search.search(1, PixelRect(0, 0, 960, 540))
+        assert len(hits) <= len(everything)
+
+    def test_search_time_bounds(self):
+        clock, _db, table, grabber = make_world()
+        midpoint_start = clock.now()
+        poll_minutes(clock, grabber, 60)
+        midpoint = clock.now()
+        poll_minutes(clock, grabber, 60)
+        search = MotionSearch(table)
+        recent = search.search(1, PixelRect(0, 0, 960, 540),
+                               ts_min=midpoint)
+        assert all(ts >= midpoint for ts, _d, _w in recent)
+
+    def test_search_limit(self):
+        clock, _db, table, grabber = make_world()
+        poll_minutes(clock, grabber, 120)
+        search = MotionSearch(table)
+        hits = search.search(1, PixelRect(0, 0, 960, 540), limit=5)
+        assert len(hits) == 5
+
+    def test_search_scopes_to_camera(self):
+        clock, _db, table, grabber = make_world()
+        poll_minutes(clock, grabber, 60)
+        search = MotionSearch(table)
+        own_rows = {r[1] for r in table.query(
+            Query(KeyRange.prefix((1,)))).rows}
+        hits = search.search(1, PixelRect(0, 0, 960, 540))
+        assert {ts for ts, _d, _w in hits} <= own_rows
+
+
+class TestHeatmap:
+    def test_heatmap_counts_match_rows(self):
+        clock, _db, table, grabber = make_world()
+        poll_minutes(clock, grabber, 120)
+        search = MotionSearch(table)
+        grid = search.heatmap(1)
+        total_bits = sum(sum(row) for row in grid)
+        rows = table.query(Query(KeyRange.prefix((1,)))).rows
+        expected = sum(bin(r[3] & 0xFFFFFF).count("1") for r in rows)
+        assert total_bits == expected
+
+    def test_heatmap_empty_camera(self):
+        clock, _db, table, grabber = make_world()
+        search = MotionSearch(table)
+        grid = search.heatmap(99)
+        assert sum(sum(row) for row in grid) == 0

@@ -1,0 +1,79 @@
+"""Tests for the mtunnel transport simulation."""
+
+import pytest
+
+from repro.dashboard.devices import SimulatedDevice
+from repro.dashboard.mtunnel import DeviceUnreachable, MTunnel
+from repro.util.clock import MICROS_PER_MINUTE, VirtualClock
+
+START = 1_000_000_000_000
+
+
+@pytest.fixture
+def clock():
+    return VirtualClock(start=START)
+
+
+@pytest.fixture
+def tunnel(clock):
+    tunnel = MTunnel(clock)
+    tunnel.register(SimulatedDevice(1, 1, seed=3, start=START))
+    tunnel.register(SimulatedDevice(2, 1, seed=3, start=START))
+    return tunnel
+
+
+class TestReach:
+    def test_reach_advances_device(self, tunnel, clock):
+        clock.advance(5 * MICROS_PER_MINUTE)
+        device = tunnel.reach(1)
+        t, _counter = device.read_counter()
+        assert t == clock.now()
+
+    def test_unknown_device(self, tunnel):
+        with pytest.raises(DeviceUnreachable):
+            tunnel.reach(99)
+
+    def test_device_ids(self, tunnel):
+        assert tunnel.device_ids() == [1, 2]
+
+    def test_outage_window(self, tunnel, clock):
+        start = clock.now() + MICROS_PER_MINUTE
+        end = start + 10 * MICROS_PER_MINUTE
+        tunnel.schedule_outage(1, start, end)
+        # Before the outage: fine.
+        assert tunnel.reach(1) is not None
+        # During: unreachable, but the *other* device is fine.
+        clock.advance(2 * MICROS_PER_MINUTE)
+        with pytest.raises(DeviceUnreachable):
+            tunnel.reach(1)
+        assert tunnel.reach(2) is not None
+        # After: reachable again, and the device kept accumulating.
+        clock.set(end)
+        device = tunnel.reach(1)
+        assert device.read_counter()[0] == end
+
+    def test_device_accumulates_during_outage(self, tunnel, clock):
+        tunnel.schedule_outage(1, clock.now(), clock.now() + MICROS_PER_MINUTE)
+        with pytest.raises(DeviceUnreachable):
+            tunnel.reach(1)
+        clock.advance(2 * MICROS_PER_MINUTE)
+        device = tunnel.reach(1)
+        assert device.read_counter()[1] > 0
+
+    def test_try_reach(self, tunnel, clock):
+        tunnel.schedule_outage(2, clock.now(),
+                               clock.now() + MICROS_PER_MINUTE)
+        assert tunnel.try_reach(1) is not None
+        assert tunnel.try_reach(2) is None
+
+    def test_outage_validation(self, tunnel):
+        with pytest.raises(ValueError):
+            tunnel.schedule_outage(1, 100, 100)
+
+    def test_counters(self, tunnel, clock):
+        tunnel.schedule_outage(1, clock.now(),
+                               clock.now() + MICROS_PER_MINUTE)
+        tunnel.try_reach(1)
+        tunnel.try_reach(2)
+        assert tunnel.fetches == 2
+        assert tunnel.failures == 1

@@ -1,0 +1,94 @@
+"""Shard-level integration tests: the whole §2/§4 stack together."""
+
+import pytest
+
+from repro.core import KeyRange, Query
+from repro.dashboard import PixelRect, Shard, ShardTopology
+from repro.util.clock import MICROS_PER_HOUR, MICROS_PER_MINUTE
+
+
+@pytest.fixture(scope="module")
+def busy_shard():
+    shard = Shard(ShardTopology(customers=2, networks_per_customer=2,
+                                aps_per_network=3, cameras_per_network=1))
+    shard.totals = shard.run_minutes(90)
+    return shard
+
+
+class TestEndToEnd:
+    def test_all_tables_populated(self, busy_shard):
+        shard = busy_shard
+        for table in (shard.usage_table, shard.client_usage_table,
+                      shard.events_table, shard.motion_table,
+                      shard.network_rollup_table):
+            assert table.query(Query(limit=1)).rows, table.name
+
+    def test_dashboard_network_view(self, busy_shard):
+        # "a graph of the total bytes transferred by all devices in a
+        # network in the last week" (§1).
+        shard = busy_shard
+        rows = shard.usage_table.query(Query(KeyRange.prefix((1,)))).rows
+        devices = {r[1] for r in rows}
+        assert len(devices) == 4  # 3 APs + 1 camera
+
+    def test_dashboard_device_view(self, busy_shard):
+        shard = busy_shard
+        rows = shard.usage_table.query(Query(KeyRange.prefix((1, 1)))).rows
+        assert rows
+        assert all(r[0] == 1 and r[1] == 1 for r in rows)
+
+    def test_rollups_are_smaller_than_source(self, busy_shard):
+        shard = busy_shard
+        source = len(shard.usage_table.query(Query()).rows)
+        rollup = len(shard.network_rollup_table.query(Query()).rows)
+        assert 0 < rollup < source / 5
+
+    def test_motion_search_works(self, busy_shard):
+        shard = busy_shard
+        cameras = shard.config_store.all_devices(kind="camera")
+        hits = shard.motion_search.search(
+            cameras[0].device_id, PixelRect(0, 0, 480, 270))
+        full = shard.motion_search.search(
+            cameras[0].device_id, PixelRect(0, 0, 960, 540))
+        assert len(full) > 0
+        assert len(hits) <= len(full)
+
+    def test_maintenance_keeps_tablet_counts_bounded(self, busy_shard):
+        shard = busy_shard
+        for name in shard.db.table_names():
+            table = shard.db.table(name)
+            # §3.4.2: "most tables in our system contain half a dozen
+            # or so tablets per period"; after 90 minutes everything
+            # lives in a couple of 4-hour periods.
+            assert len(table.on_disk_tablets) < 20
+
+
+class TestShardCrash:
+    def test_crash_and_resume(self):
+        shard = Shard(ShardTopology(customers=1, networks_per_customer=1,
+                                    aps_per_network=2, cameras_per_network=1))
+        before = shard.run_minutes(30)
+        shard.db.flush_all()
+        persisted = len(shard.usage_table.query(Query()).rows)
+        shard.run_minutes(5)  # some rows stay unflushed
+        shard.crash_littletable()
+        recovered = len(shard.usage_table.query(Query()).rows)
+        assert recovered >= persisted
+        after = shard.run_minutes(10)
+        assert after["usage_rows"] > 0
+        assert after["event_rows"] >= 0
+        final = len(shard.usage_table.query(Query()).rows)
+        assert final > recovered
+
+    def test_no_duplicate_events_after_crash(self):
+        shard = Shard(ShardTopology(customers=1, networks_per_customer=1,
+                                    aps_per_network=2,
+                                    cameras_per_network=0))
+        shard.run_minutes(30)
+        shard.db.flush_all()
+        shard.run_minutes(5)
+        shard.crash_littletable()
+        shard.run_minutes(10)
+        rows = shard.events_table.query(Query()).rows
+        keys = [(r[1], r[3]) for r in rows]
+        assert len(keys) == len(set(keys))

@@ -1,0 +1,99 @@
+"""Tests for shard splitting (§2.2 load balancing)."""
+
+import pytest
+
+from repro.core import KeyRange, Query
+from repro.dashboard import Shard, ShardTopology
+from repro.dashboard import schemas
+from repro.dashboard.splitting import split_shard
+
+
+@pytest.fixture
+def split_world():
+    parent = Shard(ShardTopology(customers=4, networks_per_customer=2,
+                                 aps_per_network=2, cameras_per_network=1))
+    parent.run_minutes(45)
+    child_a, child_b, assignment = split_shard(parent)
+    return parent, child_a, child_b, assignment
+
+
+class TestSplit:
+    def test_customers_partitioned_roughly_in_half(self, split_world):
+        _parent, child_a, child_b, assignment = split_world
+        counts = [list(assignment.values()).count(0),
+                  list(assignment.values()).count(1)]
+        assert counts == [2, 2]
+        assert len(child_a.config_store.customers()) == 2
+        assert len(child_b.config_store.customers()) == 2
+
+    def test_config_ids_preserved(self, split_world):
+        parent, child_a, child_b, assignment = split_world
+        for customer in parent.config_store.customers():
+            child = (child_a, child_b)[assignment[customer.customer_id]]
+            assert child.config_store.customer(
+                customer.customer_id).name == customer.name
+            for network in parent.config_store.networks_of(
+                    customer.customer_id):
+                devices = child.config_store.devices_in(network.network_id)
+                assert devices == parent.config_store.devices_in(
+                    network.network_id)
+
+    def test_rows_conserved_across_children(self, split_world):
+        parent, child_a, child_b, _assignment = split_world
+        for name in (schemas.USAGE_TABLE, schemas.EVENTS_TABLE,
+                     schemas.MOTION_TABLE, schemas.CLIENT_USAGE_TABLE):
+            parent_rows = len(parent.db.table(name).query(Query()).rows)
+            split_rows = (
+                len(child_a.db.table(name).query(Query()).rows)
+                + len(child_b.db.table(name).query(Query()).rows)
+            )
+            assert split_rows == parent_rows, name
+
+    def test_rows_land_with_their_owner(self, split_world):
+        parent, child_a, child_b, assignment = split_world
+        network_owner = {
+            network.network_id: customer.customer_id
+            for customer in parent.config_store.customers()
+            for network in parent.config_store.networks_of(
+                customer.customer_id)
+        }
+        for child_index, child in enumerate((child_a, child_b)):
+            rows = child.db.table(schemas.USAGE_TABLE).query(Query()).rows
+            for row in rows:
+                owner = network_owner[row[0]]
+                assert assignment[owner] == child_index
+
+    def test_children_keep_operating(self, split_world):
+        _parent, child_a, child_b, _assignment = split_world
+        totals_a = child_a.run_minutes(10)
+        totals_b = child_b.run_minutes(10)
+        assert totals_a["usage_rows"] > 0
+        assert totals_b["usage_rows"] > 0
+        # No duplicate events after the move + grabber recovery.
+        for child in (child_a, child_b):
+            rows = child.events_table.query(Query()).rows
+            pairs = [(r[1], r[3]) for r in rows]
+            assert len(pairs) == len(set(pairs))
+
+    def test_children_only_see_their_devices(self, split_world):
+        _parent, child_a, child_b, _assignment = split_world
+        child_a.run_minutes(5)
+        a_devices = {
+            d.device_id for d in child_a.config_store.all_devices()
+        }
+        rows = child_a.db.table(schemas.USAGE_TABLE).query(Query()).rows
+        assert {r[1] for r in rows} <= a_devices
+
+    def test_split_requires_two_customers(self):
+        lonely = Shard(ShardTopology(customers=1, networks_per_customer=1,
+                                     aps_per_network=1,
+                                     cameras_per_network=0))
+        with pytest.raises(ValueError):
+            split_shard(lonely)
+
+    def test_integrity_after_split(self, split_world):
+        from repro.core import is_healthy
+
+        _parent, child_a, child_b, _assignment = split_world
+        assert is_healthy(child_a.db)
+        assert is_healthy(child_b.db)

@@ -1,0 +1,175 @@
+"""Tests for UsageGrabber (§4.1.1)."""
+
+import pytest
+
+from repro.core import EngineConfig, KeyRange, LittleTable, Query, TimeRange
+from repro.dashboard import ConfigStore, MTunnel, SimulatedDevice, UsageGrabber
+from repro.dashboard import schemas
+from repro.disk import SimulatedDisk
+from repro.util.clock import (
+    MICROS_PER_HOUR,
+    MICROS_PER_MINUTE,
+    VirtualClock,
+)
+
+START = 10_000 * 86_400_000_000
+
+
+@pytest.fixture
+def world():
+    clock = VirtualClock(start=START)
+    db = LittleTable(disk=SimulatedDisk(), clock=clock)
+    config = ConfigStore()
+    customer = config.add_customer("acme")
+    network = config.add_network(customer.customer_id, "hq")
+    tunnel = MTunnel(clock)
+    for index in range(3):
+        device = config.add_device(network.network_id, f"ap-{index}")
+        tunnel.register(SimulatedDevice(device.device_id, network.network_id,
+                                        seed=9, start=START))
+    usage = schemas.ensure_table(db, schemas.USAGE_TABLE,
+                                 schemas.usage_schema())
+    clients = schemas.ensure_table(db, schemas.CLIENT_USAGE_TABLE,
+                                   schemas.client_usage_schema())
+    grabber = UsageGrabber(usage, tunnel, config, clock,
+                           client_table=clients)
+    return clock, db, tunnel, usage, clients, grabber
+
+
+def poll_minutes(clock, grabber, minutes):
+    stats = []
+    for _ in range(minutes):
+        clock.advance(MICROS_PER_MINUTE)
+        stats.append(grabber.poll())
+    return stats
+
+
+class TestBasicOperation:
+    def test_first_response_inserts_nothing(self, world):
+        clock, _db, _tunnel, usage, _clients, grabber = world
+        stats = poll_minutes(clock, grabber, 1)[0]
+        assert stats.first_contacts == 3
+        assert stats.rows_inserted == 0
+        assert usage.query(Query()).rows == []
+
+    def test_second_response_inserts_rates(self, world):
+        clock, _db, _tunnel, usage, _clients, grabber = world
+        poll_minutes(clock, grabber, 2)
+        rows = usage.query(Query()).rows
+        assert len(rows) == 3
+        for network, device, ts, prev_ts, counter, rate in rows:
+            assert ts - prev_ts == MICROS_PER_MINUTE
+            assert rate > 0
+            assert counter > 0
+
+    def test_rate_matches_counter_delta(self, world):
+        clock, _db, _tunnel, usage, _clients, grabber = world
+        poll_minutes(clock, grabber, 3)
+        rows = usage.query(Query(KeyRange.prefix((1, 1)))).rows
+        for _n, _d, ts, prev_ts, _counter, rate in rows:
+            assert rate == pytest.approx(
+                rate, rel=1e-9)  # sanity: rate is finite
+            assert (ts - prev_ts) == MICROS_PER_MINUTE
+
+    def test_client_rows_inserted(self, world):
+        clock, _db, _tunnel, _usage, clients, grabber = world
+        poll_minutes(clock, grabber, 2)
+        rows = clients.query(Query()).rows
+        assert rows
+        assert all(r[3] >= 0 for r in rows)
+
+    def test_rows_keyed_for_network_and_device_views(self, world):
+        clock, _db, _tunnel, usage, _clients, grabber = world
+        poll_minutes(clock, grabber, 5)
+        whole_network = usage.query(Query(KeyRange.prefix((1,)))).rows
+        single_device = usage.query(Query(KeyRange.prefix((1, 2)))).rows
+        assert len(whole_network) == 3 * 4
+        assert len(single_device) == 4
+
+
+class TestUnavailability:
+    def test_short_gap_produces_continuous_rows(self, world):
+        clock, _db, tunnel, usage, _clients, grabber = world
+        poll_minutes(clock, grabber, 2)
+        # 5-minute outage for device 1 (below the 1-hour threshold).
+        tunnel.schedule_outage(1, clock.now(),
+                               clock.now() + 5 * MICROS_PER_MINUTE)
+        stats = poll_minutes(clock, grabber, 7)
+        # After the outage ends, the next sample covers the whole gap.
+        rows = usage.query(Query(KeyRange.prefix((1, 1)))).rows
+        gaps = [ts - prev for _n, _d, ts, prev, _c, _r in rows]
+        assert max(gaps) > MICROS_PER_MINUTE  # the catch-up interval
+        # Polls at +1..+4 minutes fall inside the [t, t+5min) window.
+        assert sum(s.devices_unreachable for s in stats) == 4
+
+    def test_long_gap_shows_as_gap(self, world):
+        clock, _db, tunnel, usage, _clients, grabber = world
+        poll_minutes(clock, grabber, 2)
+        rows_before = len(usage.query(Query(KeyRange.prefix((1, 1)))).rows)
+        tunnel.schedule_outage(1, clock.now(),
+                               clock.now() + 2 * MICROS_PER_HOUR)
+        for _ in range(121):
+            clock.advance(MICROS_PER_MINUTE)
+            grabber.poll()
+        rows = usage.query(Query(KeyRange.prefix((1, 1)))).rows
+        # No row spans the outage: the first post-outage response only
+        # refreshed the cache (§4.1.1's threshold-T rule).
+        intervals = [(prev, ts) for _n, _d, ts, prev, _c, _r in rows]
+        assert all(ts - prev <= MICROS_PER_HOUR for prev, ts in intervals)
+        assert len(rows) > rows_before  # new rows resumed after the gap
+
+
+class TestCrashRecovery:
+    def test_rebuild_cache_resumes_without_devices(self, world):
+        clock, db, _tunnel, usage, _clients, grabber = world
+        poll_minutes(clock, grabber, 5)
+        db.flush_all()
+        rows_before = len(usage.query(Query()).rows)
+        # Crash: memtables lost, cache lost.
+        recovered_db = db.simulate_crash()
+        recovered_usage = recovered_db.table(schemas.USAGE_TABLE)
+        recovered = grabber.rebuild_cache(recovered_usage)
+        assert recovered == 3  # all devices found within T
+        # Polling resumes and produces rows continuing from the cache.
+        clock.advance(MICROS_PER_MINUTE)
+        stats = grabber.poll()
+        assert stats.rows_inserted >= 3
+        assert stats.first_contacts == 0
+
+    def test_rebuild_cache_matches_last_samples(self, world):
+        clock, db, _tunnel, usage, _clients, grabber = world
+        poll_minutes(clock, grabber, 4)
+        expected = {
+            device_id: grabber.cached_entry(device_id)
+            for device_id in (1, 2, 3)
+        }
+        db.flush_all()
+        recovered_db = db.simulate_crash()
+        grabber.rebuild_cache(recovered_db.table(schemas.USAGE_TABLE))
+        for device_id, entry in expected.items():
+            assert grabber.cached_entry(device_id) == entry
+
+    def test_rebuild_ignores_samples_older_than_threshold(self, world):
+        clock, db, _tunnel, usage, _clients, grabber = world
+        poll_minutes(clock, grabber, 3)
+        db.flush_all()
+        clock.advance(2 * MICROS_PER_HOUR)  # everything is now stale
+        recovered_db = db.simulate_crash()
+        recovered = grabber.rebuild_cache(
+            recovered_db.table(schemas.USAGE_TABLE))
+        assert recovered == 0
+
+    def test_lost_unflushed_rows_appear_as_brief_gap(self, world):
+        clock, db, _tunnel, usage, _clients, grabber = world
+        poll_minutes(clock, grabber, 3)
+        db.flush_all()
+        poll_minutes(clock, grabber, 2)  # these rows die with the crash
+        recovered_db = db.simulate_crash()
+        recovered_usage = recovered_db.table(schemas.USAGE_TABLE)
+        grabber.rebuild_cache(recovered_usage)
+        clock.advance(MICROS_PER_MINUTE)
+        grabber.poll()
+        rows = recovered_usage.query(Query(KeyRange.prefix((1, 1)))).rows
+        intervals = [ts - prev for _n, _d, ts, prev, _c, _r in rows]
+        # The post-crash sample covers the lost minutes in one span.
+        assert max(intervals) == 3 * MICROS_PER_MINUTE

@@ -1,0 +1,120 @@
+"""Tests for the Dashboard page queries (repro.dashboard.views)."""
+
+import pytest
+
+from repro.dashboard import Shard, ShardTopology
+from repro.dashboard import views
+from repro.util.clock import MICROS_PER_HOUR, MICROS_PER_MINUTE
+
+
+@pytest.fixture(scope="module")
+def shard():
+    built = Shard(ShardTopology(customers=1, networks_per_customer=2,
+                                aps_per_network=3, cameras_per_network=0))
+    built.config_store.tag_device(1, "lobby")
+    built.config_store.tag_device(2, "lobby")
+    built.run_minutes(75)
+    return built
+
+
+class TestUsageGraph:
+    def test_buckets_cover_window(self, shard):
+        now = shard.clock.now()
+        points = views.usage_graph(shard.usage_table, 1,
+                                   now - MICROS_PER_HOUR, now)
+        assert points
+        starts = [p.bucket_start for p in points]
+        assert starts == sorted(starts)
+        assert all(now - MICROS_PER_HOUR - 10 * MICROS_PER_MINUTE
+                   <= s <= now for s in starts)
+        assert all(p.value > 0 for p in points)
+
+    def test_device_graph_is_subset(self, shard):
+        now = shard.clock.now()
+        network = views.usage_graph(shard.usage_table, 1,
+                                    now - MICROS_PER_HOUR, now)
+        device = views.usage_graph(shard.usage_table, 1,
+                                   now - MICROS_PER_HOUR, now, device_id=1)
+        network_total = sum(p.value for p in network)
+        device_total = sum(p.value for p in device)
+        assert 0 < device_total < network_total
+
+    def test_bad_bucket_width(self, shard):
+        with pytest.raises(ValueError):
+            views.usage_graph(shard.usage_table, 1, 0, 1, bucket_micros=0)
+
+
+class TestRollupGraph:
+    def test_rollup_close_to_raw(self, shard):
+        points = views.rollup_graph(shard.network_rollup_table, 1)
+        assert points
+        # The rollup totals match a raw recomputation over the same
+        # periods.
+        first, last = points[0], points[-1]
+        raw = views.usage_graph(
+            shard.usage_table, 1, first.bucket_start,
+            last.bucket_start + 10 * MICROS_PER_MINUTE)
+        raw_by_bucket = {p.bucket_start: p.value for p in raw}
+        for point in points:
+            assert raw_by_bucket.get(point.bucket_start, 0) == pytest.approx(
+                point.value, rel=0.01, abs=2)
+
+    def test_rollup_has_fewer_points_than_raw_rows(self, shard):
+        points = views.rollup_graph(shard.network_rollup_table, 1)
+        from repro.core import KeyRange, Query
+
+        raw_rows = shard.usage_table.query(
+            Query(KeyRange.prefix((1,)))).rows
+        assert len(points) < len(raw_rows) / 5
+
+
+class TestTopClients:
+    def test_ranked_descending(self, shard):
+        now = shard.clock.now()
+        ranked = views.top_clients(shard.client_usage_table, 1,
+                                   now - MICROS_PER_HOUR, limit=5)
+        assert 0 < len(ranked) <= 5
+        totals = [total for _mac, total in ranked]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_limit_respected(self, shard):
+        now = shard.clock.now()
+        assert len(views.top_clients(shard.client_usage_table, 1,
+                                     now - MICROS_PER_HOUR, limit=2)) == 2
+
+
+class TestDeviceStatus:
+    def test_polled_devices_online(self, shard):
+        status = views.device_status(shard.usage_table, 1, [1, 2, 3],
+                                     shard.clock.now())
+        assert set(status.values()) == {"online"}
+
+    def test_unknown_device_offline(self, shard):
+        status = views.device_status(shard.usage_table, 1, [999],
+                                     shard.clock.now())
+        assert status[999] == "offline"
+
+
+class TestEventPage:
+    def test_newest_first_with_limit(self, shard):
+        page = views.event_page(shard.events_table, 1, limit=5)
+        assert len(page) <= 5
+        timestamps = [row[2] for row in page]
+        assert timestamps == sorted(timestamps, reverse=True)
+
+    def test_kind_filter(self, shard):
+        page = views.event_page(shard.events_table, 1,
+                                kind="association", limit=100)
+        assert all(row[4] == "association" for row in page)
+
+    def test_contains_filter(self, shard):
+        page = views.event_page(shard.events_table, 1, contains="client=",
+                                limit=10)
+        assert all("client=" in row[5] for row in page)
+
+
+class TestTagReport:
+    def test_totals_by_tag(self, shard):
+        report = views.tag_usage_report(shard.tag_rollup_table, 1)
+        assert "lobby" in report
+        assert report["lobby"] > 0

@@ -1,0 +1,161 @@
+"""Tests for the disk cost model (repro.disk.model)."""
+
+import pytest
+
+from repro.disk.model import KIB, MIB, DiskModel, DiskParameters
+
+
+def make_model(**overrides):
+    params = DiskParameters(**overrides)
+    return DiskModel(params)
+
+
+class TestWrites:
+    def test_sixteen_mb_flush_is_95_percent_of_peak(self):
+        # Paper §3.3: the 16 MB default flush size sustains ~95% of the
+        # disk's peak write rate (one 8 ms seek amortized over 16 MB).
+        model = make_model()
+        model.allocate("t1", 16 * MIB)
+        duration = model.charge_write("t1", 16 * MIB)
+        throughput = 16 * MIB / duration
+        assert throughput == pytest.approx(0.94 * 120 * MIB, rel=0.02)
+
+    def test_sequential_writes_skip_seek(self):
+        model = make_model()
+        model.allocate("a", MIB)
+        model.charge_write("a", MIB)
+        seeks_before = model.stats.seeks
+        model.allocate("b", MIB)  # adjacent extent
+        model.charge_write("b", MIB)
+        assert model.stats.seeks == seeks_before  # head was at frontier
+
+    def test_write_populates_page_cache(self):
+        model = make_model()
+        model.allocate("a", MIB)
+        model.charge_write("a", MIB)
+        duration = model.charge_read("a", 0, MIB)
+        assert duration == 0.0
+        assert model.stats.cache_hit_bytes > 0
+
+    def test_duplicate_allocation_rejected(self):
+        model = make_model()
+        model.allocate("a", 10)
+        with pytest.raises(ValueError):
+            model.allocate("a", 10)
+
+
+class TestReads:
+    def _written(self, model, name="f", size=4 * MIB):
+        model.allocate(name, size)
+        model.charge_write(name, size)
+        model.drop_caches()
+        return name
+
+    def test_cold_read_costs_seek_plus_transfer(self):
+        model = make_model(readahead_bytes=128 * KIB, drive_prefetch_bytes=0)
+        name = self._written(model)
+        duration = model.charge_read(name, 0, 128 * KIB)
+        expected = 0.008 + 128 * KIB / (120 * MIB)
+        assert duration == pytest.approx(expected, rel=0.01)
+
+    def test_sequential_read_single_seek(self):
+        model = make_model(drive_prefetch_bytes=0)
+        name = self._written(model, size=2 * MIB)
+        seeks_before = model.stats.seeks
+        model.charge_read(name, 0, 2 * MIB)
+        assert model.stats.seeks == seeks_before + 1
+
+    def test_cached_read_is_free(self):
+        model = make_model()
+        name = self._written(model)
+        model.charge_read(name, 0, 256 * KIB)
+        duration = model.charge_read(name, 0, 256 * KIB)
+        assert duration == 0.0
+
+    def test_readahead_covers_following_read(self):
+        model = make_model(readahead_bytes=1 * MIB, drive_prefetch_bytes=0)
+        name = self._written(model, size=4 * MIB)
+        model.charge_read(name, 0, 64 * KIB)
+        # The next ~1 MB was prefetched.
+        duration = model.charge_read(name, 512 * KIB, 64 * KIB)
+        assert duration == 0.0
+
+    def test_random_reads_each_seek(self):
+        model = make_model(readahead_bytes=128 * KIB, drive_prefetch_bytes=0)
+        name = self._written(model, size=64 * MIB)
+        seeks_before = model.stats.seeks
+        # Far-apart offsets, each beyond the previous readahead window.
+        for offset_mb in (0, 16, 32, 48):
+            model.charge_read(name, offset_mb * MIB, 4 * KIB)
+        assert model.stats.seeks == seeks_before + 4
+
+    def test_fetch_clamped_to_file_end(self):
+        model = make_model(readahead_bytes=1 * MIB, drive_prefetch_bytes=0)
+        name = self._written(model, size=128 * KIB)
+        model.charge_read(name, 0, 128 * KIB)
+        assert model.stats.bytes_fetched <= 192 * KIB
+
+    def test_zero_length_read_free(self):
+        model = make_model()
+        name = self._written(model)
+        assert model.charge_read(name, 0, 0) == 0.0
+
+
+class TestInodes:
+    def test_first_open_costs_seek(self):
+        model = make_model()
+        duration = model.charge_open("f")
+        assert duration == pytest.approx(0.008)
+        assert model.charge_open("f") == 0.0
+
+    def test_drop_caches_forgets_inodes(self):
+        model = make_model()
+        model.charge_open("f")
+        model.drop_caches()
+        assert model.charge_open("f") == pytest.approx(0.008)
+
+    def test_rename_carries_inode_cache(self):
+        model = make_model()
+        model.charge_open("old")
+        model.allocate("old", 10)
+        model.rename("old", "new")
+        assert model.charge_open("new") == 0.0
+
+
+class TestCacheEviction:
+    def test_lru_eviction(self):
+        model = make_model(page_cache_bytes=256 * KIB,
+                           cache_chunk_bytes=64 * KIB,
+                           readahead_bytes=64 * KIB,
+                           drive_prefetch_bytes=0)
+        model.allocate("f", 4 * MIB)
+        model.charge_write("f", 4 * MIB)
+        model.drop_caches()
+        model.charge_read("f", 0, 64 * KIB)
+        # Fill the cache with later chunks, evicting the first.
+        for i in range(1, 8):
+            model.charge_read("f", i * 64 * KIB, 64 * KIB)
+        duration = model.charge_read("f", 0, 64 * KIB)
+        assert duration > 0.0
+
+
+class TestStatsSnapshot:
+    def test_delta_since(self):
+        model = make_model()
+        model.allocate("f", MIB)
+        model.charge_write("f", MIB)
+        before = model.stats.snapshot()
+        model.drop_caches()
+        model.charge_read("f", 0, MIB)
+        delta = model.stats.delta_since(before)
+        assert delta.bytes_written == 0
+        assert delta.bytes_read == MIB
+        assert delta.read_time_s > 0
+
+    def test_elapsed_accumulates(self):
+        model = make_model()
+        model.allocate("f", MIB)
+        model.charge_write("f", MIB)
+        assert model.elapsed_s == pytest.approx(
+            model.stats.read_time_s + model.stats.write_time_s
+        )

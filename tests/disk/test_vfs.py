@@ -1,0 +1,87 @@
+"""Tests for repro.disk.vfs.SimulatedDisk."""
+
+import pytest
+
+from repro.disk import MIB, DiskParameters, MemoryStorage, SimulatedDisk
+
+
+class TestSimulatedDisk:
+    def test_write_read_round_trip(self):
+        disk = SimulatedDisk()
+        disk.write_file("f.bin", b"abcdef")
+        assert disk.read_all("f.bin") == b"abcdef"
+        assert disk.read("f.bin", 2, 2) == b"cd"
+
+    def test_write_charges_time(self):
+        disk = SimulatedDisk()
+        duration = disk.write_file("f.bin", b"x" * MIB)
+        assert duration > 0
+        assert disk.elapsed_s == pytest.approx(duration)
+
+    def test_cold_read_charges_time_cached_read_free(self):
+        disk = SimulatedDisk()
+        disk.write_file("f.bin", b"x" * MIB)
+        disk.drop_caches()
+        before = disk.elapsed_s
+        disk.read("f.bin", 0, 1024)
+        after_cold = disk.elapsed_s
+        assert after_cold > before
+        disk.read("f.bin", 0, 1024)
+        assert disk.elapsed_s == after_cold
+
+    def test_open_charges_inode_seek_once(self):
+        disk = SimulatedDisk()
+        disk.write_file("f.bin", b"x")
+        disk.drop_caches()
+        before = disk.elapsed_s
+        disk.open("f.bin")
+        assert disk.elapsed_s == pytest.approx(before + 0.008)
+        disk.open("f.bin")
+        assert disk.elapsed_s == pytest.approx(before + 0.008)
+
+    def test_delete_and_exists(self):
+        disk = SimulatedDisk()
+        disk.write_file("f.bin", b"x")
+        assert disk.exists("f.bin")
+        disk.delete("f.bin")
+        assert not disk.exists("f.bin")
+
+    def test_rename_is_metadata_only(self):
+        disk = SimulatedDisk()
+        disk.write_file("a.bin", b"x" * 1024)
+        before = disk.elapsed_s
+        disk.rename("a.bin", "b.bin")
+        assert disk.elapsed_s == before
+        assert disk.read_all("b.bin") == b"x" * 1024
+
+    def test_rename_preserves_cache(self):
+        disk = SimulatedDisk()
+        disk.write_file("a.bin", b"x" * 1024)
+        disk.rename("a.bin", "b.bin")
+        before = disk.elapsed_s
+        disk.read("b.bin", 0, 1024)  # still cached from the write
+        assert disk.elapsed_s == before
+
+    def test_list_and_size(self):
+        disk = SimulatedDisk()
+        disk.write_file("x/one.bin", b"1")
+        disk.write_file("x/two.bin", b"22")
+        assert disk.list("x/") == ["x/one.bin", "x/two.bin"]
+        assert disk.size("x/two.bin") == 2
+
+    def test_custom_parameters(self):
+        params = DiskParameters(seek_time_s=0.001,
+                                read_throughput_bps=float(MIB))
+        disk = SimulatedDisk(MemoryStorage(), params)
+        disk.write_file("f.bin", b"x" * MIB)
+        disk.drop_caches()
+        duration_start = disk.elapsed_s
+        disk.read("f.bin", 0, MIB)
+        read_duration = disk.elapsed_s - duration_start
+        # ~1 second of transfer at 1 MiB/s plus one small seek.
+        assert 0.9 < read_duration < 1.3
+
+    def test_stats_exposed(self):
+        disk = SimulatedDisk()
+        disk.write_file("f.bin", b"x" * 1000)
+        assert disk.stats.bytes_written == 1000

@@ -1,0 +1,140 @@
+"""Tests for the wire protocol encoding and framing."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.net.protocol import (
+    ConnectionLost,
+    ProtocolError,
+    decode_key,
+    decode_row,
+    decode_value,
+    encode_key,
+    encode_row,
+    encode_value,
+    recv_message,
+    send_message,
+)
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize("value", [1, -5, 2.5, "text", 0, ""])
+    def test_scalars_pass_through(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    def test_blob_round_trip(self):
+        data = bytes(range(256))
+        encoded = encode_value(data)
+        assert isinstance(encoded, dict)
+        assert decode_value(encoded) == data
+
+    def test_bytearray_becomes_bytes(self):
+        assert decode_value(encode_value(bytearray(b"ab"))) == b"ab"
+
+    def test_row_round_trip(self):
+        row = (1, "x", b"\x00\xff", 2.5)
+        assert decode_row(encode_row(row)) == row
+
+    def test_key_none_passthrough(self):
+        assert encode_key(None) is None
+        assert decode_key(None) is None
+
+    def test_key_round_trip(self):
+        key = (1, "net", 12345)
+        assert decode_key(encode_key(key)) == key
+
+
+class _Pipe:
+    """A connected local socket pair."""
+
+    def __init__(self):
+        self.a, self.b = socket.socketpair()
+
+    def close(self):
+        self.a.close()
+        self.b.close()
+
+
+class TestFraming:
+    def test_round_trip(self):
+        pipe = _Pipe()
+        try:
+            send_message(pipe.a, {"cmd": "ping", "data": [1, 2, 3]})
+            message = recv_message(pipe.b)
+            assert message == {"cmd": "ping", "data": [1, 2, 3]}
+        finally:
+            pipe.close()
+
+    def test_multiple_frames_in_order(self):
+        pipe = _Pipe()
+        try:
+            for index in range(5):
+                send_message(pipe.a, {"seq": index})
+            for index in range(5):
+                assert recv_message(pipe.b) == {"seq": index}
+        finally:
+            pipe.close()
+
+    def test_eof_raises_connection_lost(self):
+        pipe = _Pipe()
+        pipe.a.close()
+        try:
+            with pytest.raises(ConnectionLost):
+                recv_message(pipe.b)
+        finally:
+            pipe.b.close()
+
+    def test_partial_frame_then_eof(self):
+        pipe = _Pipe()
+        try:
+            pipe.a.sendall(b"\x00\x00\x00\x10partial")
+            pipe.a.close()
+            with pytest.raises(ConnectionLost):
+                recv_message(pipe.b)
+        finally:
+            pipe.b.close()
+
+    def test_garbage_payload_raises_protocol_error(self):
+        pipe = _Pipe()
+        try:
+            pipe.a.sendall(b"\x00\x00\x00\x03abc")
+            with pytest.raises(ProtocolError):
+                recv_message(pipe.b)
+        finally:
+            pipe.close()
+
+    def test_non_object_payload_rejected(self):
+        pipe = _Pipe()
+        try:
+            pipe.a.sendall(b"\x00\x00\x00\x02[]")
+            with pytest.raises(ProtocolError):
+                recv_message(pipe.b)
+        finally:
+            pipe.close()
+
+    def test_oversized_frame_rejected(self):
+        pipe = _Pipe()
+        try:
+            pipe.a.sendall(b"\xff\xff\xff\xff")
+            with pytest.raises(ProtocolError):
+                recv_message(pipe.b)
+        finally:
+            pipe.close()
+
+    def test_large_frame_ok(self):
+        pipe = _Pipe()
+        received = {}
+
+        def reader():
+            received["msg"] = recv_message(pipe.b)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            send_message(pipe.a, {"blob": "x" * 1_000_000})
+            thread.join(timeout=10)
+            assert received["msg"]["blob"] == "x" * 1_000_000
+        finally:
+            pipe.close()

@@ -1,0 +1,87 @@
+"""Tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.sqlapi.lexer import SqlError, TokenType, tokenize
+
+
+def kinds(sql):
+    return [(t.type, t.value) for t in tokenize(sql)[:-1]]
+
+
+class TestTokenize:
+    def test_keywords_case_insensitive(self):
+        assert kinds("select FROM Where") == [
+            (TokenType.KEYWORD, "SELECT"),
+            (TokenType.KEYWORD, "FROM"),
+            (TokenType.KEYWORD, "WHERE"),
+        ]
+
+    def test_identifiers_preserve_case(self):
+        assert kinds("myTable") == [(TokenType.IDENTIFIER, "myTable")]
+
+    def test_numbers(self):
+        assert kinds("42 -7 3.14 1e6 2.5e-3") == [
+            (TokenType.NUMBER, "42"),
+            (TokenType.NUMBER, "-7"),
+            (TokenType.NUMBER, "3.14"),
+            (TokenType.NUMBER, "1e6"),
+            (TokenType.NUMBER, "2.5e-3"),
+        ]
+
+    def test_strings_with_escapes(self):
+        assert kinds("'it''s'") == [(TokenType.STRING, "it's")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlError):
+            tokenize("'oops")
+
+    def test_hex_blob(self):
+        assert kinds("X'deadbeef'") == [(TokenType.BLOB, "deadbeef")]
+        assert kinds("x'00ff'") == [(TokenType.BLOB, "00ff")]
+
+    def test_bad_hex_blob(self):
+        with pytest.raises(SqlError):
+            tokenize("X'zz'")
+
+    def test_identifier_starting_with_x(self):
+        assert kinds("xvalue") == [(TokenType.IDENTIFIER, "xvalue")]
+
+    def test_operators(self):
+        assert kinds("= != <> < <= > >=") == [
+            (TokenType.OPERATOR, "="),
+            (TokenType.OPERATOR, "!="),
+            (TokenType.OPERATOR, "!="),
+            (TokenType.OPERATOR, "<"),
+            (TokenType.OPERATOR, "<="),
+            (TokenType.OPERATOR, ">"),
+            (TokenType.OPERATOR, ">="),
+        ]
+
+    def test_punctuation(self):
+        assert kinds("(a, b)*;") == [
+            (TokenType.PUNCT, "("),
+            (TokenType.IDENTIFIER, "a"),
+            (TokenType.PUNCT, ","),
+            (TokenType.IDENTIFIER, "b"),
+            (TokenType.PUNCT, ")"),
+            (TokenType.PUNCT, "*"),
+            (TokenType.PUNCT, ";"),
+        ]
+
+    def test_line_comments_skipped(self):
+        assert kinds("SELECT -- comment\n1") == [
+            (TokenType.KEYWORD, "SELECT"),
+            (TokenType.NUMBER, "1"),
+        ]
+
+    def test_quoted_identifier(self):
+        assert kinds('"select"') == [(TokenType.IDENTIFIER, "select")]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlError):
+            tokenize("SELECT @")
+
+    def test_end_token(self):
+        tokens = tokenize("SELECT")
+        assert tokens[-1].type is TokenType.END

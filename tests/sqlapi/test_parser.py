@@ -1,0 +1,211 @@
+"""Tests for the SQL parser."""
+
+import pytest
+
+from repro.sqlapi import ast
+from repro.sqlapi.lexer import SqlError
+from repro.sqlapi.parser import parse
+
+
+class TestSelect:
+    def test_select_star(self):
+        stmt = parse("SELECT * FROM usage")
+        assert isinstance(stmt, ast.Select)
+        assert stmt.star
+        assert stmt.table == "usage"
+        assert stmt.where == []
+
+    def test_select_columns_with_alias(self):
+        stmt = parse("SELECT a, b AS bee FROM t")
+        assert [(i.column, i.alias) for i in stmt.items] == [
+            ("a", None), ("b", "bee")]
+
+    def test_where_conjunction(self):
+        stmt = parse("SELECT * FROM t WHERE a = 1 AND b >= 2 AND c != 'x'")
+        assert stmt.where == [
+            ast.Comparison("a", "=", 1),
+            ast.Comparison("b", ">=", 2),
+            ast.Comparison("c", "!=", "x"),
+        ]
+
+    def test_between_desugars(self):
+        stmt = parse("SELECT * FROM t WHERE ts BETWEEN 5 AND 10")
+        assert stmt.where == [
+            ast.Comparison("ts", ">=", 5),
+            ast.Comparison("ts", "<=", 10),
+        ]
+
+    def test_or_rejected_with_guidance(self):
+        with pytest.raises(SqlError, match="bounding box"):
+            parse("SELECT * FROM t WHERE a = 1 OR a = 2")
+
+    def test_group_by(self):
+        stmt = parse("SELECT a, SUM(b) FROM t GROUP BY a")
+        assert stmt.group_by == ["a"]
+        assert stmt.items[1] == ast.Aggregate("SUM", "b", None)
+
+    def test_aggregates(self):
+        stmt = parse(
+            "SELECT COUNT(*), SUM(a), AVG(a), MIN(a), MAX(a) AS top FROM t")
+        funcs = [(i.func, i.column, i.alias) for i in stmt.items]
+        assert funcs == [
+            ("COUNT", "*", None), ("SUM", "a", None), ("AVG", "a", None),
+            ("MIN", "a", None), ("MAX", "a", "top"),
+        ]
+
+    def test_non_count_star_rejected(self):
+        with pytest.raises(SqlError):
+            parse("SELECT SUM(*) FROM t")
+
+    def test_order_by_key(self):
+        assert parse("SELECT * FROM t ORDER BY KEY").order_desc is False
+        assert parse("SELECT * FROM t ORDER BY KEY DESC").order_desc is True
+        assert parse("SELECT * FROM t ORDER BY KEY ASC").order_desc is False
+
+    def test_order_by_column_rejected(self):
+        # The server only returns primary-key order (§3.1).
+        with pytest.raises(SqlError):
+            parse("SELECT * FROM t ORDER BY a")
+
+    def test_limit(self):
+        assert parse("SELECT * FROM t LIMIT 10").limit == 10
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(SqlError):
+            parse("SELECT * FROM t LIMIT -1")
+
+    def test_trailing_semicolon_ok(self):
+        parse("SELECT * FROM t;")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlError):
+            parse("SELECT * FROM t garbage")
+
+
+class TestInsert:
+    def test_single_row(self):
+        stmt = parse("INSERT INTO t (a, ts) VALUES (1, 100)")
+        assert stmt.table == "t"
+        assert stmt.columns == ["a", "ts"]
+        assert stmt.rows == [[1, 100]]
+
+    def test_multi_row(self):
+        stmt = parse("INSERT INTO t (a) VALUES (1), (2), (3)")
+        assert stmt.rows == [[1], [2], [3]]
+
+    def test_value_types(self):
+        stmt = parse(
+            "INSERT INTO t (a, b, c, d) VALUES (1, 2.5, 'str', X'ff00')")
+        assert stmt.rows == [[1, 2.5, "str", b"\xff\x00"]]
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(SqlError):
+            parse("INSERT INTO t (a, b) VALUES (1)")
+
+    def test_null_rejected(self):
+        with pytest.raises(SqlError, match="sentinel"):
+            parse("INSERT INTO t (a) VALUES (NULL)")
+
+
+class TestCreateTable:
+    def test_full_form(self):
+        stmt = parse(
+            "CREATE TABLE usage (network INT64, device INT64, "
+            "ts TIMESTAMP, bytes INT64 DEFAULT 0, note STRING DEFAULT 'x', "
+            "PRIMARY KEY (network, device, ts)) WITH TTL 86400")
+        assert stmt.table == "usage"
+        assert [c.name for c in stmt.columns] == [
+            "network", "device", "ts", "bytes", "note"]
+        assert stmt.columns[3].default == 0
+        assert stmt.columns[4].default == "x"
+        assert stmt.primary_key == ["network", "device", "ts"]
+        assert stmt.ttl_seconds == 86400
+
+    def test_type_aliases(self):
+        stmt = parse(
+            "CREATE TABLE t (a INTEGER, b TEXT, ts TIMESTAMP, "
+            "PRIMARY KEY (a, ts))")
+        assert stmt.columns[0].type_name == "int64"
+        assert stmt.columns[1].type_name == "string"
+
+    def test_missing_primary_key_rejected(self):
+        with pytest.raises(SqlError):
+            parse("CREATE TABLE t (a INT64, ts TIMESTAMP)")
+
+    def test_bad_ttl_rejected(self):
+        with pytest.raises(SqlError):
+            parse("CREATE TABLE t (ts TIMESTAMP, PRIMARY KEY (ts)) "
+                  "WITH TTL 0")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SqlError):
+            parse("CREATE TABLE t (a VARCHAR, ts TIMESTAMP, "
+                  "PRIMARY KEY (a, ts))")
+
+
+class TestAlterAndAdmin:
+    def test_drop(self):
+        stmt = parse("DROP TABLE old_feature")
+        assert isinstance(stmt, ast.DropTable)
+        assert stmt.table == "old_feature"
+
+    def test_add_column(self):
+        stmt = parse("ALTER TABLE t ADD COLUMN extra DOUBLE DEFAULT 1.5")
+        assert isinstance(stmt, ast.AddColumn)
+        assert stmt.column.name == "extra"
+        assert stmt.column.default == 1.5
+
+    def test_widen_column(self):
+        stmt = parse("ALTER TABLE t WIDEN COLUMN counter")
+        assert isinstance(stmt, ast.WidenColumn)
+        assert stmt.column == "counter"
+
+    def test_set_ttl(self):
+        assert parse("ALTER TABLE t SET TTL 3600").ttl_seconds == 3600
+        assert parse("ALTER TABLE t SET TTL NONE").ttl_seconds is None
+
+    def test_show_tables(self):
+        assert isinstance(parse("SHOW TABLES"), ast.ShowTables)
+
+    def test_describe(self):
+        stmt = parse("DESCRIBE usage")
+        assert isinstance(stmt, ast.DescribeTable)
+        assert stmt.table == "usage"
+
+    def test_unknown_statement(self):
+        with pytest.raises(SqlError):
+            parse("UPDATE t SET a = 1")
+
+
+class TestDeleteAndFlush:
+    def test_delete_by_prefix(self):
+        stmt = parse("DELETE FROM t WHERE network = 5 AND device = 2")
+        assert isinstance(stmt, ast.Delete)
+        assert stmt.table == "t"
+        assert stmt.where == [ast.Comparison("network", "=", 5),
+                              ast.Comparison("device", "=", 2)]
+
+    def test_delete_requires_where(self):
+        with pytest.raises(SqlError):
+            parse("DELETE FROM t")
+
+    def test_delete_rejects_ranges(self):
+        # Bulk delete is by key prefix only; rows otherwise age out.
+        with pytest.raises(SqlError):
+            parse("DELETE FROM t WHERE a > 1")
+
+    def test_flush(self):
+        stmt = parse("FLUSH usage")
+        assert isinstance(stmt, ast.Flush)
+        assert stmt.table == "usage"
+        assert stmt.before_ts is None
+
+    def test_flush_before(self):
+        stmt = parse("FLUSH usage BEFORE 123456")
+        assert stmt.before_ts == 123456
+
+    def test_flush_before_validates(self):
+        with pytest.raises(SqlError):
+            parse("FLUSH usage BEFORE 'tomorrow'")
+        with pytest.raises(SqlError):
+            parse("FLUSH usage BEFORE -5")

@@ -1,0 +1,145 @@
+"""Tests for the WHERE-clause planner."""
+
+import pytest
+
+from repro.core.schema import Column, ColumnType, Schema
+from repro.sqlapi.ast import Comparison
+from repro.sqlapi.lexer import SqlError
+from repro.sqlapi.planner import evaluate_residuals, plan_where
+
+
+def schema():
+    return Schema(
+        [
+            Column("customer", ColumnType.INT64),
+            Column("network", ColumnType.INT64),
+            Column("device", ColumnType.INT64),
+            Column("ts", ColumnType.TIMESTAMP),
+            Column("bytes", ColumnType.INT64),
+            Column("name", ColumnType.STRING),
+        ],
+        key=["customer", "network", "device", "ts"],
+    )
+
+
+class TestTimePlanning:
+    def test_ts_range(self):
+        plan = plan_where(schema(), [
+            Comparison("ts", ">=", 100), Comparison("ts", "<", 200)])
+        tr = plan.time_range
+        assert tr.min_ts == 100 and tr.min_inclusive
+        assert tr.max_ts == 200 and not tr.max_inclusive
+        assert plan.residuals == []
+
+    def test_ts_equality(self):
+        plan = plan_where(schema(), [Comparison("ts", "=", 150)])
+        assert plan.time_range.min_ts == 150
+        assert plan.time_range.max_ts == 150
+
+    def test_tightest_bounds_win(self):
+        plan = plan_where(schema(), [
+            Comparison("ts", ">=", 100), Comparison("ts", ">", 100),
+            Comparison("ts", ">=", 50)])
+        assert plan.time_range.min_ts == 100
+        assert not plan.time_range.min_inclusive
+
+    def test_ts_not_equal_rejected(self):
+        with pytest.raises(SqlError):
+            plan_where(schema(), [Comparison("ts", "!=", 5)])
+
+    def test_ts_float_rejected(self):
+        with pytest.raises(SqlError):
+            plan_where(schema(), [Comparison("ts", ">", 1.5)])
+
+
+class TestKeyPlanning:
+    def test_full_equality_prefix(self):
+        plan = plan_where(schema(), [
+            Comparison("customer", "=", 1),
+            Comparison("network", "=", 2),
+            Comparison("device", "=", 3)])
+        kr = plan.key_range
+        assert kr.min_prefix == (1, 2, 3)
+        assert kr.max_prefix == (1, 2, 3)
+        assert plan.residuals == []
+        assert plan.key_prefix_depth == 3
+
+    def test_partial_prefix(self):
+        plan = plan_where(schema(), [Comparison("customer", "=", 1)])
+        assert plan.key_range.min_prefix == (1,)
+        assert plan.key_range.max_prefix == (1,)
+
+    def test_range_extends_prefix_one_level(self):
+        plan = plan_where(schema(), [
+            Comparison("customer", "=", 1),
+            Comparison("network", ">=", 10),
+            Comparison("network", "<", 20)])
+        kr = plan.key_range
+        assert kr.min_prefix == (1, 10) and kr.min_inclusive
+        assert kr.max_prefix == (1, 20) and not kr.max_inclusive
+        assert plan.residuals == []
+
+    def test_gap_in_prefix_leaves_residual(self):
+        # Equality on customer and device but not network: only the
+        # customer constraint can bound the scan.
+        plan = plan_where(schema(), [
+            Comparison("customer", "=", 1),
+            Comparison("device", "=", 3)])
+        assert plan.key_range.min_prefix == (1,)
+        assert plan.key_range.max_prefix == (1,)
+        assert plan.residuals == [Comparison("device", "=", 3)]
+
+    def test_non_key_column_is_residual(self):
+        plan = plan_where(schema(), [Comparison("bytes", ">", 100)])
+        assert plan.key_range.min_prefix is None
+        assert plan.residuals == [Comparison("bytes", ">", 100)]
+
+    def test_not_equal_is_residual(self):
+        plan = plan_where(schema(), [Comparison("customer", "!=", 1)])
+        assert plan.key_range.min_prefix is None
+        assert plan.residuals == [Comparison("customer", "!=", 1)]
+
+    def test_range_on_first_column(self):
+        plan = plan_where(schema(), [Comparison("customer", ">", 5)])
+        kr = plan.key_range
+        assert kr.min_prefix == (5,) and not kr.min_inclusive
+        assert kr.max_prefix is None
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(SqlError):
+            plan_where(schema(), [Comparison("ghost", "=", 1)])
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(SqlError):
+            plan_where(schema(), [Comparison("customer", "=", "one")])
+        with pytest.raises(SqlError):
+            plan_where(schema(), [Comparison("name", "=", 5)])
+
+    def test_empty_where(self):
+        plan = plan_where(schema(), [])
+        assert plan.key_range.min_prefix is None
+        assert plan.time_range.min_ts is None
+
+
+class TestResidualEvaluation:
+    def test_all_operators(self):
+        s = schema()
+        row = (1, 2, 3, 100, 500, "ap")
+        assert evaluate_residuals([Comparison("bytes", "=", 500)], s, row)
+        assert evaluate_residuals([Comparison("bytes", "!=", 1)], s, row)
+        assert evaluate_residuals([Comparison("bytes", "<", 501)], s, row)
+        assert evaluate_residuals([Comparison("bytes", "<=", 500)], s, row)
+        assert evaluate_residuals([Comparison("bytes", ">", 499)], s, row)
+        assert evaluate_residuals([Comparison("bytes", ">=", 500)], s, row)
+        assert not evaluate_residuals([Comparison("bytes", "<", 500)], s, row)
+
+    def test_conjunction_short_circuits(self):
+        s = schema()
+        row = (1, 2, 3, 100, 500, "ap")
+        residuals = [Comparison("bytes", "=", 0), Comparison("name", "=", "ap")]
+        assert not evaluate_residuals(residuals, s, row)
+
+    def test_string_comparison(self):
+        s = schema()
+        row = (1, 2, 3, 100, 500, "beta")
+        assert evaluate_residuals([Comparison("name", ">", "alpha")], s, row)

@@ -1,0 +1,53 @@
+"""Smoke tests: every example must run cleanly end to end.
+
+Examples are documentation; a broken one is a broken promise.  Each
+runs in a subprocess exactly the way the README tells users to run it.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+EXAMPLES = sorted(
+    name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+)
+
+
+def test_examples_directory_is_complete():
+    assert "quickstart.py" in EXAMPLES
+    assert len(EXAMPLES) >= 4  # quickstart + >= 3 domain scenarios
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_runs(example):
+    completed = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, example)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), "examples should narrate their run"
+    assert "Traceback" not in completed.stderr
+
+
+class TestExampleContent:
+    def test_quickstart_shows_both_figure1_queries(self):
+        completed = subprocess.run(
+            [sys.executable, os.path.join(EXAMPLES_DIR, "quickstart.py")],
+            capture_output=True, text=True, timeout=300)
+        assert "network 1, last 5 minutes" in completed.stdout
+        assert "network 1 device 2" in completed.stdout
+
+    def test_lifecycle_demonstrates_all_extensions(self):
+        completed = subprocess.run(
+            [sys.executable, os.path.join(EXAMPLES_DIR,
+                                          "data_lifecycle.py")],
+            capture_output=True, text=True, timeout=300)
+        out = completed.stdout
+        assert "flush_before" in out
+        assert "migrate_to_cold" in out
+        assert "bulk_delete" in out
+        assert "failover" in out.lower()

@@ -1,0 +1,102 @@
+"""Tests for repro.util.bloom."""
+
+import pytest
+
+from repro.util.bloom import BloomFilter, KeyPrefixBloom, optimal_hash_count
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter.with_capacity(1000)
+        items = [f"key-{i}".encode() for i in range(1000)]
+        for item in items:
+            bloom.add(item)
+        assert all(bloom.may_contain(item) for item in items)
+
+    def test_false_positive_rate_near_one_percent(self):
+        # 10 bits/key should give ~1% FPR (the paper's §3.4.5 estimate
+        # of eliminating 99% of non-matching tablets).
+        bloom = BloomFilter.with_capacity(5000, bits_per_key=10)
+        for i in range(5000):
+            bloom.add(f"present-{i}".encode())
+        false_positives = sum(
+            bloom.may_contain(f"absent-{i}".encode()) for i in range(5000)
+        )
+        assert false_positives / 5000 < 0.03
+
+    def test_empty_filter_rejects_everything(self):
+        bloom = BloomFilter.with_capacity(100)
+        assert not bloom.may_contain(b"anything")
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BloomFilter(0, 1)
+        with pytest.raises(ValueError):
+            BloomFilter(10, 0)
+
+    def test_optimal_hash_count(self):
+        assert optimal_hash_count(10) == 7
+        assert optimal_hash_count(1) == 1
+        assert optimal_hash_count(100) == 16  # clamped
+
+    def test_serialization_round_trip(self):
+        bloom = BloomFilter.with_capacity(100)
+        for i in range(100):
+            bloom.add(f"x{i}".encode())
+        restored = BloomFilter.deserialize(bloom.serialize())
+        assert all(restored.may_contain(f"x{i}".encode()) for i in range(100))
+        assert restored.num_bits == bloom.num_bits
+        assert restored.num_hashes == bloom.num_hashes
+
+    def test_deserialize_rejects_corrupt(self):
+        with pytest.raises(ValueError):
+            BloomFilter.deserialize(b"short")
+        bloom = BloomFilter.with_capacity(10)
+        with pytest.raises(ValueError):
+            BloomFilter.deserialize(bloom.serialize()[:-1])
+
+
+class TestKeyPrefixBloom:
+    def _encode(self, *parts):
+        return [str(part).encode() for part in parts]
+
+    def test_full_key_and_prefixes_found(self):
+        bloom = KeyPrefixBloom(expected_keys=100, key_width=2)
+        bloom.add_key(self._encode("net1", "dev7"))
+        assert bloom.may_contain_prefix(self._encode("net1"))
+        assert bloom.may_contain_prefix(self._encode("net1", "dev7"))
+
+    def test_absent_prefix_rejected(self):
+        bloom = KeyPrefixBloom(expected_keys=1000, key_width=2)
+        for network in range(100):
+            for device in range(10):
+                bloom.add_key(self._encode(f"net{network}", f"dev{device}"))
+        misses = sum(
+            bloom.may_contain_prefix(self._encode(f"other{i}"))
+            for i in range(1000)
+        )
+        assert misses / 1000 < 0.05
+
+    def test_empty_prefix_always_matches(self):
+        bloom = KeyPrefixBloom(expected_keys=10, key_width=2)
+        assert bloom.may_contain_prefix([])
+
+    def test_component_boundaries_matter(self):
+        # ("ab", "c") must not collide with ("a", "bc").
+        bloom = KeyPrefixBloom(expected_keys=10, key_width=2)
+        bloom.add_key([b"ab", b"c"])
+        assert bloom.may_contain_prefix([b"ab", b"c"])
+        assert not bloom.may_contain_prefix([b"a", b"bc"])
+
+    def test_serialization_round_trip(self):
+        bloom = KeyPrefixBloom(expected_keys=50, key_width=3)
+        bloom.add_key(self._encode(1, 2, 3))
+        restored = KeyPrefixBloom.deserialize(bloom.serialize())
+        assert restored.may_contain_prefix(self._encode(1))
+        assert restored.may_contain_prefix(self._encode(1, 2))
+        assert restored.may_contain_prefix(self._encode(1, 2, 3))
+        assert restored.key_width == 3
+
+    def test_deserialize_rejects_empty(self):
+        with pytest.raises(ValueError):
+            KeyPrefixBloom.deserialize(b"")

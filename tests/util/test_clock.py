@@ -1,0 +1,79 @@
+"""Tests for repro.util.clock."""
+
+import time
+
+import pytest
+
+from repro.util.clock import (
+    MICROS_PER_DAY,
+    MICROS_PER_HOUR,
+    MICROS_PER_MINUTE,
+    MICROS_PER_SECOND,
+    MICROS_PER_WEEK,
+    SystemClock,
+    VirtualClock,
+    micros_from_seconds,
+    seconds_from_micros,
+)
+
+
+class TestConversions:
+    def test_round_trip(self):
+        assert seconds_from_micros(micros_from_seconds(1.5)) == 1.5
+
+    def test_micros_from_seconds_rounds(self):
+        assert micros_from_seconds(0.0000015) == 2
+
+    def test_constants_consistent(self):
+        assert MICROS_PER_MINUTE == 60 * MICROS_PER_SECOND
+        assert MICROS_PER_HOUR == 60 * MICROS_PER_MINUTE
+        assert MICROS_PER_DAY == 24 * MICROS_PER_HOUR
+        assert MICROS_PER_WEEK == 7 * MICROS_PER_DAY
+
+
+class TestVirtualClock:
+    def test_starts_at_start(self):
+        assert VirtualClock(start=42).now() == 42
+
+    def test_advance(self):
+        clock = VirtualClock()
+        assert clock.advance(10) == 10
+        assert clock.now() == 10
+
+    def test_advance_seconds(self):
+        clock = VirtualClock()
+        clock.advance_seconds(2.5)
+        assert clock.now() == 2_500_000
+
+    def test_set_forward(self):
+        clock = VirtualClock(start=5)
+        clock.set(100)
+        assert clock.now() == 100
+
+    def test_cannot_move_backwards(self):
+        clock = VirtualClock(start=5)
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+        with pytest.raises(ValueError):
+            clock.set(4)
+
+    def test_does_not_move_on_its_own(self):
+        clock = VirtualClock(start=7)
+        before = clock.now()
+        time.sleep(0.01)
+        assert clock.now() == before
+
+
+class TestSystemClock:
+    def test_tracks_wall_time(self):
+        clock = SystemClock()
+        lo = micros_from_seconds(time.time()) - MICROS_PER_SECOND
+        now = clock.now()
+        hi = micros_from_seconds(time.time()) + MICROS_PER_SECOND
+        assert lo <= now <= hi
+
+    def test_monotone_enough(self):
+        clock = SystemClock()
+        first = clock.now()
+        time.sleep(0.002)
+        assert clock.now() > first

@@ -1,0 +1,79 @@
+"""Tests for repro.util.hyperloglog."""
+
+import pytest
+
+from repro.util.hyperloglog import HyperLogLog
+
+
+def _fill(sketch, start, count):
+    for i in range(start, start + count):
+        sketch.add(f"client-{i}".encode())
+
+
+class TestHyperLogLog:
+    def test_empty_cardinality_near_zero(self):
+        assert HyperLogLog().cardinality() < 1.0
+
+    def test_precision_validation(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(precision=3)
+        with pytest.raises(ValueError):
+            HyperLogLog(precision=17)
+
+    @pytest.mark.parametrize("true_count", [100, 1000, 20000])
+    def test_bounded_relative_error(self, true_count):
+        # Standard error for p=12 is ~1.04/sqrt(4096) = 1.6%; allow 5x.
+        sketch = HyperLogLog(precision=12)
+        _fill(sketch, 0, true_count)
+        estimate = sketch.cardinality()
+        assert abs(estimate - true_count) / true_count < 0.08
+
+    def test_duplicates_do_not_inflate(self):
+        sketch = HyperLogLog()
+        for _ in range(10):
+            _fill(sketch, 0, 500)
+        estimate = sketch.cardinality()
+        assert abs(estimate - 500) / 500 < 0.1
+
+    def test_union_counts_distinct_overall(self):
+        a = HyperLogLog()
+        b = HyperLogLog()
+        _fill(a, 0, 1000)
+        _fill(b, 500, 1000)  # overlap of 500
+        union = a.union(b)
+        estimate = union.cardinality()
+        assert abs(estimate - 1500) / 1500 < 0.1
+
+    def test_union_is_commutative(self):
+        a = HyperLogLog()
+        b = HyperLogLog()
+        _fill(a, 0, 300)
+        _fill(b, 200, 300)
+        assert a.union(b).cardinality() == b.union(a).cardinality()
+
+    def test_union_precision_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(precision=10).union(HyperLogLog(precision=12))
+
+    def test_serialization_round_trip(self):
+        sketch = HyperLogLog(precision=10)
+        _fill(sketch, 0, 777)
+        data = sketch.serialize()
+        restored = HyperLogLog.deserialize(data)
+        assert restored.cardinality() == sketch.cardinality()
+        assert restored.precision == 10
+
+    def test_serialized_size_is_fixed(self):
+        # "a fixed-size, probabilistic representation of a set" - the
+        # blob size depends only on precision, not on cardinality.
+        small = HyperLogLog(precision=12)
+        large = HyperLogLog(precision=12)
+        _fill(small, 0, 10)
+        _fill(large, 0, 10000)
+        assert len(small.serialize()) == len(large.serialize()) == 1 + 4096
+
+    def test_deserialize_rejects_corrupt(self):
+        with pytest.raises(ValueError):
+            HyperLogLog.deserialize(b"")
+        with pytest.raises(ValueError):
+            HyperLogLog.deserialize(bytes([12]) + b"\x00" * 10)

@@ -1,0 +1,110 @@
+"""Tests for repro.util.skiplist, including a model-based property test."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.skiplist import SkipList
+
+
+class TestBasics:
+    def test_empty(self):
+        sl = SkipList()
+        assert len(sl) == 0
+        assert sl.first_key() is None
+        assert sl.last_key() is None
+        assert list(sl.items()) == []
+        assert 5 not in sl
+
+    def test_insert_and_get(self):
+        sl = SkipList()
+        assert sl.insert(3, "c")
+        assert sl.insert(1, "a")
+        assert sl.insert(2, "b")
+        assert sl.get(2) == "b"
+        assert sl.get(4) is None
+        assert sl.get(4, "default") == "default"
+
+    def test_duplicate_insert_rejected(self):
+        sl = SkipList()
+        assert sl.insert(1, "a")
+        assert not sl.insert(1, "b")
+        assert sl.get(1) == "a"
+        assert len(sl) == 1
+
+    def test_replace(self):
+        sl = SkipList()
+        sl.insert(1, "a")
+        assert sl.insert(1, "b", replace=True)
+        assert sl.get(1) == "b"
+        assert len(sl) == 1
+
+    def test_ordered_iteration(self):
+        sl = SkipList()
+        for key in [5, 3, 8, 1, 9, 2]:
+            sl.insert(key, key * 10)
+        assert list(sl.keys()) == [1, 2, 3, 5, 8, 9]
+
+    def test_first_last(self):
+        sl = SkipList()
+        for key in [5, 3, 8]:
+            sl.insert(key, None)
+        assert sl.first_key() == 3
+        assert sl.last_key() == 8
+
+    def test_contains(self):
+        sl = SkipList()
+        sl.insert(7, None)
+        assert 7 in sl
+        assert 8 not in sl
+
+    def test_items_from_inclusive(self):
+        sl = SkipList()
+        for key in range(0, 10, 2):
+            sl.insert(key, None)
+        assert [k for k, _ in sl.items_from(4)] == [4, 6, 8]
+        assert [k for k, _ in sl.items_from(3)] == [4, 6, 8]
+
+    def test_items_from_exclusive(self):
+        sl = SkipList()
+        for key in range(0, 10, 2):
+            sl.insert(key, None)
+        assert [k for k, _ in sl.items_from(4, inclusive=False)] == [6, 8]
+        assert [k for k, _ in sl.items_from(3, inclusive=False)] == [4, 6, 8]
+
+    def test_tuple_keys(self):
+        sl = SkipList()
+        sl.insert((1, 2), "a")
+        sl.insert((1, 1), "b")
+        sl.insert((0, 9), "c")
+        assert list(sl.keys()) == [(0, 9), (1, 1), (1, 2)]
+
+
+class TestScale:
+    def test_many_inserts_stay_sorted(self):
+        sl = SkipList(seed=123)
+        import random
+
+        rng = random.Random(42)
+        keys = rng.sample(range(100_000), 5000)
+        for key in keys:
+            sl.insert(key, key)
+        assert len(sl) == 5000
+        assert list(sl.keys()) == sorted(keys)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.integers(-100, 100), st.integers()), max_size=200))
+def test_matches_dict_model(operations):
+    """The skip list behaves exactly like a sorted dict."""
+    sl = SkipList()
+    model = {}
+    for key, value in operations:
+        inserted = sl.insert(key, value)
+        assert inserted == (key not in model)
+        if inserted:
+            model[key] = value
+    assert len(sl) == len(model)
+    assert list(sl.items()) == sorted(model.items())
+    for key in model:
+        assert sl.get(key) == model[key]

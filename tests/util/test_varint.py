@@ -1,0 +1,94 @@
+"""Tests for repro.util.varint."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.varint import (
+    decode_svarint,
+    decode_uvarint,
+    encode_svarint,
+    encode_uvarint,
+    zigzag_decode,
+    zigzag_encode,
+)
+
+
+class TestUvarint:
+    def test_small_values_single_byte(self):
+        for value in (0, 1, 127):
+            assert len(encode_uvarint(value)) == 1
+
+    def test_boundary_two_bytes(self):
+        assert len(encode_uvarint(128)) == 2
+        assert len(encode_uvarint(16383)) == 2
+        assert len(encode_uvarint(16384)) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_uvarint(-1)
+
+    def test_truncated_raises(self):
+        buf = encode_uvarint(300)[:-1]
+        with pytest.raises(ValueError):
+            decode_uvarint(buf)
+
+    def test_decode_at_offset(self):
+        buf = b"\xff" + encode_uvarint(1234)
+        value, pos = decode_uvarint(buf, offset=1)
+        assert value == 1234
+        assert pos == len(buf)
+
+    def test_overlong_rejected(self):
+        with pytest.raises(ValueError):
+            decode_uvarint(b"\x80" * 11 + b"\x01")
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_round_trip(self, value):
+        encoded = encode_uvarint(value)
+        decoded, pos = decode_uvarint(encoded)
+        assert decoded == value
+        assert pos == len(encoded)
+
+
+class TestZigzag:
+    def test_known_values(self):
+        assert zigzag_encode(0) == 0
+        assert zigzag_encode(-1) == 1
+        assert zigzag_encode(1) == 2
+        assert zigzag_encode(-2) == 3
+        assert zigzag_encode(2) == 4
+
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+    def test_round_trip(self, value):
+        assert zigzag_decode(zigzag_encode(value)) == value
+
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+    def test_encoding_is_non_negative(self, value):
+        assert zigzag_encode(value) >= 0
+
+
+class TestSvarint:
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+    def test_round_trip(self, value):
+        encoded = encode_svarint(value)
+        decoded, pos = decode_svarint(encoded)
+        assert decoded == value
+        assert pos == len(encoded)
+
+    def test_small_magnitudes_are_short(self):
+        assert len(encode_svarint(0)) == 1
+        assert len(encode_svarint(-64)) == 1
+        assert len(encode_svarint(63)) == 1
+        assert len(encode_svarint(64)) == 2
+
+    def test_consecutive_decoding(self):
+        values = [5, -17, 0, 123456, -987654321]
+        buf = b"".join(encode_svarint(v) for v in values)
+        offset = 0
+        out = []
+        for _ in values:
+            value, offset = decode_svarint(buf, offset)
+            out.append(value)
+        assert out == values
+        assert offset == len(buf)

@@ -1,0 +1,84 @@
+"""Tests for repro.util.xorshift."""
+
+import zlib
+
+import pytest
+
+from repro.util.xorshift import Xorshift64Star
+
+
+class TestXorshift64Star:
+    def test_deterministic_for_seed(self):
+        a = [Xorshift64Star(seed=7).next_u64() for _ in range(5)]
+        b = [Xorshift64Star(seed=7).next_u64() for _ in range(5)]
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = Xorshift64Star(seed=1).next_u64()
+        b = Xorshift64Star(seed=2).next_u64()
+        assert a != b
+
+    def test_zero_seed_is_remapped(self):
+        rng = Xorshift64Star(seed=0)
+        values = {rng.next_u64() for _ in range(10)}
+        assert len(values) == 10
+
+    def test_u64_in_range(self):
+        rng = Xorshift64Star(seed=3)
+        for _ in range(1000):
+            value = rng.next_u64()
+            assert 0 <= value < (1 << 64)
+
+    def test_u32_in_range(self):
+        rng = Xorshift64Star(seed=3)
+        for _ in range(1000):
+            assert 0 <= rng.next_u32() < (1 << 32)
+
+    def test_next_below(self):
+        rng = Xorshift64Star(seed=4)
+        for _ in range(1000):
+            assert 0 <= rng.next_below(10) < 10
+
+    def test_next_below_rejects_nonpositive(self):
+        rng = Xorshift64Star(seed=4)
+        with pytest.raises(ValueError):
+            rng.next_below(0)
+
+    def test_next_float_in_unit_interval(self):
+        rng = Xorshift64Star(seed=5)
+        for _ in range(1000):
+            assert 0.0 <= rng.next_float() < 1.0
+
+    def test_next_bytes_length(self):
+        rng = Xorshift64Star(seed=6)
+        for length in (0, 1, 7, 8, 9, 100):
+            assert len(rng.next_bytes(length)) == length
+
+    def test_next_bytes_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Xorshift64Star(seed=6).next_bytes(-1)
+
+    def test_output_is_incompressible(self):
+        # The paper generates benchmark data with xorshift precisely so
+        # compression has no effect; verify ours behaves the same.
+        data = Xorshift64Star(seed=8).next_bytes(64 * 1024)
+        compressed = zlib.compress(data, 1)
+        assert len(compressed) > 0.99 * len(data)
+
+    def test_rough_uniformity(self):
+        rng = Xorshift64Star(seed=9)
+        buckets = [0] * 16
+        trials = 16_000
+        for _ in range(trials):
+            buckets[rng.next_below(16)] += 1
+        expected = trials / 16
+        for count in buckets:
+            assert abs(count - expected) < expected * 0.25
+
+    def test_shuffle_is_permutation(self):
+        rng = Xorshift64Star(seed=10)
+        items = list(range(100))
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+        assert shuffled != items  # astronomically unlikely to be identity
