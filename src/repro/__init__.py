@@ -10,6 +10,7 @@ Subpackages:
 * ``repro.dashboard`` - the three applications of Section 4;
 * ``repro.workloads`` - workload and synthetic-fleet generators;
 * ``repro.bench`` - the evaluation harness;
+* ``repro.obs`` - the metrics registry and trace hooks;
 * ``repro.util`` - clocks, PRNG, skip list, HLL, Bloom filters, stats.
 """
 
@@ -24,6 +25,7 @@ from .core import (
     TimeRange,
 )
 from .disk import DiskParameters, FileStorage, MemoryStorage, SimulatedDisk
+from .obs import MetricsRegistry, Tracer
 
 __version__ = "1.0.0"
 
@@ -40,5 +42,7 @@ __all__ = [
     "FileStorage",
     "MemoryStorage",
     "SimulatedDisk",
+    "MetricsRegistry",
+    "Tracer",
     "__version__",
 ]

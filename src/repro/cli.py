@@ -5,6 +5,10 @@ Usage:
     python -m repro.cli --data /var/lib/littletable            # REPL
     python -m repro.cli --data ./lt -e "SHOW TABLES"           # one-shot
     echo "SELECT * FROM usage LIMIT 5" | python -m repro.cli --data ./lt
+    python -m repro.cli stats --connect 127.0.0.1:7878         # live stats
+    python -m repro.cli stats --data ./lt --json               # offline
+
+(The ``ltdb`` console script installs the same entry point.)
 
 The data directory holds real files (descriptors and tablets) via
 :class:`~repro.disk.storage.FileStorage`, so databases persist across
@@ -13,6 +17,13 @@ no ``--data``, an in-memory database lasts for the session.
 
 Statements are the SQL subset of :mod:`repro.sqlapi` plus shell
 commands ``.help``, ``.tables``, ``.maintenance``, and ``.quit``.
+
+The ``stats`` subcommand renders the observability registry - the
+very same ``db.metrics.snapshot()`` view the STATS protocol command
+and ``LittleTableClient.stats()`` return.  ``--connect host:port``
+reads a running server's live registry over TCP; ``--data`` opens the
+directory in process (engine counters start at zero in a fresh
+process, but table shape summaries are always meaningful).
 """
 
 from __future__ import annotations
@@ -42,6 +53,7 @@ Shell commands:
   .tables       list tables
   .maintenance  run one flush/merge/expiry tick
   .stats [t..]  table shape and activity summaries
+  .metrics      engine metrics registry snapshot + recent operations
   .fsck         check descriptor/tablet integrity
   .quit         exit
 """
@@ -139,6 +151,12 @@ class Shell:
             if not names:
                 self._print("(no tables)")
             return True
+        if line == ".metrics":
+            from .dashboard.metrics_view import metrics_page, \
+                render_metrics_page
+
+            self._print(render_metrics_page(metrics_page(self.db)))
+            return True
         if line == ".maintenance":
             work = self.db.maintenance()
             flushed = sum(w["flushed"] for w in work.values())
@@ -194,10 +212,65 @@ def open_database(data_dir: Optional[str]) -> LittleTable:
     return LittleTable(disk=SimulatedDisk(FileStorage(data_dir)))
 
 
+def stats_main(argv: list) -> int:
+    """The ``stats`` subcommand: render the registry snapshot.
+
+    With ``--connect`` the snapshot comes from a live server via the
+    STATS protocol command; with ``--data`` (or nothing) a database is
+    opened in process and its own registry is snapshotted.  Either
+    way it is the same view as ``db.metrics.snapshot()``.
+    """
+    parser = argparse.ArgumentParser(
+        prog="littletable stats",
+        description="show the engine's observability registry")
+    parser.add_argument("--data", metavar="DIR", default=None,
+                        help="data directory to open in process")
+    parser.add_argument("--connect", metavar="HOST:PORT", default=None,
+                        help="read a running server's live registry")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the raw snapshot as JSON")
+    args = parser.parse_args(argv)
+    if args.connect is not None:
+        from .net.client import LittleTableClient
+
+        host, _sep, port = args.connect.rpartition(":")
+        if not port.isdigit():
+            print(f"error: --connect wants HOST:PORT, got {args.connect!r}",
+                  file=sys.stderr)
+            return 2
+        try:
+            with LittleTableClient(host or "127.0.0.1", int(port)) as client:
+                page = {"metrics": client.stats(),
+                        "tables": client.table_stats(), "spans": []}
+        except OSError as exc:
+            print(f"error: cannot reach {args.connect}: {exc}",
+                  file=sys.stderr)
+            return 1
+    else:
+        from .dashboard.metrics_view import metrics_page
+
+        with open_database(args.data) as db:
+            page = metrics_page(db)
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(page, indent=2, sort_keys=True))
+    else:
+        from .dashboard.metrics_view import render_metrics_page
+
+        print(render_metrics_page(page))
+    return 0
+
+
 def main(argv: Optional[list] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "stats":
+        return stats_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="littletable",
-        description="SQL shell for the LittleTable reproduction")
+        description="SQL shell for the LittleTable reproduction "
+                    "(subcommand: stats)")
     parser.add_argument("--data", metavar="DIR", default=None,
                         help="data directory (default: in-memory)")
     parser.add_argument("-e", "--execute", metavar="SQL", action="append",

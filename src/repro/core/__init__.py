@@ -15,8 +15,10 @@ from .errors import (
     DuplicateKeyError,
     LittleTableError,
     NoSuchTableError,
+    ProtocolViolationError,
     QueryError,
     SchemaError,
+    ServerError,
     TableExistsError,
     ValidationError,
 )
@@ -39,8 +41,10 @@ __all__ = [
     "DuplicateKeyError",
     "LittleTableError",
     "NoSuchTableError",
+    "ProtocolViolationError",
     "QueryError",
     "SchemaError",
+    "ServerError",
     "TableExistsError",
     "ValidationError",
     "MergePlan",

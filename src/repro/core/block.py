@@ -100,8 +100,13 @@ class BlockBuilder:
 
 
 def decode_block(payload: bytes, codec: int, codec_rows: RowCodec,
-                 row_count: int) -> List[Tuple[Any, ...]]:
-    """Decompress and decode a block into row tuples."""
+                 row_count: int, metrics=None) -> List[Tuple[Any, ...]]:
+    """Decompress and decode a block into row tuples.
+
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`, or
+    None) counts decoded blocks/rows/bytes - the decode side of the
+    tablet reader's block-read accounting.
+    """
     raw = decompress(codec, payload)
     rows: List[Tuple[Any, ...]] = []
     offset = 0
@@ -110,11 +115,16 @@ def decode_block(payload: bytes, codec: int, codec_rows: RowCodec,
         rows.append(row)
     if offset != len(raw):
         raise CorruptTabletError("trailing bytes after last row in block")
+    if metrics is not None:
+        metrics.counter("block.decoded").inc()
+        metrics.counter("block.rows_decoded").inc(row_count)
+        metrics.counter("block.decoded_bytes").inc(len(raw))
     return rows
 
 
 def decode_block_pairs(payload: bytes, codec: int, codec_rows: RowCodec,
-                       row_count: int) -> List[Tuple[Tuple[Any, ...], bytes]]:
+                       row_count: int, metrics=None
+                       ) -> List[Tuple[Tuple[Any, ...], bytes]]:
     """Like :func:`decode_block` but keeps each row's raw encoding.
 
     Merges use this to stream rows into the output tablet without
@@ -129,4 +139,8 @@ def decode_block_pairs(payload: bytes, codec: int, codec_rows: RowCodec,
         offset = end
     if offset != len(raw):
         raise CorruptTabletError("trailing bytes after last row in block")
+    if metrics is not None:
+        metrics.counter("block.decoded").inc()
+        metrics.counter("block.rows_decoded").inc(row_count)
+        metrics.counter("block.decoded_bytes").inc(len(raw))
     return pairs

@@ -13,12 +13,15 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from ..disk.storage import Storage
 from ..disk.vfs import SimulatedDisk
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import Tracer
 from ..util.clock import Clock, SystemClock
 from .config import DEFAULT_CONFIG, EngineConfig
 from .descriptor import TableDescriptor
 from .errors import NoSuchTableError, TableExistsError
+from .row import Query
 from .schema import Schema
-from .table import Table
+from .table import QueryResult, Table
 
 
 class LittleTable:
@@ -38,7 +41,9 @@ class LittleTable:
     def __init__(self, disk: Optional[SimulatedDisk] = None,
                  config: Optional[EngineConfig] = None,
                  clock: Optional[Clock] = None,
-                 cold_disk: Optional[SimulatedDisk] = None):
+                 cold_disk: Optional[SimulatedDisk] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None):
         self.disk = disk if disk is not None else SimulatedDisk()
         # Optional write-once archive tier for old tablets (§6's
         # LHAM-style extension); see Table.migrate_to_cold.
@@ -46,6 +51,16 @@ class LittleTable:
         self.config = config if config is not None else EngineConfig()
         self.config.validate()
         self.clock = clock if clock is not None else SystemClock()
+        # One registry/tracer for the whole instance: tables, tablet
+        # readers, the disks, and the network server all record here,
+        # and ``db.metrics.snapshot()`` is the single source of truth
+        # that the STATS command, the CLI, and the dashboard render.
+        # Pass ``metrics=NULL_REGISTRY`` to disable collection.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.disk.attach_metrics(self.metrics)
+        if self.cold_disk is not None:
+            self.cold_disk.attach_metrics(self.metrics)
         self._tables: Dict[str, Table] = {}
         self._open_existing_tables()
 
@@ -53,7 +68,9 @@ class LittleTable:
         for name in TableDescriptor.list_tables(self.disk):
             descriptor = TableDescriptor.load(self.disk, name)
             self._tables[name] = Table(self.disk, descriptor, self.config,
-                                       self.clock, cold_disk=self.cold_disk)
+                                       self.clock, cold_disk=self.cold_disk,
+                                       metrics=self.metrics,
+                                       tracer=self.tracer)
 
     # ----------------------------------------------------------- catalog
 
@@ -82,7 +99,8 @@ class LittleTable:
                                      ttl_micros=ttl_micros)
         descriptor.save(self.disk)
         table = Table(self.disk, descriptor, self.config, self.clock,
-                      cold_disk=self.cold_disk)
+                      cold_disk=self.cold_disk, metrics=self.metrics,
+                      tracer=self.tracer)
         self._tables[name] = table
         return table
 
@@ -100,10 +118,31 @@ class LittleTable:
         del self._tables[name]
 
     # -------------------------------------------------------- operations
+    #
+    # The facade is symmetric: insert/query/latest all take the table
+    # name, so callers need not reach through ``db.table(x)`` for the
+    # common operations (they still can, for the full Table API).
 
     def insert(self, table_name: str, rows: Sequence[Dict[str, Any]]) -> int:
         """Insert dict rows into a table."""
         return self.table(table_name).insert(rows)
+
+    def query(self, table_name: str,
+              query: Optional[Query] = None) -> QueryResult:
+        """Run one query command against a table.
+
+        ``query`` defaults to the unbounded rectangle (all keys, all
+        time); the server row limit still applies, exactly as with
+        ``Table.query``.
+        """
+        return self.table(table_name).query(
+            query if query is not None else Query())
+
+    def latest(self, table_name: str, prefix: Sequence[Any],
+               max_lookback_micros: Optional[int] = None):
+        """Latest row whose key starts with ``prefix`` (§3.4.5)."""
+        return self.table(table_name).latest(
+            prefix, max_lookback_micros=max_lookback_micros)
 
     def maintenance(self) -> Dict[str, Dict[str, int]]:
         """Run one maintenance tick on every table."""
@@ -126,6 +165,21 @@ class LittleTable:
         """Flush every table's memtables (clean shutdown)."""
         for table in self._tables.values():
             table.flush_all()
+
+    def close(self) -> None:
+        """Clean shutdown: flush everything to disk.
+
+        After ``close()`` every inserted row is durable; the instance
+        remains usable (closing is idempotent), matching the paper's
+        "clean shutdown flushes all tables" behaviour.
+        """
+        self.flush_all()
+
+    def __enter__(self) -> "LittleTable":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------- crash & archival
 

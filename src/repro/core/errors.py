@@ -33,3 +33,16 @@ class CorruptTabletError(LittleTableError):
 
 class QueryError(LittleTableError):
     """Malformed query bounds or options."""
+
+
+class ProtocolViolationError(LittleTableError):
+    """The server rejected a request it could not understand (unknown
+    command, bad alter action, malformed fields).  Reported by the
+    client adaptor for *server-side* protocol complaints - distinct
+    from :class:`repro.net.protocol.ProtocolError`, which is a local
+    framing failure."""
+
+
+class ServerError(LittleTableError):
+    """The server hit an unexpected internal failure handling a
+    request.  The connection stays up; the command did not happen."""

@@ -15,10 +15,13 @@ while queries proceed against immutable state (§3.4.4).
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..disk.vfs import SimulatedDisk
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import NULL_TRACER
 from ..util.clock import Clock
 from .config import EngineConfig
 from .cursor import execute_query
@@ -70,7 +73,8 @@ class Table:
 
     def __init__(self, disk: SimulatedDisk, descriptor: TableDescriptor,
                  config: EngineConfig, clock: Clock,
-                 cold_disk: Optional[SimulatedDisk] = None):
+                 cold_disk: Optional[SimulatedDisk] = None,
+                 metrics: Optional[MetricsRegistry] = None, tracer=None):
         self.disk = disk
         self.cold_disk = cold_disk
         self.descriptor = descriptor
@@ -78,6 +82,22 @@ class Table:
         self.clock = clock
         self.lock = threading.RLock()
         self.counters = TableCounters()
+        # Observability: a database passes its shared registry/tracer;
+        # a standalone table gets a private registry so the counters
+        # are still inspectable.  Hot-path counters are cached here so
+        # the insert loop never does a registry lookup.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        m = self.metrics
+        self._m_rows_inserted = m.counter("insert.rows")
+        self._m_insert_batches = m.counter("insert.batches")
+        self._m_uniq_fast_ts = m.counter("insert.uniqueness.fast_path_ts")
+        self._m_uniq_fast_max = m.counter(
+            "insert.uniqueness.fast_path_period_max")
+        self._m_uniq_slow = m.counter("insert.uniqueness.slow_path")
+        self._m_queries = m.counter("query.count")
+        self._m_rows_scanned = m.counter("query.rows_scanned")
+        self._m_rows_returned = m.counter("query.rows_returned")
         self._row_codec = RowCodec(descriptor.schema)
         # Filling memtables, one per (period.start, period.level).
         self._filling: Dict[Tuple[int, int], MemTable] = {}
@@ -192,7 +212,8 @@ class Table:
     def _reader(self, meta: TabletMeta) -> TabletReader:
         reader = self._readers.get(meta.tablet_id)
         if reader is None:
-            reader = TabletReader(self._disk_for(meta), meta.filename)
+            reader = TabletReader(self._disk_for(meta), meta.filename,
+                                  metrics=self.metrics)
             self._readers[meta.tablet_id] = reader
         return reader
 
@@ -235,6 +256,8 @@ class Table:
             if memtable.size_bytes >= self.config.flush_size_bytes:
                 self._retire_memtable(memtable)
         self.counters.rows_inserted += inserted
+        self._m_rows_inserted.inc(inserted)
+        self._m_insert_batches.inc()
         return inserted
 
     def _memtable_for(self, ts: int, now: int) -> MemTable:
@@ -267,14 +290,17 @@ class Table:
         # Fast path 1: the timestamp is newer than any row ever stored;
         # needs only cached metadata.
         if self._max_ts_ever is None or ts > self._max_ts_ever:
+            self._m_uniq_fast_ts.inc()
             return True
         # Fast path 2: the key is larger than any other key in its time
         # period, checkable from tablet indexes and memtable maxima.
         period = period_for(ts, now, self.config.time_partitioning)
         if self._key_above_period_max(key, period):
+            self._m_uniq_fast_max.inc()
             return True
         # Slow path: a point query, possibly touching disk.  Bloom
         # filters skip most tablets (§3.4.5).
+        self._m_uniq_slow.inc()
         return not self._key_exists(key, ts)
 
     def _key_above_period_max(self, key: Tuple[Any, ...],
@@ -345,29 +371,42 @@ class Table:
         guarantee.  Returns the tablets written.
         """
         with self.lock:
+            started = time.perf_counter()
             group = [
                 mid for mid in self._deps.flush_group(memtable_id)
                 if mid in self._unflushed
             ]
             written: List[TabletMeta] = []
             now = self.clock.now()
-            for mid in group:
-                memtable = self._unflushed[mid]
-                memtable.mark_read_only()
-                meta = self._write_memtable(memtable, now)
-                if meta is not None:
-                    written.append(meta)
-            if written:
-                self.descriptor.tablets.extend(written)
-                self.descriptor.save(self.disk)
-            for mid in group:
-                memtable = self._unflushed.pop(mid)
-                bin_key = (memtable.period.start, int(memtable.period.level))
-                if self._filling.get(bin_key) is memtable:
-                    del self._filling[bin_key]
-                if mid in self._flush_pending:
-                    self._flush_pending.remove(mid)
-            self._deps.mark_flushed(group)
+            with self.tracer.span("flush", table=self.name) as span:
+                for mid in group:
+                    memtable = self._unflushed[mid]
+                    memtable.mark_read_only()
+                    meta = self._write_memtable(memtable, now)
+                    if meta is not None:
+                        written.append(meta)
+                if written:
+                    self.descriptor.tablets.extend(written)
+                    self.descriptor.save(self.disk)
+                for mid in group:
+                    memtable = self._unflushed.pop(mid)
+                    bin_key = (memtable.period.start,
+                               int(memtable.period.level))
+                    if self._filling.get(bin_key) is memtable:
+                        del self._filling[bin_key]
+                    if mid in self._flush_pending:
+                        self._flush_pending.remove(mid)
+                self._deps.mark_flushed(group)
+                rows = sum(meta.row_count for meta in written)
+                size = sum(meta.size_bytes for meta in written)
+                span.tag(tablets=len(written), rows=rows, bytes=size)
+            m = self.metrics
+            m.counter("flush.count").inc()
+            m.counter("flush.tablets").inc(len(written))
+            m.counter("flush.rows").inc(rows)
+            m.counter("flush.bytes").inc(size)
+            m.histogram("flush.duration_us").observe(
+                (time.perf_counter() - started) * 1e6)
             return written
 
     def _write_memtable(self, memtable: MemTable, now: int
@@ -571,12 +610,17 @@ class Table:
         plan = choose_merge(hot_tablets, now, self.name, self.config)
         if plan is None:
             return None
-        self._execute_merge(plan, now)
+        with self.tracer.span("merge", table=self.name,
+                              period=plan.period.level.name.lower(),
+                              tablets=len(plan.tablets),
+                              rows=plan.total_rows):
+            self._execute_merge(plan, now)
         return plan
 
     def _execute_merge(self, plan: MergePlan, now: int) -> None:
         import heapq
 
+        started = time.perf_counter()
         tablet_id = self.descriptor.allocate_tablet_id()
         writer = TabletWriter(
             self.disk, self.schema, self.config.block_size_bytes,
@@ -612,14 +656,30 @@ class Table:
         self.descriptor.tablets = [
             t for t in self.descriptor.tablets if t.tablet_id not in merged_ids
         ]
+        rows_rewritten = 0
         if meta is not None:
             self.descriptor.tablets.append(meta)
             self.counters.bytes_merge_written += meta.size_bytes
             self.counters.rows_merge_written += meta.row_count
+            rows_rewritten = meta.row_count
         self.counters.merges += 1
         self.descriptor.save(self.disk)
         for source in plan.tablets:
             self._delete_tablet_file(source)
+        # Per-period rewrite counters make the appendix's O(log T)
+        # per-row rewrite bound empirically checkable: rows_rewritten
+        # divided by insert.rows bounds the mean rewrite count.
+        level = plan.period.level.name.lower()
+        duration_us = (time.perf_counter() - started) * 1e6
+        m = self.metrics
+        m.counter("merge.count").inc()
+        m.counter("merge.tablets_merged").inc(len(plan.tablets))
+        m.counter("merge.rows_rewritten").inc(rows_rewritten)
+        if meta is not None:
+            m.counter("merge.bytes_written").inc(meta.size_bytes)
+        m.counter(f"merge.count.{level}").inc()
+        m.counter(f"merge.rows_rewritten.{level}").inc(rows_rewritten)
+        m.histogram("merge.duration_us").observe(duration_us)
 
     def _merge_streams(self, sources: List[Iterator[Tuple[Any, ...]]]
                        ) -> Iterator[Tuple[Any, ...]]:
@@ -671,14 +731,19 @@ class Table:
         if not expired:
             return 0
         expired_ids = {t.tablet_id for t in expired}
-        self.descriptor.tablets = [
-            t for t in self.descriptor.tablets
-            if t.tablet_id not in expired_ids
-        ]
-        self.descriptor.save(self.disk)
-        for meta in expired:
-            self._delete_tablet_file(meta)
+        expired_rows = sum(t.row_count for t in expired)
+        with self.tracer.span("ttl_expire", table=self.name,
+                              tablets=len(expired), rows=expired_rows):
+            self.descriptor.tablets = [
+                t for t in self.descriptor.tablets
+                if t.tablet_id not in expired_ids
+            ]
+            self.descriptor.save(self.disk)
+            for meta in expired:
+                self._delete_tablet_file(meta)
         self.counters.tablets_expired += len(expired)
+        self.metrics.counter("ttl.tablets_expired").inc(len(expired))
+        self.metrics.counter("ttl.rows_expired").inc(expired_rows)
         return len(expired)
 
     # ------------------------------------------------------ maintenance
@@ -725,11 +790,14 @@ class Table:
             rows.append(row)
         self._absorb_stats(stats)
         self.counters.queries += 1
+        self._m_queries.inc()
         return QueryResult(rows, more_available, stats)
 
     def _absorb_stats(self, stats: QueryStats) -> None:
         self.counters.rows_scanned += stats.rows_scanned
         self.counters.rows_returned += stats.rows_returned
+        self._m_rows_scanned.inc(stats.rows_scanned)
+        self._m_rows_returned.inc(stats.rows_returned)
 
     def _execute(self, query: Query, stats: QueryStats
                  ) -> Iterator[Tuple[Any, ...]]:
@@ -833,6 +901,9 @@ class Table:
         self.counters.rows_scanned += stats.rows_scanned
         self.counters.rows_returned += 1 if best is not None else 0
         self.counters.queries += 1
+        self._m_queries.inc()
+        self._m_rows_scanned.inc(stats.rows_scanned)
+        self._m_rows_returned.inc(1 if best is not None else 0)
         return best
 
     def _timespan_groups(self):

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Any, Iterable, Iterator, List, Optional, Tuple
 
 from ..disk.vfs import SimulatedDisk
+from ..obs.metrics import NULL_REGISTRY
 from ..util.bloom import KeyPrefixBloom
 from ..util.varint import decode_uvarint, encode_uvarint
 from .block import (
@@ -224,9 +225,18 @@ class TabletReader:
     memory."  The table keeps one reader per live tablet.
     """
 
-    def __init__(self, disk: SimulatedDisk, filename: str):
+    def __init__(self, disk: SimulatedDisk, filename: str, metrics=None):
         self.disk = disk
         self.filename = filename
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._m_blocks_read = self.metrics.counter("tablet.blocks_read")
+        self._m_block_bytes = self.metrics.counter("tablet.block_bytes_read")
+        self._m_footer_loads = self.metrics.counter("tablet.footer_loads")
+        self._m_bloom_probes = self.metrics.counter("bloom.probes")
+        self._m_bloom_negative = self.metrics.counter("bloom.negatives")
+        self._m_bloom_positive = self.metrics.counter("bloom.positives")
+        # decode_block takes a real registry or None (never the null).
+        self._decode_metrics = metrics if metrics is not None else None
         self._loaded = False
         self.schema: Optional[Schema] = None
         self.min_ts = 0
@@ -260,6 +270,7 @@ class TabletReader:
         self._body_size = footer_offset
         self._parse_footer(compressed, footer_size)
         self._loaded = True
+        self._m_footer_loads.inc()
 
     def _parse_footer(self, compressed: bytes, footer_size: int) -> None:
         # The codec byte lives inside the (possibly compressed) footer,
@@ -333,8 +344,10 @@ class TabletReader:
         entry = self._entries[index]
         payload = self.disk.read(self.filename, entry.offset,
                                  entry.compressed_len)
+        self._m_blocks_read.inc()
+        self._m_block_bytes.inc(entry.compressed_len)
         return decode_block(payload, self._codec, self._row_codec,
-                            entry.row_count)
+                            entry.row_count, metrics=self._decode_metrics)
 
     def scan_pairs(self) -> Iterator[Tuple[Tuple[Any, ...], bytes]]:
         """Full ascending scan yielding (row, raw_encoding) pairs.
@@ -347,8 +360,11 @@ class TabletReader:
             entry = self._entries[index]
             payload = self.disk.read(self.filename, entry.offset,
                                      entry.compressed_len)
+            self._m_blocks_read.inc()
+            self._m_block_bytes.inc(entry.compressed_len)
             yield from decode_block_pairs(payload, self._codec,
-                                          self._row_codec, entry.row_count)
+                                          self._row_codec, entry.row_count,
+                                          metrics=self._decode_metrics)
 
     def first_block_for(self, key_range: KeyRange) -> int:
         """Index of the first block that may hold in-range keys."""
@@ -378,11 +394,22 @@ class TabletReader:
         return min(low, len(self._entries) - 1)
 
     def may_contain_prefix(self, encoded_columns: List[bytes]) -> Optional[bool]:
-        """Bloom-filter probe; None when no filter is stored."""
+        """Bloom-filter probe; None when no filter is stored.
+
+        A negative probe is the filter's payoff: the caller skips this
+        tablet entirely, so ``bloom.negatives / bloom.probes`` is the
+        §3.4.5 skip rate.
+        """
         self.ensure_loaded()
         if self._bloom is None:
             return None
-        return self._bloom.may_contain_prefix(encoded_columns)
+        self._m_bloom_probes.inc()
+        verdict = self._bloom.may_contain_prefix(encoded_columns)
+        if verdict:
+            self._m_bloom_positive.inc()
+        else:
+            self._m_bloom_negative.inc()
+        return verdict
 
     # ----------------------------------------------------------- cursors
 

@@ -19,6 +19,7 @@ from .failover import (
 from .devices import SimulatedDevice, decode_motion_word, encode_motion_word
 from .events import EventsGrabber
 from .motion import MotionGrabber, MotionSearch, PixelRect
+from .metrics_view import derived_health, metrics_page, render_metrics_page
 from .mtunnel import DeviceUnreachable, MTunnel
 from .shard import Shard, ShardTopology
 from .splitting import split_shard
@@ -45,6 +46,9 @@ __all__ = [
     "PixelRect",
     "DeviceUnreachable",
     "MTunnel",
+    "derived_health",
+    "metrics_page",
+    "render_metrics_page",
     "Shard",
     "ShardTopology",
     "split_shard",

@@ -1,0 +1,95 @@
+"""The Dashboard's engine-health page: one registry snapshot, rendered.
+
+The paper's operators reason about flush/merge behaviour, tablet
+counts, and rewrite cost (§4, appendix); this view puts those numbers
+in front of them.  It consumes the same
+``MetricsRegistry.snapshot()`` that the STATS protocol command and
+``python -m repro.cli stats`` expose, so every surface agrees.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..core.database import LittleTable
+from ..obs.metrics import render_snapshot
+
+
+def metrics_page(db: LittleTable,
+                 recent_spans: int = 20) -> Dict[str, Any]:
+    """Everything the engine-health page needs, as plain data.
+
+    ``metrics`` is the registry snapshot verbatim; ``tables`` adds the
+    per-table shape summaries (tablet counts per period, write
+    amplification, scan ratio); ``spans`` lists the most recent traced
+    operations (flushes, merges, TTL reclaims), oldest first.
+    """
+    return {
+        "metrics": db.metrics.snapshot(),
+        "tables": {name: db.table(name).stats_summary()
+                   for name in db.table_names()},
+        "spans": [span.to_dict()
+                  for span in db.tracer.recent(limit=recent_spans)],
+    }
+
+
+def derived_health(snapshot: Dict[str, Any]) -> Dict[str, Optional[float]]:
+    """Ratios operators actually watch, derived from raw counters.
+
+    * ``write_amplification`` - (flushed + merge-written bytes) per
+      flushed byte; the merge-pathology indicator.
+    * ``rewrites_per_row`` - merge-rewritten rows per inserted row;
+      the appendix bounds this at O(log T).
+    * ``bloom_skip_rate`` - fraction of Bloom probes that let a scan
+      skip a tablet (§3.4.5's payoff).
+    * ``scan_ratio`` - rows scanned per row returned (Figure 9).
+    """
+    counters = snapshot.get("counters", {})
+
+    def ratio(numerator: float, denominator: float) -> Optional[float]:
+        return numerator / denominator if denominator else None
+
+    flushed = counters.get("flush.bytes", 0)
+    return {
+        "write_amplification": ratio(
+            flushed + counters.get("merge.bytes_written", 0), flushed),
+        "rewrites_per_row": ratio(
+            counters.get("merge.rows_rewritten", 0),
+            counters.get("insert.rows", 0)),
+        "bloom_skip_rate": ratio(
+            counters.get("bloom.negatives", 0),
+            counters.get("bloom.probes", 0)),
+        "scan_ratio": ratio(
+            counters.get("query.rows_scanned", 0),
+            counters.get("query.rows_returned", 0)),
+    }
+
+
+def render_metrics_page(page: Dict[str, Any]) -> str:
+    """Render :func:`metrics_page` output as text (CLI and logs)."""
+    lines: List[str] = ["== engine metrics =="]
+    lines.append(render_snapshot(page.get("metrics", {})))
+    health = derived_health(page.get("metrics", {}))
+    lines.append("")
+    lines.append("== derived health ==")
+    for name, value in health.items():
+        rendered = "n/a" if value is None else f"{value:.3f}"
+        lines.append(f"{name}  {rendered}")
+    tables = page.get("tables", {})
+    if tables:
+        lines.append("")
+        lines.append("== tables ==")
+        for name, summary in sorted(tables.items()):
+            parts = ", ".join(f"{key}={value}"
+                              for key, value in summary.items()
+                              if key != "name")
+            lines.append(f"{name}: {parts}")
+    spans = page.get("spans", [])
+    if spans:
+        lines.append("")
+        lines.append("== recent operations ==")
+        for span in spans:
+            tags = " ".join(f"{k}={v}" for k, v in span["tags"].items())
+            lines.append(
+                f"{span['name']}  {span['duration_us']:.0f}us  {tags}")
+    return "\n".join(lines)

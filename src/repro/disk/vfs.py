@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from ..obs.metrics import NULL_REGISTRY
 from .model import DiskModel, DiskParameters, IoStats
 from .storage import MemoryStorage, Storage
 
@@ -22,6 +23,18 @@ class SimulatedDisk:
                  params: Optional[DiskParameters] = None):
         self.storage = storage if storage is not None else MemoryStorage()
         self.model = DiskModel(params)
+        self._init_metrics(NULL_REGISTRY)
+
+    def _init_metrics(self, registry) -> None:
+        self._m_reads = registry.counter("disk.reads")
+        self._m_read_bytes = registry.counter("disk.read_bytes")
+        self._m_writes = registry.counter("disk.writes")
+        self._m_write_bytes = registry.counter("disk.write_bytes")
+        self._m_deletes = registry.counter("disk.deletes")
+
+    def attach_metrics(self, registry) -> None:
+        """Record I/O into ``registry`` (a database attaches its own)."""
+        self._init_metrics(registry)
 
     # Convenience passthroughs -----------------------------------------
 
@@ -44,6 +57,8 @@ class SimulatedDisk:
         """Write a whole new file; returns modeled seconds."""
         self.storage.write_file(name, data)
         self.model.allocate(name, len(data))
+        self._m_writes.inc()
+        self._m_write_bytes.inc(len(data))
         return self.model.charge_write(name, len(data))
 
     def open(self, name: str) -> None:
@@ -59,6 +74,8 @@ class SimulatedDisk:
         """Read bytes, charging modeled time for uncached chunks."""
         data = self.storage.read(name, offset, length)
         self.model.charge_read(name, offset, len(data))
+        self._m_reads.inc()
+        self._m_read_bytes.inc(len(data))
         return data
 
     def read_all(self, name: str) -> bytes:
@@ -73,6 +90,7 @@ class SimulatedDisk:
     def delete(self, name: str) -> None:
         self.storage.delete(name)
         self.model.release(name)
+        self._m_deletes.inc()
 
     def rename(self, old: str, new: str) -> None:
         """Atomic rename (free in the model: metadata only)."""

@@ -18,11 +18,12 @@ from __future__ import annotations
 import socket
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ..core import errors as _errors
 from ..core.errors import (
-    DuplicateKeyError,
     LittleTableError,
     NoSuchTableError,
-    TableExistsError,
+    ProtocolViolationError,
+    ServerError,
 )
 from ..core.schema import Schema
 from .protocol import (
@@ -34,11 +35,18 @@ from .protocol import (
     send_message,
 )
 
-_ERROR_TYPES = {
-    "DuplicateKeyError": DuplicateKeyError,
-    "NoSuchTableError": NoSuchTableError,
-    "TableExistsError": TableExistsError,
+# Server-side failures surface as the same LittleTableError subclasses
+# an in-process user would see: the error code on the wire is the
+# exception class name, mapped back here.  Unknown codes degrade to
+# the base class rather than leaking protocol-layer exceptions.
+_ERROR_TYPES: Dict[str, type] = {
+    name: cls
+    for name, cls in vars(_errors).items()
+    if isinstance(cls, type) and issubclass(cls, LittleTableError)
 }
+# Codes emitted by pre-redesign servers.
+_ERROR_TYPES.setdefault("ProtocolError", ProtocolViolationError)
+_ERROR_TYPES.setdefault("InternalError", ServerError)
 
 
 class LittleTableClient:
@@ -100,6 +108,20 @@ class LittleTableClient:
     def ping(self) -> bool:
         """Round-trip liveness check."""
         return bool(self._call({"cmd": "ping"}).get("pong"))
+
+    # ------------------------------------------------------ observability
+
+    def stats(self) -> Dict[str, Any]:
+        """The server's metrics-registry snapshot.
+
+        Returns exactly what ``db.metrics.snapshot()`` returns in
+        process: ``{"counters": ..., "gauges": ..., "histograms": ...}``.
+        """
+        return self._call({"cmd": "stats", "tables": False})["metrics"]
+
+    def table_stats(self) -> Dict[str, Dict[str, Any]]:
+        """Per-table shape summaries (``Table.stats_summary`` each)."""
+        return self._call({"cmd": "stats", "tables": True})["tables"]
 
     # ----------------------------------------------------------- schema
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 import socket
 import socketserver
 import threading
+import time
 from typing import Any, Dict, Optional
 
 from ..core.database import LittleTable
@@ -74,6 +75,12 @@ class LittleTableServer:
         self.maintenance_interval_s = maintenance_interval_s
         self._maintenance_thread: Optional[threading.Thread] = None
         self._maintenance_stop = threading.Event()
+        # Server-side observability lives in the database's registry,
+        # so one STATS snapshot covers engine and network together.
+        self.metrics = db.metrics
+        self._m_requests = self.metrics.counter("server.requests")
+        self._m_errors = self.metrics.counter("server.errors")
+        self._m_connections = self.metrics.gauge("server.active_connections")
 
     def run_maintenance(self) -> Dict[str, Dict[str, int]]:
         """One maintenance tick over every table, under its lock."""
@@ -94,10 +101,12 @@ class LittleTableServer:
     def _register_connection(self, sock: socket.socket) -> None:
         with self._connections_lock:
             self._connections.add(sock)
+            self._m_connections.set(len(self._connections))
 
     def _unregister_connection(self, sock: socket.socket) -> None:
         with self._connections_lock:
             self._connections.discard(sock)
+            self._m_connections.set(len(self._connections))
 
     @property
     def address(self) -> tuple:
@@ -140,6 +149,13 @@ class LittleTableServer:
             self._thread.join(timeout=5)
             self._thread = None
 
+    def close(self) -> None:
+        """Alias for :meth:`stop`, completing the symmetric
+        close/context-manager surface shared with
+        :class:`~repro.core.database.LittleTable` and
+        :class:`~repro.net.client.LittleTableClient`."""
+        self.stop()
+
     def __enter__(self) -> "LittleTableServer":
         self.start()
         return self
@@ -158,15 +174,25 @@ class LittleTableServer:
         """
         command = request.get("cmd")
         handler = getattr(self, f"_cmd_{command}", None)
+        self._m_requests.inc()
         if handler is None:
+            self._m_errors.inc()
             return protocol.error_response(
-                "ProtocolError", f"unknown command {command!r}")
+                "ProtocolViolationError", f"unknown command {command!r}")
+        started = time.perf_counter()
         try:
-            return handler(request)
+            response = handler(request)
         except LittleTableError as exc:
+            self._m_errors.inc()
             return protocol.error_response(type(exc).__name__, str(exc))
         except Exception as exc:  # defensive: keep the server up
-            return protocol.error_response("InternalError", str(exc))
+            self._m_errors.inc()
+            return protocol.error_response("ServerError", str(exc))
+        # Latency is recorded after the handler so a STATS snapshot
+        # never includes the request that carried it.
+        self.metrics.histogram(f"server.cmd.{command}.latency_us").observe(
+            (time.perf_counter() - started) * 1e6)
+        return response
 
     def _cmd_ping(self, request: Dict[str, Any]) -> Dict[str, Any]:
         return protocol.ok_response(pong=True)
@@ -247,6 +273,21 @@ class LittleTableServer:
         """One background tick over every table, under its lock."""
         return protocol.ok_response(work=self.run_maintenance())
 
+    def _cmd_stats(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """The observability surface: one registry snapshot.
+
+        ``metrics`` is exactly ``db.metrics.snapshot()`` - the same
+        view an in-process user reads - plus per-table shape summaries
+        when ``tables`` is requested.
+        """
+        response: Dict[str, Any] = {"metrics": self.db.metrics.snapshot()}
+        if request.get("tables", True):
+            response["tables"] = {
+                name: self.db.table(name).stats_summary()
+                for name in self.db.table_names()
+            }
+        return protocol.ok_response(**response)
+
     def _cmd_flush(self, request: Dict[str, Any]) -> Dict[str, Any]:
         """The §4.1.2 proposed flush command: force rows to disk."""
         table = self.db.table(request["table"])
@@ -288,5 +329,6 @@ class LittleTableServer:
                 table.set_ttl(request.get("ttl_micros"))
             else:
                 return protocol.error_response(
-                    "ProtocolError", f"unknown alter action {action!r}")
+                    "ProtocolViolationError",
+                    f"unknown alter action {action!r}")
         return protocol.ok_response()

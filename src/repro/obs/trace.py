@@ -1,0 +1,143 @@
+"""Lightweight trace spans for the engine's slow operations.
+
+Flushes, merges, TTL reclaim, and bulk rewrites are the operations
+whose scheduling pathologies the LSM-stability literature warns about;
+a counter says *how much* happened, a span says *when* and *how long*.
+The tracer keeps a bounded ring of finished spans (newest last) and
+offers subscription hooks so a test or a dashboard can watch
+operations as they complete.
+
+Spans are deliberately minimal - a name, wall-clock duration, and a
+small tag dict - and the null tracer makes the hooks free when tracing
+is off.  Per-row work is never traced; only whole operations are.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+
+class Span:
+    """One finished operation."""
+
+    __slots__ = ("name", "tags", "duration_us")
+
+    def __init__(self, name: str, tags: Dict[str, Any],
+                 duration_us: float):
+        self.name = name
+        self.tags = tags
+        self.duration_us = duration_us
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "duration_us": self.duration_us,
+                "tags": dict(self.tags)}
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, {self.duration_us:.0f}us, {self.tags})"
+
+
+class _ActiveSpan:
+    """Context manager measuring one operation.
+
+    Tags may be added while the span is open via :meth:`tag`; an
+    exception inside the block records an ``error`` tag before
+    re-raising.
+    """
+
+    __slots__ = ("_tracer", "name", "tags", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, tags: Dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.tags = tags
+        self._start = 0.0
+
+    def tag(self, **tags: Any) -> None:
+        self.tags.update(tags)
+
+    def __enter__(self) -> "_ActiveSpan":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> None:
+        duration_us = (time.perf_counter() - self._start) * 1e6
+        if exc_type is not None:
+            self.tags["error"] = exc_type.__name__
+        self._tracer._record(Span(self.name, self.tags, duration_us))
+
+
+class Tracer:
+    """Collects finished spans into a bounded ring."""
+
+    def __init__(self, capacity: int = 256):
+        self._spans: Deque[Span] = deque(maxlen=capacity)
+        self._hooks: List[Callable[[Span], None]] = []
+
+    def span(self, name: str, **tags: Any) -> _ActiveSpan:
+        """Open a span: ``with tracer.span("flush", table=t): ...``."""
+        return _ActiveSpan(self, name, tags)
+
+    def subscribe(self, hook: Callable[[Span], None]) -> None:
+        """Call ``hook(span)`` for every span as it finishes."""
+        self._hooks.append(hook)
+
+    def unsubscribe(self, hook: Callable[[Span], None]) -> None:
+        self._hooks.remove(hook)
+
+    def _record(self, span: Span) -> None:
+        self._spans.append(span)
+        for hook in self._hooks:
+            hook(span)
+
+    def recent(self, limit: Optional[int] = None,
+               name: Optional[str] = None) -> List[Span]:
+        """Finished spans, oldest first, optionally filtered by name."""
+        spans = [s for s in self._spans if name is None or s.name == name]
+        if limit is not None:
+            spans = spans[-limit:]
+        return spans
+
+    def clear(self) -> None:
+        self._spans.clear()
+
+
+class _NullActiveSpan:
+    __slots__ = ()
+    name = "null"
+    tags: Dict[str, Any] = {}
+
+    def tag(self, **tags: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullActiveSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+class NullTracer:
+    """Tracing disabled: spans are free and nothing is kept."""
+
+    _span = _NullActiveSpan()
+
+    def span(self, name: str, **tags: Any) -> _NullActiveSpan:
+        return self._span
+
+    def subscribe(self, hook: Callable[[Span], None]) -> None:
+        pass
+
+    def unsubscribe(self, hook: Callable[[Span], None]) -> None:
+        pass
+
+    def recent(self, limit: Optional[int] = None,
+               name: Optional[str] = None) -> List[Span]:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()

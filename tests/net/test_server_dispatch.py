@@ -40,7 +40,7 @@ class TestDispatch:
     def test_unknown_command(self, server):
         response = server.dispatch({"cmd": "fly"})
         assert not response["ok"]
-        assert response["error"] == "ProtocolError"
+        assert response["error"] == "ProtocolViolationError"
 
     def test_missing_command(self, server):
         assert not server.dispatch({})["ok"]

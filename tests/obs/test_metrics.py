@@ -1,0 +1,125 @@
+"""Unit tests for the metrics registry primitives."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    render_snapshot,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+    def test_registry_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.counter("a") is not registry.counter("b")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value == 6
+
+
+class TestHistogram:
+    def test_empty_summary(self):
+        assert Histogram("h").summary() == {"count": 0, "sum": 0.0}
+
+    def test_summary_statistics(self):
+        hist = Histogram("h")
+        for value in range(1, 101):
+            hist.observe(float(value))
+        summary = hist.summary()
+        assert summary["count"] == 100
+        assert summary["sum"] == pytest.approx(5050.0)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 100.0
+        assert summary["p50"] == pytest.approx(50.0, abs=2.0)
+        assert summary["p99"] == pytest.approx(99.0, abs=2.0)
+
+    def test_ring_is_bounded_but_exact_stats_are_not(self):
+        hist = Histogram("h", capacity=8)
+        for value in range(1000):
+            hist.observe(float(value))
+        summary = hist.summary()
+        assert summary["count"] == 1000          # exact
+        assert summary["min"] == 0.0             # exact
+        assert summary["max"] == 999.0           # exact
+        assert len(hist._ring) == 8              # bounded reservoir
+        # Percentiles come from the newest window only.
+        assert summary["p50"] >= 990.0
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", capacity=0)
+
+
+class TestRegistrySnapshot:
+    def test_snapshot_shape_and_json_safety(self):
+        registry = MetricsRegistry()
+        registry.counter("insert.rows").inc(7)
+        registry.gauge("active").set(3)
+        registry.histogram("lat").observe(12.5)
+        snap = registry.snapshot()
+        assert set(snap) == {"counters", "gauges", "histograms"}
+        assert snap["counters"]["insert.rows"] == 7
+        assert snap["gauges"]["active"] == 3
+        assert snap["histograms"]["lat"]["count"] == 1
+        # Must survive the wire protocol unchanged.
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_snapshot_keys_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a").inc()
+        assert list(registry.snapshot()["counters"]) == ["a", "b"]
+
+    def test_reset_forgets_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestNullRegistry:
+    def test_records_nothing(self):
+        NULL_REGISTRY.counter("c").inc(100)
+        NULL_REGISTRY.gauge("g").set(5)
+        NULL_REGISTRY.histogram("h").observe(1.0)
+        assert NULL_REGISTRY.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestRenderSnapshot:
+    def test_empty(self):
+        assert "no metrics" in render_snapshot(
+            {"counters": {}, "gauges": {}, "histograms": {}})
+
+    def test_renders_all_kinds(self):
+        registry = MetricsRegistry()
+        registry.counter("flush.rows").inc(9)
+        registry.gauge("conns").set(2)
+        registry.histogram("lat").observe(5.0)
+        registry.histogram("empty")
+        text = render_snapshot(registry.snapshot())
+        assert "flush.rows" in text
+        assert "conns" in text
+        assert "count=1" in text
+        assert "(no observations)" in text

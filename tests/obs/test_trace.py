@@ -1,0 +1,70 @@
+"""Unit tests for the trace-span hooks."""
+
+import pytest
+
+from repro.obs import NULL_TRACER, Tracer
+
+
+class TestTracer:
+    def test_span_records_name_tags_duration(self):
+        tracer = Tracer()
+        with tracer.span("flush", table="usage") as span:
+            span.tag(rows=10)
+        spans = tracer.recent()
+        assert len(spans) == 1
+        assert spans[0].name == "flush"
+        assert spans[0].tags == {"table": "usage", "rows": 10}
+        assert spans[0].duration_us >= 0.0
+        assert spans[0].to_dict()["name"] == "flush"
+
+    def test_exception_tags_error_and_reraises(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("merge"):
+                raise RuntimeError("boom")
+        (span,) = tracer.recent()
+        assert span.tags["error"] == "RuntimeError"
+
+    def test_ring_is_bounded(self):
+        tracer = Tracer(capacity=4)
+        for index in range(10):
+            with tracer.span("op", index=index):
+                pass
+        spans = tracer.recent()
+        assert len(spans) == 4
+        assert [s.tags["index"] for s in spans] == [6, 7, 8, 9]
+
+    def test_recent_filters_by_name_and_limit(self):
+        tracer = Tracer()
+        for name in ("flush", "merge", "flush"):
+            with tracer.span(name):
+                pass
+        assert len(tracer.recent(name="flush")) == 2
+        assert len(tracer.recent(limit=1)) == 1
+
+    def test_subscribe_unsubscribe(self):
+        tracer = Tracer()
+        seen = []
+        tracer.subscribe(seen.append)
+        with tracer.span("flush"):
+            pass
+        tracer.unsubscribe(seen.append)
+        with tracer.span("merge"):
+            pass
+        assert [s.name for s in seen] == ["flush"]
+
+    def test_clear(self):
+        tracer = Tracer()
+        with tracer.span("op"):
+            pass
+        tracer.clear()
+        assert tracer.recent() == []
+
+
+class TestNullTracer:
+    def test_everything_is_a_noop(self):
+        with NULL_TRACER.span("flush", table="t") as span:
+            span.tag(rows=1)
+        assert NULL_TRACER.recent() == []
+        NULL_TRACER.subscribe(lambda s: None)
+        NULL_TRACER.clear()
