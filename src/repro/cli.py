@@ -251,6 +251,9 @@ def stats_main(argv: list) -> int:
 
         with open_database(args.data) as db:
             page = metrics_page(db)
+    from .dashboard.metrics_view import cache_summary
+
+    page["cache"] = cache_summary(page.get("metrics", {}))
     if args.json:
         import json as _json
 

@@ -24,6 +24,7 @@ from .errors import (
 )
 from .merge import MergePlan, choose_merge
 from .periods import Period, PeriodLevel, period_for
+from .readcache import LatestRowCache, ReadCache, TabletPruneIndex
 from .row import ASCENDING, DESCENDING, KeyRange, Query, QueryStats, TimeRange
 from .schema import Column, ColumnType, Schema
 from .table import QueryResult, Table
@@ -49,6 +50,9 @@ __all__ = [
     "ValidationError",
     "MergePlan",
     "choose_merge",
+    "LatestRowCache",
+    "ReadCache",
+    "TabletPruneIndex",
     "Period",
     "PeriodLevel",
     "period_for",

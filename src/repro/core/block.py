@@ -99,15 +99,16 @@ class BlockBuilder:
         return compress(codec, raw), row_count, raw_size
 
 
-def decode_block(payload: bytes, codec: int, codec_rows: RowCodec,
-                 row_count: int, metrics=None) -> List[Tuple[Any, ...]]:
-    """Decompress and decode a block into row tuples.
+def decode_rows(raw: bytes, codec_rows: RowCodec, row_count: int,
+                metrics=None) -> List[Tuple[Any, ...]]:
+    """Decode an already-decompressed block body into row tuples.
 
     ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`, or
     None) counts decoded blocks/rows/bytes - the decode side of the
-    tablet reader's block-read accounting.
+    tablet reader's block-read accounting.  The read cache calls this
+    at most once per resident block; :func:`decode_block` wraps it for
+    callers holding the compressed payload.
     """
-    raw = decompress(codec, payload)
     rows: List[Tuple[Any, ...]] = []
     offset = 0
     for _ in range(row_count):
@@ -120,6 +121,13 @@ def decode_block(payload: bytes, codec: int, codec_rows: RowCodec,
         metrics.counter("block.rows_decoded").inc(row_count)
         metrics.counter("block.decoded_bytes").inc(len(raw))
     return rows
+
+
+def decode_block(payload: bytes, codec: int, codec_rows: RowCodec,
+                 row_count: int, metrics=None) -> List[Tuple[Any, ...]]:
+    """Decompress and decode a block into row tuples."""
+    raw = decompress(codec, payload)
+    return decode_rows(raw, codec_rows, row_count, metrics=metrics)
 
 
 def decode_block_pairs(payload: bytes, codec: int, codec_rows: RowCodec,

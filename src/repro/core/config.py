@@ -46,6 +46,17 @@ class EngineConfig:
     # optimization; implemented here, on by default, ablatable).
     bloom_filters: bool = True
     bloom_bits_per_row: int = 10
+    # Byte budget for the engine-wide decoded-block read cache (shared
+    # across all tables of a database, LRU by decoded payload bytes
+    # plus a per-row overhead estimate).  0 disables block caching;
+    # footer caching rides on the same switch.  Warm queries served
+    # from the cache skip the disk model, decompression, and row
+    # decoding entirely.
+    read_cache_bytes: int = 32 * MIB
+    # Entry cap for each table's latest(prefix) hot-row cache
+    # (invalidated by covering inserts and by any tablet-set or schema
+    # mutation via the table's cache generation).  0 disables it.
+    latest_cache_entries: int = 1024
     # Fraction of the containing period by which rollover merges are
     # delayed (scaled by a per-table pseudorandom value in [0, 1)).
     merge_rollover_delay_fraction: float = 1.0
@@ -71,6 +82,10 @@ class EngineConfig:
             raise ValueError(f"unknown merge policy {self.merge_policy!r}")
         if self.server_row_limit <= 0:
             raise ValueError("server_row_limit must be positive")
+        if self.read_cache_bytes < 0:
+            raise ValueError("read_cache_bytes must be >= 0 (0 disables)")
+        if self.latest_cache_entries < 0:
+            raise ValueError("latest_cache_entries must be >= 0 (0 disables)")
 
 
 DEFAULT_CONFIG = EngineConfig()

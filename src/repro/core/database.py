@@ -19,6 +19,7 @@ from ..util.clock import Clock, SystemClock
 from .config import DEFAULT_CONFIG, EngineConfig
 from .descriptor import TableDescriptor
 from .errors import NoSuchTableError, TableExistsError
+from .readcache import ReadCache
 from .row import Query
 from .schema import Schema
 from .table import QueryResult, Table
@@ -61,6 +62,11 @@ class LittleTable:
         self.disk.attach_metrics(self.metrics)
         if self.cold_disk is not None:
             self.cold_disk.attach_metrics(self.metrics)
+        # One engine-wide read cache (decoded blocks + parsed footers):
+        # the byte budget is shared across all tables, like an OS page
+        # cache.  ``config.read_cache_bytes = 0`` disables it.
+        self.read_cache = ReadCache(self.config.read_cache_bytes,
+                                    metrics=self.metrics)
         self._tables: Dict[str, Table] = {}
         self._open_existing_tables()
 
@@ -70,7 +76,8 @@ class LittleTable:
             self._tables[name] = Table(self.disk, descriptor, self.config,
                                        self.clock, cold_disk=self.cold_disk,
                                        metrics=self.metrics,
-                                       tracer=self.tracer)
+                                       tracer=self.tracer,
+                                       read_cache=self.read_cache)
 
     # ----------------------------------------------------------- catalog
 
@@ -100,7 +107,7 @@ class LittleTable:
         descriptor.save(self.disk)
         table = Table(self.disk, descriptor, self.config, self.clock,
                       cold_disk=self.cold_disk, metrics=self.metrics,
-                      tracer=self.tracer)
+                      tracer=self.tracer, read_cache=self.read_cache)
         self._tables[name] = table
         return table
 

@@ -155,6 +155,8 @@ class QueryStats:
     rows_scanned: int = 0
     rows_returned: int = 0
     tablets_opened: int = 0
+    # Tablets the prune index skipped without opening a reader.
+    tablets_pruned: int = 0
 
     @property
     def scan_ratio(self) -> float:

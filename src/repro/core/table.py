@@ -33,6 +33,8 @@ from .flushdeps import FlushDependencies
 from .memtable import MemTable
 from .merge import MergePlan, choose_merge
 from .periods import Period, period_for
+from .readcache import (LatestRowCache, ReadCache, TabletPruneIndex,
+                        _zone_map_excludes)
 from .row import ASCENDING, DESCENDING, KeyRange, Query, QueryStats, TimeRange
 from .schema import Column, Schema
 from .tablet import TabletMeta, TabletReader, TabletWriter
@@ -74,7 +76,8 @@ class Table:
     def __init__(self, disk: SimulatedDisk, descriptor: TableDescriptor,
                  config: EngineConfig, clock: Clock,
                  cold_disk: Optional[SimulatedDisk] = None,
-                 metrics: Optional[MetricsRegistry] = None, tracer=None):
+                 metrics: Optional[MetricsRegistry] = None, tracer=None,
+                 read_cache: Optional[ReadCache] = None):
         self.disk = disk
         self.cold_disk = cold_disk
         self.descriptor = descriptor
@@ -98,7 +101,25 @@ class Table:
         self._m_queries = m.counter("query.count")
         self._m_rows_scanned = m.counter("query.rows_scanned")
         self._m_rows_returned = m.counter("query.rows_returned")
+        self._m_tablets_pruned = m.counter("query.tablets_pruned")
+        self._m_generation_bumps = m.counter("readcache.generation")
         self._row_codec = RowCodec(descriptor.schema)
+        # Read-path caches: a database passes its shared block/footer
+        # cache (one budget across all tables); a standalone table
+        # builds a private one from its config.
+        self._read_cache = (read_cache if read_cache is not None
+                            else ReadCache(config.read_cache_bytes,
+                                           metrics=self.metrics))
+        # tablet_id -> process-unique cache uid for the live file; a
+        # replacement tablet (merge, rewrite, migration) gets a fresh
+        # uid so old cache entries can never alias it.
+        self._tablet_uids: Dict[int, int] = {}
+        self._prune_index = TabletPruneIndex()
+        self._latest_cache = LatestRowCache(config.latest_cache_entries,
+                                            metrics=self.metrics)
+        # Bumped by every mutation that can change a latest() answer;
+        # cached entries from older generations are never served.
+        self._cache_generation = 0
         # Filling memtables, one per (period.start, period.level).
         self._filling: Dict[Tuple[int, int], MemTable] = {}
         # All unflushed memtables (filling + read-only awaiting flush).
@@ -184,14 +205,21 @@ class Table:
             "scan_ratio": round(scanned / returned, 2) if returned else None,
             "ttl_micros": self.descriptor.ttl_micros,
             "schema_version": self.schema.version,
+            "cache_generation": self._cache_generation,
+            "latest_cache_entries": len(self._latest_cache),
         }
 
     def evict_reader_cache(self) -> None:
-        """Drop in-memory footers, as a server restart would (§3.5:
+        """Drop in-memory read state, as a server restart would (§3.5:
         footers are reloaded "into memory on demand after a restart").
-        Benchmarks call this to measure cold-cache behaviour."""
+        Benchmarks call this to measure cold-cache behaviour; the
+        table's block/footer cache entries and the latest-row cache go
+        with it, since none would survive a real restart."""
         self._readers.clear()
         self._period_max_cache.clear()
+        self._read_cache.invalidate_tablets(self._tablet_uids.values())
+        self._tablet_uids.clear()
+        self._latest_cache.clear()
 
     def _disk_for(self, meta: TabletMeta) -> SimulatedDisk:
         """The device holding a tablet's file (hot disk or cold tier)."""
@@ -208,14 +236,31 @@ class Table:
         if disk.exists(meta.filename):
             disk.delete(meta.filename)
         self._readers.pop(meta.tablet_id, None)
+        uid = self._tablet_uids.pop(meta.tablet_id, None)
+        if uid is not None:
+            self._read_cache.invalidate_tablet(uid)
+
+    def _tablet_uid(self, meta: TabletMeta) -> int:
+        uid = self._tablet_uids.get(meta.tablet_id)
+        if uid is None:
+            uid = self._read_cache.allocate_uid()
+            self._tablet_uids[meta.tablet_id] = uid
+        return uid
 
     def _reader(self, meta: TabletMeta) -> TabletReader:
         reader = self._readers.get(meta.tablet_id)
         if reader is None:
             reader = TabletReader(self._disk_for(meta), meta.filename,
-                                  metrics=self.metrics)
+                                  metrics=self.metrics,
+                                  cache=self._read_cache,
+                                  cache_uid=self._tablet_uid(meta))
             self._readers[meta.tablet_id] = reader
         return reader
+
+    def _bump_cache_generation(self) -> None:
+        """Orphan all latest-row cache entries after a mutation."""
+        self._cache_generation += 1
+        self._m_generation_bumps.inc()
 
     # ----------------------------------------------------------- inserts
 
@@ -250,6 +295,7 @@ class Table:
                     f"duplicate primary key {key!r} in table {self.name!r}"
                 )
             self._deps.record_insert(memtable.memtable_id)
+            self._latest_cache.invalidate_key(key)
             if self._max_ts_ever is None or ts > self._max_ts_ever:
                 self._max_ts_ever = ts
             inserted += 1
@@ -333,6 +379,12 @@ class Table:
         maximum: Optional[Tuple[Any, ...]] = None
         for meta in self.descriptor.tablets:
             if meta.max_ts < period.start or meta.min_ts >= period.end:
+                continue
+            if meta.max_key is not None:
+                # Zone map recorded by the writer: the tablet's last
+                # key, no reader needed.
+                if maximum is None or meta.max_key > maximum:
+                    maximum = meta.max_key
                 continue
             reader = self._reader(meta)
             reader.ensure_loaded()
@@ -498,7 +550,14 @@ class Table:
             self.descriptor.save(self.disk)
             self.disk.delete(meta.filename)
             self._readers.pop(meta.tablet_id, None)
+            # A fresh uid so the cold-tier reader never reuses blocks
+            # cached at hot-disk cost accounting.
+            uid = self._tablet_uids.pop(meta.tablet_id, None)
+            if uid is not None:
+                self._read_cache.invalidate_tablet(uid)
             migrated += 1
+        if migrated:
+            self._bump_cache_generation()
         return migrated
 
     def tier_of(self, tablet_id: int) -> Optional[str]:
@@ -593,6 +652,7 @@ class Table:
             kept = new_meta.row_count
         self.descriptor.save(self.disk)
         self._delete_tablet_file(meta)
+        self._bump_cache_generation()
         return meta.row_count - kept
 
     # ------------------------------------------------------------ merge
@@ -666,6 +726,7 @@ class Table:
         self.descriptor.save(self.disk)
         for source in plan.tablets:
             self._delete_tablet_file(source)
+        self._bump_cache_generation()
         # Per-period rewrite counters make the appendix's O(log T)
         # per-row rewrite bound empirically checkable: rows_rewritten
         # divided by insert.rows bounds the mean rewrite count.
@@ -741,6 +802,7 @@ class Table:
             self.descriptor.save(self.disk)
             for meta in expired:
                 self._delete_tablet_file(meta)
+        self._bump_cache_generation()
         self.counters.tablets_expired += len(expired)
         self.metrics.counter("ttl.tablets_expired").inc(len(expired))
         self.metrics.counter("ttl.rows_expired").inc(expired_rows)
@@ -804,9 +866,12 @@ class Table:
         now = self.clock.now()
         descending = query.direction == DESCENDING
         sources: List[Iterator[Tuple[Any, ...]]] = []
-        for meta in self.descriptor.tablets:
-            if not query.time_range.overlaps(meta.min_ts, meta.max_ts):
-                continue
+        selected, pruned = self._prune_index.select(
+            self.descriptor, query.time_range, query.key_range)
+        if pruned:
+            stats.tablets_pruned += pruned
+            self._m_tablets_pruned.inc(pruned)
+        for meta in selected:
             stats.tablets_opened += 1
             sources.append(
                 self._tablet_rows_translated(meta, query.key_range, descending)
@@ -852,6 +917,19 @@ class Table:
             lookback_cutoff = now - max_lookback_micros
             cutoff = lookback_cutoff if cutoff is None else max(
                 cutoff, lookback_cutoff)
+        # Hot-row cache: the dashboard asks for the same devices'
+        # newest rows over and over (§3.4.5).  A cached answer is the
+        # table's *global* latest for the prefix, so the TTL/lookback
+        # window is re-applied at lookup time; inserts covering the
+        # prefix and all tablet-set mutations invalidate.
+        cached = self._latest_cache.lookup(
+            prefix, self._cache_generation, cutoff, self.schema.ts_of)
+        if cached is not self._latest_cache.miss_sentinel:
+            self.counters.queries += 1
+            self.counters.rows_returned += 1 if cached is not None else 0
+            self._m_queries.inc()
+            self._m_rows_returned.inc(1 if cached is not None else 0)
+            return cached
         full_prefix = len(prefix) == self.schema.key_width - 1
         encoded_prefix = None
         if self.config.bloom_filters and prefix:
@@ -859,7 +937,7 @@ class Table:
         key_range = KeyRange.prefix(prefix)
         stats = QueryStats()
         best: Optional[Tuple[Any, ...]] = None
-        for group in self._timespan_groups():
+        for group in self._timespan_groups(key_range):
             group_max = max(span_max for _src, _span_min, span_max in group)
             if cutoff is not None and group_max < cutoff:
                 break
@@ -904,18 +982,30 @@ class Table:
         self._m_queries.inc()
         self._m_rows_scanned.inc(stats.rows_scanned)
         self._m_rows_returned.inc(1 if best is not None else 0)
+        self._latest_cache.store(prefix, self._cache_generation, best, cutoff)
         return best
 
-    def _timespan_groups(self):
+    def _timespan_groups(self, key_range: Optional[KeyRange] = None):
         """Sources grouped by overlapping timespans, newest first.
 
         Each group is a list of (source, span_min, span_max) where the
         source is a TabletMeta or a MemTable.  Groups are maximal runs
         of sources whose timespans form a connected interval chain.
+
+        ``key_range`` optionally drops tablets whose key-range zone map
+        proves they cannot hold a qualifying row; removing sources only
+        splits groups into still-time-disjoint subgroups, so the
+        newest-first dominance argument in :meth:`latest` is preserved.
         """
         spans = []
+        pruned = 0
         for meta in self.descriptor.tablets:
+            if key_range is not None and _zone_map_excludes(meta, key_range):
+                pruned += 1
+                continue
             spans.append((meta, meta.min_ts, meta.max_ts))
+        if pruned:
+            self._m_tablets_pruned.inc(pruned)
         for memtable in self._unflushed.values():
             if not memtable.empty:
                 spans.append((memtable, memtable.min_ts, memtable.max_ts))
@@ -967,3 +1057,9 @@ class Table:
         self.descriptor.schema = schema
         self._row_codec = RowCodec(schema)
         self.descriptor.save(self.disk)
+        # Cached blocks hold rows decoded at each tablet's own schema
+        # (translated downstream), but a schema change is rare enough
+        # to drop the table's read-cache entries wholesale and orphan
+        # every cached latest() answer.
+        self._read_cache.invalidate_tablets(self._tablet_uids.values())
+        self._bump_cache_generation()

@@ -34,12 +34,13 @@ from .block import (
     BlockBuilder,
     codec_id,
     compress,
-    decode_block,
     decode_block_pairs,
+    decode_rows,
     decompress,
 )
 from .encoding import RowCodec
 from .errors import CorruptTabletError
+from .readcache import NULL_READ_CACHE
 from .row import KeyRange
 from .schema import Schema
 
@@ -54,6 +55,13 @@ class TabletMeta:
     tablets migrated to the write-once archive tier (the §6 LHAM-style
     extension: "we are considering using Amazon S3 or another cloud
     service as an additional backing store for old LittleTable data").
+
+    ``min_key``/``max_key`` are the tablet's key-range zone map: the
+    first and last primary key the writer saw.  The prune index skips
+    tablets whose key interval misses a query's key range without
+    opening their readers.  They are None for tablets written before
+    zone maps existed (key columns are never BLOBs, so the values are
+    JSON-safe).
     """
 
     tablet_id: int
@@ -65,9 +73,11 @@ class TabletMeta:
     schema_version: int
     created_at: int  # engine time when the tablet was written
     tier: str = "hot"
+    min_key: Optional[Tuple[Any, ...]] = None
+    max_key: Optional[Tuple[Any, ...]] = None
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "tablet_id": self.tablet_id,
             "filename": self.filename,
             "min_ts": self.min_ts,
@@ -78,11 +88,21 @@ class TabletMeta:
             "created_at": self.created_at,
             "tier": self.tier,
         }
+        if self.min_key is not None:
+            out["min_key"] = list(self.min_key)
+        if self.max_key is not None:
+            out["max_key"] = list(self.max_key)
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "TabletMeta":
         data = dict(data)
         data.setdefault("tier", "hot")
+        for zone in ("min_key", "max_key"):
+            if data.get(zone) is not None:
+                data[zone] = tuple(data[zone])
+            else:
+                data[zone] = None
         return cls(**data)
 
 
@@ -130,6 +150,7 @@ class TabletWriter:
         min_ts: Optional[int] = None
         max_ts: Optional[int] = None
         row_count = 0
+        first_key: Optional[Tuple[Any, ...]] = None
         last_key: Optional[Tuple[Any, ...]] = None
 
         def cut_block() -> None:
@@ -148,6 +169,8 @@ class TabletWriter:
             if builder.would_overflow(len(encoded)):
                 cut_block()
             builder.add(encoded)
+            if first_key is None:
+                first_key = key
             last_key = key
             ts = schema.ts_of(row)
             if min_ts is None or ts < min_ts:
@@ -191,6 +214,8 @@ class TabletWriter:
             size_bytes=len(file_bytes),
             schema_version=schema.version,
             created_at=created_at,
+            min_key=first_key,
+            max_key=last_key,
         )
 
     def _encode_footer(self, entries: List[_BlockEntry], min_ts: int,
@@ -217,15 +242,50 @@ class TabletWriter:
         return bytes(out)
 
 
+class _ParsedFooter:
+    """The reader state a parsed footer yields, cacheable by uid.
+
+    Reopening a reader for a tablet whose footer is resident (same
+    file identity, tracked by the read cache's uid) restores this
+    without the three cold seeks or the parse.
+    """
+
+    __slots__ = ("schema", "row_codec", "min_ts", "max_ts", "row_count",
+                 "codec", "entries", "last_keys", "bloom", "body_size")
+
+    def __init__(self, schema, row_codec, min_ts, max_ts, row_count,
+                 codec, entries, last_keys, bloom, body_size):
+        self.schema = schema
+        self.row_codec = row_codec
+        self.min_ts = min_ts
+        self.max_ts = max_ts
+        self.row_count = row_count
+        self.codec = codec
+        self.entries = entries
+        self.last_keys = last_keys
+        self.bloom = bloom
+        self.body_size = body_size
+
+
 class TabletReader:
     """Reads one tablet file; the parsed footer is cached in memory.
 
     §3.2: "On average, these indexes are only 0.5% of their tablets'
     sizes, so LittleTable caches them almost indefinitely in main
     memory."  The table keeps one reader per live tablet.
+
+    ``cache`` (a :class:`~repro.core.readcache.ReadCache`) holds
+    decoded blocks and parsed footers across readers, keyed by
+    ``cache_uid`` - the tablet's process-unique identity, allocated
+    when the table registers the tablet and invalidated when its file
+    is deleted or replaced.  Without a cache every read decodes from
+    the (simulated) disk, exactly the pre-cache behaviour.  Lists
+    returned from cached blocks are shared: callers must not mutate
+    them.
     """
 
-    def __init__(self, disk: SimulatedDisk, filename: str, metrics=None):
+    def __init__(self, disk: SimulatedDisk, filename: str, metrics=None,
+                 cache=None, cache_uid: Optional[int] = None):
         self.disk = disk
         self.filename = filename
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
@@ -235,8 +295,11 @@ class TabletReader:
         self._m_bloom_probes = self.metrics.counter("bloom.probes")
         self._m_bloom_negative = self.metrics.counter("bloom.negatives")
         self._m_bloom_positive = self.metrics.counter("bloom.positives")
-        # decode_block takes a real registry or None (never the null).
+        # decode_rows takes a real registry or None (never the null).
         self._decode_metrics = metrics if metrics is not None else None
+        self._cache = cache if cache is not None else NULL_READ_CACHE
+        self._cache_uid = (cache_uid if cache_uid is not None
+                           else self._cache.allocate_uid())
         self._loaded = False
         self.schema: Optional[Schema] = None
         self.min_ts = 0
@@ -252,8 +315,17 @@ class TabletReader:
     # ----------------------------------------------------------- footer
 
     def ensure_loaded(self) -> None:
-        """Load and parse the footer on first use (3 cold seeks)."""
+        """Load and parse the footer on first use (3 cold seeks).
+
+        A footer already resident in the read cache (keyed by the
+        tablet's uid) is restored without touching the disk.
+        """
         if self._loaded:
+            return
+        cached = self._cache.get_footer(self._cache_uid)
+        if cached is not None:
+            self._install_footer(cached)
+            self._loaded = True
             return
         disk = self.disk
         disk.open(self.filename)  # inode
@@ -271,6 +343,22 @@ class TabletReader:
         self._parse_footer(compressed, footer_size)
         self._loaded = True
         self._m_footer_loads.inc()
+        self._cache.put_footer(self._cache_uid, _ParsedFooter(
+            self.schema, self._row_codec, self.min_ts, self.max_ts,
+            self.row_count, self._codec, self._entries, self._last_keys,
+            self._bloom, self._body_size))
+
+    def _install_footer(self, footer: _ParsedFooter) -> None:
+        self.schema = footer.schema
+        self._row_codec = footer.row_codec
+        self.min_ts = footer.min_ts
+        self.max_ts = footer.max_ts
+        self.row_count = footer.row_count
+        self._codec = footer.codec
+        self._entries = footer.entries
+        self._last_keys = footer.last_keys
+        self._bloom = footer.bloom
+        self._body_size = footer.body_size
 
     def _parse_footer(self, compressed: bytes, footer_size: int) -> None:
         # The codec byte lives inside the (possibly compressed) footer,
@@ -339,15 +427,52 @@ class TabletReader:
         return len(self._entries)
 
     def read_block(self, index: int) -> List[Tuple[Any, ...]]:
-        """Read and decode block ``index`` (one seek if uncached)."""
+        """Read and decode block ``index`` (one seek if uncached).
+
+        Served from the read cache when the decoded block is resident;
+        the returned list is shared with the cache - do not mutate.
+        """
         self.ensure_loaded()
+        cached = self._cache.get_block(self._cache_uid, index)
+        if cached is not None:
+            return cached.rows
+        rows, raw_len = self._read_block_uncached(index)
+        self._cache.put_block(self._cache_uid, index, rows, raw_len)
+        return rows
+
+    def _read_block_uncached(self, index: int
+                             ) -> Tuple[List[Tuple[Any, ...]], int]:
+        """Disk read + decompress + decode; returns (rows, raw bytes)."""
         entry = self._entries[index]
         payload = self.disk.read(self.filename, entry.offset,
                                  entry.compressed_len)
         self._m_blocks_read.inc()
         self._m_block_bytes.inc(entry.compressed_len)
-        return decode_block(payload, self._codec, self._row_codec,
-                            entry.row_count, metrics=self._decode_metrics)
+        raw = decompress(self._codec, payload)
+        rows = decode_rows(raw, self._row_codec, entry.row_count,
+                           metrics=self._decode_metrics)
+        return rows, len(raw)
+
+    def _scan_block(self, index: int) -> Tuple[List[Tuple[Any, ...]],
+                                               List[Tuple[Any, ...]]]:
+        """Block rows plus their keys, both cache-resident when warm.
+
+        Keys are extracted at most once per cached block (stored on
+        the cache entry), so warm scans skip both the decode and the
+        per-row key extraction.
+        """
+        cached = self._cache.get_block(self._cache_uid, index)
+        if cached is None:
+            rows, raw_len = self._read_block_uncached(index)
+            cached = self._cache.put_block(self._cache_uid, index, rows,
+                                           raw_len)
+            if cached is None:  # caching disabled
+                key_of = self.schema.key_of
+                return rows, [key_of(row) for row in rows]
+        if cached.keys is None:
+            key_of = self.schema.key_of
+            cached.keys = [key_of(row) for row in cached.rows]
+        return cached.rows, cached.keys
 
     def scan_pairs(self) -> Iterator[Tuple[Tuple[Any, ...], bytes]]:
         """Full ascending scan yielding (row, raw_encoding) pairs.
@@ -430,11 +555,9 @@ class TabletReader:
             yield from self._scan_asc(key_range)
 
     def _scan_asc(self, key_range: KeyRange) -> Iterator[Tuple[Any, ...]]:
-        schema = self.schema
         start_block = self.first_block_for(key_range)
         for index in range(start_block, len(self._entries)):
-            rows = self.read_block(index)
-            keys = [schema.key_of(row) for row in rows]
+            rows, keys = self._scan_block(index)
             position = 0
             if index == start_block:
                 seek = key_range.seek_min()
@@ -452,11 +575,9 @@ class TabletReader:
                 yield rows[row_index]
 
     def _scan_desc(self, key_range: KeyRange) -> Iterator[Tuple[Any, ...]]:
-        schema = self.schema
         start_block = self.last_block_for(key_range)
         for index in range(start_block, -1, -1):
-            rows = self.read_block(index)
-            keys = [schema.key_of(row) for row in rows]
+            rows, keys = self._scan_block(index)
             position = len(rows) - 1
             for row_index in range(position, -1, -1):
                 key = keys[row_index]

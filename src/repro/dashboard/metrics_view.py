@@ -43,6 +43,10 @@ def derived_health(snapshot: Dict[str, Any]) -> Dict[str, Optional[float]]:
     * ``bloom_skip_rate`` - fraction of Bloom probes that let a scan
       skip a tablet (§3.4.5's payoff).
     * ``scan_ratio`` - rows scanned per row returned (Figure 9).
+    * ``cache_hit_rate`` - block-cache hits per lookup; the read
+      path's warm/cold balance.
+    * ``tablets_pruned_per_query`` - tablets the prune index skipped,
+      per query.
     """
     counters = snapshot.get("counters", {})
 
@@ -50,6 +54,7 @@ def derived_health(snapshot: Dict[str, Any]) -> Dict[str, Optional[float]]:
         return numerator / denominator if denominator else None
 
     flushed = counters.get("flush.bytes", 0)
+    block_hits = counters.get("readcache.block.hits", 0)
     return {
         "write_amplification": ratio(
             flushed + counters.get("merge.bytes_written", 0), flushed),
@@ -62,6 +67,59 @@ def derived_health(snapshot: Dict[str, Any]) -> Dict[str, Optional[float]]:
         "scan_ratio": ratio(
             counters.get("query.rows_scanned", 0),
             counters.get("query.rows_returned", 0)),
+        "cache_hit_rate": ratio(
+            block_hits,
+            block_hits + counters.get("readcache.block.misses", 0)),
+        "tablets_pruned_per_query": ratio(
+            counters.get("query.tablets_pruned", 0),
+            counters.get("query.count", 0)),
+    }
+
+
+def cache_summary(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """The read-cache corner of a snapshot, as one nested dict.
+
+    The ``cache`` subsection of ``ltdb stats --json`` and the
+    engine-health page both render this.
+    """
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+
+    def rate(hits: int, misses: int) -> Optional[float]:
+        total = hits + misses
+        return hits / total if total else None
+
+    block_hits = counters.get("readcache.block.hits", 0)
+    block_misses = counters.get("readcache.block.misses", 0)
+    footer_hits = counters.get("readcache.footer.hits", 0)
+    footer_misses = counters.get("readcache.footer.misses", 0)
+    latest_hits = counters.get("readcache.latest.hits", 0)
+    latest_misses = counters.get("readcache.latest.misses", 0)
+    return {
+        "block": {
+            "hits": block_hits,
+            "misses": block_misses,
+            "hit_rate": rate(block_hits, block_misses),
+            "evictions": counters.get("readcache.block.evictions", 0),
+            "resident_bytes": gauges.get(
+                "readcache.block.resident_bytes", 0),
+            "entries": gauges.get("readcache.block.entries", 0),
+        },
+        "footer": {
+            "hits": footer_hits,
+            "misses": footer_misses,
+            "hit_rate": rate(footer_hits, footer_misses),
+        },
+        "latest": {
+            "hits": latest_hits,
+            "misses": latest_misses,
+            "hit_rate": rate(latest_hits, latest_misses),
+            "invalidations": counters.get(
+                "readcache.latest.invalidations", 0),
+        },
+        "invalidations": counters.get("readcache.invalidations", 0),
+        "generation_bumps": counters.get("readcache.generation", 0),
+        "tablets_pruned": counters.get("query.tablets_pruned", 0),
     }
 
 
@@ -75,6 +133,18 @@ def render_metrics_page(page: Dict[str, Any]) -> str:
     for name, value in health.items():
         rendered = "n/a" if value is None else f"{value:.3f}"
         lines.append(f"{name}  {rendered}")
+    cache = cache_summary(page.get("metrics", {}))
+    lines.append("")
+    lines.append("== read cache ==")
+    for section in ("block", "footer", "latest"):
+        parts = ", ".join(
+            f"{key}={'n/a' if value is None else value}"
+            for key, value in cache[section].items())
+        lines.append(f"{section}: {parts}")
+    lines.append(
+        f"invalidations={cache['invalidations']}, "
+        f"generation_bumps={cache['generation_bumps']}, "
+        f"tablets_pruned={cache['tablets_pruned']}")
     tables = page.get("tables", {})
     if tables:
         lines.append("")

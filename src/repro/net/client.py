@@ -57,6 +57,11 @@ class LittleTableClient:
         self._sock: Optional[socket.socket] = None
         self.insert_batch_rows = insert_batch_rows
         self._pending: Dict[str, List[Tuple[Any, ...]]] = {}
+        # Lazily-filled table -> Schema cache used by the query
+        # continuation path; invalidated by every DDL call (and on
+        # reconnect) so a stale schema can never decode rows after
+        # evolution.
+        self._schema_cache: Dict[str, Schema] = {}
         self.connect()
 
     # ------------------------------------------------------- connection
@@ -67,6 +72,8 @@ class LittleTableClient:
         sock = socket.create_connection(self._address, timeout=10)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._sock = sock
+        # The server may have restarted with different tables.
+        self.invalidate_schema_cache()
 
     def close(self) -> None:
         if self._sock is not None:
@@ -137,9 +144,28 @@ class LittleTableClient:
                      ttl_micros: Optional[int] = None) -> None:
         self._call({"cmd": "create_table", "table": name,
                     "schema": schema.to_dict(), "ttl_micros": ttl_micros})
+        self.invalidate_schema_cache()
 
     def drop_table(self, name: str) -> None:
         self._call({"cmd": "drop_table", "table": name})
+        self.invalidate_schema_cache()
+
+    def alter(self, table: str, action: str, **fields: Any) -> None:
+        """Schema DDL (add_column / widen_column / set_ttl).
+
+        ``fields`` go into the wire request verbatim (a ``column``
+        value must already be wire-encoded).  Invalidates the schema
+        cache, like every other DDL entry point.
+        """
+        request: Dict[str, Any] = {"cmd": "alter", "table": table,
+                                   "action": action}
+        request.update(fields)
+        self._call(request)
+        self.invalidate_schema_cache()
+
+    def invalidate_schema_cache(self) -> None:
+        """Forget cached schemas (after DDL or reconnect)."""
+        self._schema_cache.clear()
 
     # ----------------------------------------------------------- writes
 
@@ -270,10 +296,7 @@ class LittleTableClient:
         return schema.key_of(row)
 
     def _schema(self, table: str) -> Schema:
-        cache = getattr(self, "_schema_cache", None)
-        if cache is None:
-            cache = {}
-            self._schema_cache = cache
+        cache = self._schema_cache
         if table not in cache:
             cache.update(self.list_tables())
         if table not in cache:

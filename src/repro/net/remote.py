@@ -153,21 +153,20 @@ class RemoteDatabase:
         return self._ttls.get(name)
 
     def _alter(self, table: str, action: str, **fields: Any) -> None:
-        request: Dict[str, Any] = {"cmd": "alter", "table": table,
-                                   "action": action}
         if "column" in fields:
             column = fields.pop("column")
             default = column.default
             if isinstance(default, (bytes, bytearray)):
                 default = {"b64": base64.b64encode(
                     bytes(default)).decode("ascii")}
-            request["column"] = {
+            fields["column"] = {
                 "name": column.name,
                 "type": column.type.value,
                 "default": default,
             }
-        request.update(fields)
-        self.client._call(request)
+        # Delegating through the client keeps its own schema cache in
+        # sync with ours.
+        self.client.alter(table, action, **fields)
         self.invalidate()
 
     # ---------------------------------------------------------- catalog

@@ -68,6 +68,53 @@ class TestSchemaOperations:
             client.drop_table("ghost")
 
 
+class TestClientSchemaCache:
+    def test_cache_filled_and_reused(self, client):
+        client.create_table("events", event_schema())
+        assert client._schema("events") == event_schema()
+        assert "events" in client._schema_cache
+        # Reuse does not re-fetch: poison the cache and observe.
+        client._schema_cache["events"] = "sentinel"
+        assert client._schema("events") == "sentinel"
+
+    def test_alter_invalidates_cache(self, client):
+        client.create_table("events", event_schema())
+        old = client._schema("events")
+        client.alter("events", "add_column",
+                     column={"name": "extra", "type": "int64",
+                             "default": None})
+        assert client._schema_cache == {}
+        new = client._schema("events")
+        assert new != old
+        assert new.columns[-1].name == "extra"
+
+    def test_create_and_drop_invalidate_cache(self, client):
+        client.create_table("events", event_schema())
+        client._schema("events")
+        client.drop_table("events")
+        assert client._schema_cache == {}
+        with pytest.raises(NoSuchTableError):
+            client._schema("events")
+
+    def test_stale_schema_cannot_decode_after_evolution(self, client,
+                                                        clock):
+        # The regression the fix targets: a continuation after DDL must
+        # use the evolved schema's key shape, not the cached one.
+        client.create_table("events", event_schema())
+        client.insert("events", [
+            {"network": 1, "device": d, "ts": clock.now(),
+             "payload": b""}
+            for d in range(40)  # > server_row_limit=16, forces paging
+        ])
+        list(client.query("events"))  # fills the schema cache
+        client.alter("events", "add_column",
+                     column={"name": "extra", "type": "int64",
+                             "default": None})
+        rows = list(client.query("events"))
+        assert len(rows) == 40
+        assert all(len(r) == 5 for r in rows)
+
+
 class TestInsertAndQuery:
     def test_dict_insert_and_query(self, client, clock):
         client.create_table("events", event_schema())

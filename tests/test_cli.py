@@ -132,6 +132,37 @@ class TestOperatorCommands:
         assert "key prefix depth" in out.getvalue()
 
 
+class TestStatsCache:
+    def test_stats_json_has_cache_subsection(self, tmp_path, capsys):
+        import json
+
+        data = str(tmp_path / "lt")
+        assert main(["--data", data, "-e", CREATE.rstrip(";"),
+                     "-e", "INSERT INTO t (k, ts, v) VALUES (1, 10, 5)",
+                     "-e", "FLUSH t", "-e", "SELECT * FROM t"]) == 0
+        capsys.readouterr()
+        assert main(["stats", "--data", data, "--json"]) == 0
+        page = json.loads(capsys.readouterr().out)
+        cache = page["cache"]
+        for section in ("block", "footer", "latest"):
+            assert {"hits", "misses", "hit_rate"} <= set(cache[section])
+        assert "evictions" in cache["block"]
+        assert "resident_bytes" in cache["block"]
+        assert "invalidations" in cache
+        assert "generation_bumps" in cache
+        assert "tablets_pruned" in cache
+
+    def test_stats_text_renders_cache_section(self, tmp_path, capsys):
+        data = str(tmp_path / "lt")
+        assert main(["--data", data, "-e", CREATE.rstrip(";")]) == 0
+        capsys.readouterr()
+        assert main(["stats", "--data", data]) == 0
+        out = capsys.readouterr().out
+        assert "== read cache ==" in out
+        assert "cache_hit_rate" in out
+        assert "tablets_pruned_per_query" in out
+
+
 class TestPersistence:
     def test_data_dir_round_trip(self, tmp_path, capsys):
         data = str(tmp_path / "lt")
