@@ -158,12 +158,11 @@ class Shell:
             self._print(render_metrics_page(metrics_page(self.db)))
             return True
         if line == ".maintenance":
-            work = self.db.maintenance()
-            flushed = sum(w["flushed"] for w in work.values())
-            merged = sum(w["merged"] for w in work.values())
-            expired = sum(w["expired"] for w in work.values())
-            self._print(f"flushed {flushed}, merged {merged}, "
-                        f"expired {expired}")
+            totals = self.db.maintenance().totals()
+            self._print(f"flushed {totals.flushed}, merged {totals.merged}, "
+                        f"expired {totals.expired}")
+            for message in totals.errors:
+                self._print(f"error: {message}")
             return True
         if line.startswith("."):
             self._print(f"unknown command {line!r} (try .help)")
@@ -251,9 +250,10 @@ def stats_main(argv: list) -> int:
 
         with open_database(args.data) as db:
             page = metrics_page(db)
-    from .dashboard.metrics_view import cache_summary
+    from .dashboard.metrics_view import cache_summary, maintenance_summary
 
     page["cache"] = cache_summary(page.get("metrics", {}))
+    page["maintenance"] = maintenance_summary(page.get("metrics", {}))
     if args.json:
         import json as _json
 

@@ -6,7 +6,8 @@ schema/query vocabulary (:class:`Schema`, :class:`Column`,
 :class:`TimeRange`).
 """
 
-from .check import Issue, check_database, check_table, is_healthy
+from .check import (Issue, LockOrderChecker, LockOrderError, check_database,
+                    check_table, instrument_table_locks, is_healthy)
 from .config import EngineConfig
 from .database import LittleTable
 from .descriptor import TableDescriptor
@@ -22,8 +23,11 @@ from .errors import (
     TableExistsError,
     ValidationError,
 )
-from .merge import MergePlan, choose_merge
+from .maintenance import (MaintenancePolicy, MaintenanceReport,
+                          TableMaintenanceReport)
+from .merge import MergePlan, choose_merge, pending_merge_runs
 from .periods import Period, PeriodLevel, period_for
+from .scheduler import MaintenanceScheduler
 from .readcache import LatestRowCache, ReadCache, TabletPruneIndex
 from .row import ASCENDING, DESCENDING, KeyRange, Query, QueryStats, TimeRange
 from .schema import Column, ColumnType, Schema
@@ -32,9 +36,17 @@ from .tablet import TabletMeta, TabletReader, TabletWriter
 
 __all__ = [
     "Issue",
+    "LockOrderChecker",
+    "LockOrderError",
     "check_database",
     "check_table",
+    "instrument_table_locks",
     "is_healthy",
+    "MaintenancePolicy",
+    "MaintenanceReport",
+    "MaintenanceScheduler",
+    "TableMaintenanceReport",
+    "pending_merge_runs",
     "EngineConfig",
     "LittleTable",
     "TableDescriptor",

@@ -15,10 +15,19 @@ invariants the engine relies on:
 Exposed to operators through the CLI's ``.fsck`` command.  A healthy
 check is also the cheapest possible regression net for the storage
 format, so the test suite runs it after every interesting workload.
+
+This module also hosts the **lock-order checker** used by the
+concurrency stress suite: a thread-sanitizer-style assertion layer
+that wraps a table's locks with rank bookkeeping and raises
+:class:`LockOrderError` the instant any thread acquires them against
+the documented hierarchy (``_maintenance_lock`` rank 10 -> state
+``lock`` rank 20 -> ``_reader_lock`` rank 30).  Deadlocks become
+deterministic test failures instead of hung CI jobs.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, List
 
@@ -30,6 +39,132 @@ from .table import Table
 
 ERROR = "error"
 WARNING = "warning"
+
+
+class LockOrderError(AssertionError):
+    """A thread acquired locks against the documented hierarchy."""
+
+
+class _OrderedLock:
+    """A lock wrapper that reports acquisitions to a checker.
+
+    Delegates ``_release_save`` / ``_acquire_restore`` / ``_is_owned``
+    (with bookkeeping) so a ``threading.Condition`` built over the
+    wrapper still works - Condition.wait releases all recursion levels
+    through exactly those hooks.
+    """
+
+    def __init__(self, inner, name: str, rank: int,
+                 checker: "LockOrderChecker"):
+        self._inner = inner
+        self.name = name
+        self.rank = rank
+        self._checker = checker
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        self._checker._before_acquire(self)
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._checker._after_acquire(self)
+        return acquired
+
+    def release(self) -> None:
+        self._inner.release()
+        self._checker._after_release(self)
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    # threading.Condition integration ---------------------------------
+
+    def _release_save(self):
+        state = self._inner._release_save()
+        self._checker._forget_all(self)
+        return state
+
+    def _acquire_restore(self, state) -> None:
+        self._checker._before_acquire(self)
+        self._inner._acquire_restore(state)
+        self._checker._after_acquire(self)
+
+    def _is_owned(self) -> bool:
+        return self._inner._is_owned()
+
+
+class LockOrderChecker:
+    """Rank-based lock-order assertions, one held-stack per thread.
+
+    ``wrap(lock, name, rank)`` returns an :class:`_OrderedLock`; any
+    thread that acquires a wrapped lock while holding one of equal or
+    higher rank (reentrant re-acquisition of the *same* lock excepted)
+    gets a :class:`LockOrderError` immediately - the interleaving that
+    *could* deadlock fails deterministically even when the schedule
+    that actually would is never hit.
+    """
+
+    def __init__(self):
+        self._held = threading.local()
+        self.violations: List[str] = []
+
+    def _stack(self) -> List["_OrderedLock"]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = []
+            self._held.stack = stack
+        return stack
+
+    def wrap(self, lock, name: str, rank: int) -> _OrderedLock:
+        return _OrderedLock(lock, name, rank, self)
+
+    def _before_acquire(self, lock: _OrderedLock) -> None:
+        stack = self._stack()
+        if not stack:
+            return
+        if any(held is lock for held in stack):  # reentrant: fine
+            return
+        worst = max(stack, key=lambda held: held.rank)
+        if worst.rank >= lock.rank:
+            message = (
+                f"lock order violation in {threading.current_thread().name}:"
+                f" acquiring {lock.name!r} (rank {lock.rank}) while holding"
+                f" {worst.name!r} (rank {worst.rank})")
+            self.violations.append(message)
+            raise LockOrderError(message)
+
+    def _after_acquire(self, lock: _OrderedLock) -> None:
+        self._stack().append(lock)
+
+    def _after_release(self, lock: _OrderedLock) -> None:
+        stack = self._stack()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] is lock:
+                del stack[index]
+                return
+
+    def _forget_all(self, lock: _OrderedLock) -> None:
+        """Condition.wait released every recursion level at once."""
+        self._held.stack = [held for held in self._stack()
+                            if held is not lock]
+
+
+def instrument_table_locks(table: Table,
+                           checker: LockOrderChecker) -> LockOrderChecker:
+    """Wrap one table's locks with order assertions (stress tests).
+
+    Rebuilds the table's flush condition over the wrapped state lock
+    so backpressure waits keep working.  Returns the checker.
+    """
+    table._maintenance_lock = checker.wrap(
+        table._maintenance_lock, f"{table.name}._maintenance_lock", 10)
+    table.lock = checker.wrap(table.lock, f"{table.name}.lock", 20)
+    table._reader_lock = checker.wrap(
+        table._reader_lock, f"{table.name}._reader_lock", 30)
+    table._flush_cond = threading.Condition(table.lock)
+    return checker
 
 
 @dataclass

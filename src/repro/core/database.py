@@ -19,6 +19,7 @@ from ..util.clock import Clock, SystemClock
 from .config import DEFAULT_CONFIG, EngineConfig
 from .descriptor import TableDescriptor
 from .errors import NoSuchTableError, TableExistsError
+from .maintenance import MaintenancePolicy, MaintenanceReport
 from .readcache import ReadCache
 from .row import Query
 from .schema import Schema
@@ -44,7 +45,8 @@ class LittleTable:
                  clock: Optional[Clock] = None,
                  cold_disk: Optional[SimulatedDisk] = None,
                  metrics: Optional[MetricsRegistry] = None,
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None,
+                 maintenance_policy: Optional[MaintenancePolicy] = None):
         self.disk = disk if disk is not None else SimulatedDisk()
         # Optional write-once archive tier for old tablets (§6's
         # LHAM-style extension); see Table.migrate_to_cold.
@@ -67,6 +69,14 @@ class LittleTable:
         # cache.  ``config.read_cache_bytes = 0`` disables it.
         self.read_cache = ReadCache(self.config.read_cache_bytes,
                                     metrics=self.metrics)
+        # How background maintenance behaves (tick interval, workers,
+        # insert backpressure, merge budget).  The scheduler itself is
+        # lazy: start_maintenance() spins it up, close() stops it.
+        self.maintenance_policy = (
+            maintenance_policy if maintenance_policy is not None
+            else MaintenancePolicy())
+        self.maintenance_policy.validate()
+        self._scheduler = None
         self._tables: Dict[str, Table] = {}
         self._open_existing_tables()
 
@@ -118,11 +128,22 @@ class LittleTable:
         schema ... frequently during new feature development".
         """
         table = self.table(name)
-        for meta in table.descriptor.tablets:
+        # Serialize with in-flight maintenance and swaps: once both
+        # locks are held no flush/merge is mid-write and no new one
+        # can start; the catalog entry goes away before the files.
+        with table._maintenance_lock, table.lock:
+            del self._tables[name]
+            metas = list(table.descriptor.tablets)
+            table.descriptor.tablets = []
+            pending = list(table._pending_deletes)
+            table._pending_deletes = []
+        for meta in metas:
             table._delete_tablet_file(meta)
+        # Deferred deletes carry their target disk explicitly (a
+        # migrated tablet's hot copy must not route by its new tier).
+        table._dispose(pending)
         if self.disk.exists(table.descriptor.path()):
             self.disk.delete(table.descriptor.path())
-        del self._tables[name]
 
     # -------------------------------------------------------- operations
     #
@@ -151,22 +172,67 @@ class LittleTable:
         return self.table(table_name).latest(
             prefix, max_lookback_micros=max_lookback_micros)
 
-    def maintenance(self) -> Dict[str, Dict[str, int]]:
-        """Run one maintenance tick on every table."""
-        return {name: table.maintenance()
-                for name, table in self._tables.items()}
+    def maintenance(self) -> MaintenanceReport:
+        """Run one maintenance tick on every table.
+
+        Returns a typed :class:`MaintenanceReport` (the old
+        ``Dict[str, Dict[str, int]]`` shape remains readable through
+        its mapping accessors and ``.as_dict()``, deprecated).  One
+        table failing never stops the pass: the error lands on that
+        table's entry.
+        """
+        report = MaintenanceReport()
+        for name in self.table_names():
+            try:
+                table = self._tables[name]
+            except KeyError:  # dropped concurrently
+                continue
+            try:
+                report.add(table.maintenance(
+                    merge_budget=self.maintenance_policy
+                    .merge_budget_per_tick,
+                    expire_ttl=self.maintenance_policy.expire_ttl))
+            except Exception as exc:  # crash isolation per table
+                from .maintenance import TableMaintenanceReport
+
+                report.add(TableMaintenanceReport(
+                    table=name,
+                    errors=[f"maintenance: {type(exc).__name__}: {exc}"]))
+        return report
 
     def maintenance_until_quiet(self, max_rounds: int = 1000) -> int:
-        """Repeat maintenance until no table has work.  Returns rounds."""
+        """Repeat maintenance until no table has work.  Returns rounds.
+
+        Quiescence is :attr:`MaintenanceReport.is_quiet`, which covers
+        *every* work kind - the old hand-rolled check ignored TTL
+        expiry (and errors), so a database still reclaiming could be
+        declared quiet one round early.
+        """
         for round_index in range(max_rounds):
-            work = self.maintenance()
-            if all(
-                summary["flushed"] == 0 and summary["merged"] == 0
-                and summary["expired"] == 0
-                for summary in work.values()
-            ):
+            if self.maintenance().is_quiet:
                 return round_index
         return max_rounds
+
+    def start_maintenance(self):
+        """Start the background :class:`MaintenanceScheduler` under
+        :attr:`maintenance_policy` (idempotent).  Returns it."""
+        from .scheduler import MaintenanceScheduler
+
+        if self._scheduler is None:
+            self._scheduler = MaintenanceScheduler(
+                self, self.maintenance_policy)
+        self._scheduler.start()
+        return self._scheduler
+
+    def stop_maintenance(self) -> None:
+        """Stop the background scheduler, if running (idempotent)."""
+        if self._scheduler is not None:
+            self._scheduler.stop()
+
+    @property
+    def scheduler(self):
+        """The background scheduler, or None before start_maintenance."""
+        return self._scheduler
 
     def flush_all(self) -> None:
         """Flush every table's memtables (clean shutdown)."""
@@ -174,12 +240,13 @@ class LittleTable:
             table.flush_all()
 
     def close(self) -> None:
-        """Clean shutdown: flush everything to disk.
+        """Clean shutdown: stop maintenance, flush everything to disk.
 
         After ``close()`` every inserted row is durable; the instance
         remains usable (closing is idempotent), matching the paper's
         "clean shutdown flushes all tables" behaviour.
         """
+        self.stop_maintenance()
         self.flush_all()
 
     def __enter__(self) -> "LittleTable":
@@ -198,8 +265,10 @@ class LittleTable:
         shares the same disk.  The original instance must no longer be
         used.
         """
+        self.stop_maintenance()
         return LittleTable(disk=self.disk, config=self.config,
-                           clock=self.clock, cold_disk=self.cold_disk)
+                           clock=self.clock, cold_disk=self.cold_disk,
+                           maintenance_policy=self.maintenance_policy)
 
     def archive_to(self, spare: Storage) -> int:
         """Copy all files to a spare's storage, rsync-style (§3.5).

@@ -21,7 +21,17 @@ from typing import Dict, List, Optional, Set
 
 
 class FlushDependencies:
-    """The per-table dependency graph over in-memory tablet ids."""
+    """The per-table dependency graph over in-memory tablet ids.
+
+    Locking discipline: not internally synchronized.  Every call runs
+    under the owning table's state lock - ``record_insert`` from the
+    insert path, ``flush_group`` during flush selection, and
+    ``mark_flushed`` during the post-flush swap.  The off-lock flush
+    write relies on one structural property: edges only ever point
+    *from* the memtable that received the newer insert *to* older
+    ones, and a read-only memtable can never receive an insert, so no
+    new edge can appear that would enlarge a frozen flush group.
+    """
 
     def __init__(self) -> None:
         # must_flush_first[t] = set of tablets that must flush before t.
@@ -73,3 +83,9 @@ class FlushDependencies:
     def dependencies_of(self, memtable_id: int) -> Set[int]:
         """Direct dependencies (for tests and introspection)."""
         return set(self._must_flush_first.get(memtable_id, ()))
+
+    @property
+    def edge_count(self) -> int:
+        """Total direct dependencies (observability: how entangled the
+        unflushed memtables are; big groups mean big atomic flushes)."""
+        return sum(len(deps) for deps in self._must_flush_first.values())

@@ -14,6 +14,16 @@ Each memtable remembers, alongside the row, its encoded form, so the
 flush path streams pre-encoded bytes straight into blocks and the size
 accounting matches on-disk bytes (the 16 MB flush threshold is about
 disk write efficiency, §3.3).
+
+Concurrency: a memtable has no lock of its own.  Inserts are
+serialized by the owning table's state lock; scans may run off-lock
+concurrently with an insert because the skiplist links a new node's
+forward pointers before splicing it into its predecessors, so a
+concurrent reader sees "some, all, or none" of an in-flight batch
+(exactly the paper's §3.1 read semantics) but never a broken chain.
+Once a memtable is marked read-only (flush-pending) it is immutable:
+the off-lock flush writer and any number of readers can walk it
+freely.
 """
 
 from __future__ import annotations

@@ -134,3 +134,40 @@ def is_quiescent(tablets: List[TabletMeta], now: int, table_name: str,
                  config: EngineConfig) -> bool:
     """True when :func:`choose_merge` would find nothing to do."""
     return choose_merge(tablets, now, table_name, config) is None
+
+
+def pending_merge_runs(tablets: List[TabletMeta], now: int,
+                       table_name: str, config: EngineConfig,
+                       limit: int = 8) -> List[MergePlan]:
+    """The merge debt: plans the policy would execute back-to-back.
+
+    Simulates repeated :func:`choose_merge` against a synthetic tablet
+    set, replacing each chosen run with the pseudo-tablet the merge
+    would produce (``created_at=now``, so - as in reality - the
+    product's own re-merge is blocked by the minimum age).  Purely
+    advisory: the scheduler's queue-depth gauge and ``.stats`` use the
+    count to show how far behind maintenance is.  Stops after
+    ``limit`` plans.
+    """
+    simulated = list(tablets)
+    plans: List[MergePlan] = []
+    while len(plans) < limit:
+        plan = choose_merge(simulated, now, table_name, config)
+        if plan is None:
+            return plans
+        plans.append(plan)
+        merged_ids = {t.tablet_id for t in plan.tablets}
+        product = TabletMeta(
+            tablet_id=-(len(plans)),  # synthetic, never collides
+            filename=f"<pending-merge-{len(plans)}>",
+            min_ts=min(t.min_ts for t in plan.tablets),
+            max_ts=max(t.max_ts for t in plan.tablets),
+            row_count=plan.total_rows,
+            size_bytes=plan.total_bytes,
+            schema_version=0,
+            created_at=now,
+        )
+        simulated = [t for t in simulated
+                     if t.tablet_id not in merged_ids]
+        simulated.append(product)
+    return plans

@@ -242,54 +242,77 @@ class TabletPruneIndex:
     falls outside the query's key range is skipped without opening its
     reader.  Tablets from pre-zone-map descriptors (``min_key`` is
     None) are never key-pruned.
+
+    Concurrency: the built index lives in one immutable state tuple
+    bound to a single attribute, so concurrent off-lock readers either
+    see a complete prior build or trigger a (idempotent) rebuild of
+    their own - never a half-written index.  Queries pass their
+    snapshot explicitly via :meth:`select_snapshot`; the generation
+    travels with the snapshot, captured under the same lock hold as
+    the tablet list, so a swap racing the query cannot pair a new
+    generation with an old list.
     """
 
-    def __init__(self):
-        self._built_generation: Optional[int] = None
-        self._by_min_ts: List[Any] = []
-        self._min_ts: List[int] = []
-        self._prefix_max_ts: List[int] = []
+    # One immutable tuple: (generation, tablets_by_min_ts, min_ts list,
+    # prefix-max-ts list).  Rebuilds replace the whole binding.
+    _EMPTY = (None, [], [], [])
 
-    def _rebuild(self, descriptor) -> None:
-        tablets = sorted(descriptor.tablets,
-                         key=lambda t: (t.min_ts, t.tablet_id))
-        self._by_min_ts = tablets
-        self._min_ts = [t.min_ts for t in tablets]
+    def __init__(self):
+        self._state: Tuple[Optional[int], List[Any], List[int],
+                           List[int]] = self._EMPTY
+
+    @staticmethod
+    def _build(generation: int, source: List[Any]):
+        tablets = sorted(source, key=lambda t: (t.min_ts, t.tablet_id))
+        min_ts = [t.min_ts for t in tablets]
         prefix_max: List[int] = []
         running = None
         for meta in tablets:
             running = meta.max_ts if running is None else max(
                 running, meta.max_ts)
             prefix_max.append(running)
-        self._prefix_max_ts = prefix_max
-        self._built_generation = descriptor.generation
+        return (generation, tablets, min_ts, prefix_max)
 
     def select(self, descriptor, time_range: TimeRange,
                key_range: Optional[KeyRange] = None
                ) -> Tuple[List[Any], int]:
+        """:meth:`select_snapshot` against the descriptor's live state
+        (single-threaded/offline callers; queries snapshot first)."""
+        return self.select_snapshot(descriptor.generation,
+                                    descriptor.tablets, time_range,
+                                    key_range)
+
+    def select_snapshot(self, generation: int, source: List[Any],
+                        time_range: TimeRange,
+                        key_range: Optional[KeyRange] = None
+                        ) -> Tuple[List[Any], int]:
         """Tablets that may hold rows in the query rectangle.
 
-        Returns ``(selected, pruned_count)`` where ``selected`` is in
-        ``min_ts`` order and ``pruned_count`` is how many on-disk
-        tablets were skipped without opening a reader.
+        ``(generation, source)`` is the caller's consistent snapshot of
+        the copy-on-write tablet list.  Returns ``(selected,
+        pruned_count)`` where ``selected`` is in ``min_ts`` order and
+        ``pruned_count`` is how many on-disk tablets were skipped
+        without opening a reader.
         """
-        if self._built_generation != descriptor.generation:
-            self._rebuild(descriptor)
-        tablets = self._by_min_ts
+        state = self._state
+        if state[0] != generation:
+            state = self._build(generation, source)
+            self._state = state
+        _generation, tablets, min_ts_list, prefix_max_ts = state
         total = len(tablets)
         if not total:
             return [], 0
         ts_min = time_range.min_ts
         ts_max = time_range.max_ts
         # Tablets with min_ts > ts_max cannot overlap.
-        high = (bisect.bisect_right(self._min_ts, ts_max)
+        high = (bisect.bisect_right(min_ts_list, ts_max)
                 if ts_max is not None else total)
         selected: List[Any] = []
         for index in range(high - 1, -1, -1):
             if ts_min is not None:
                 # No tablet at or before ``index`` reaches ts_min:
                 # the prefix maximum bounds every earlier max_ts.
-                if self._prefix_max_ts[index] < ts_min:
+                if prefix_max_ts[index] < ts_min:
                     break
                 if tablets[index].max_ts < ts_min:
                     continue
@@ -356,6 +379,11 @@ class LatestRowCache:
       entry's timestamp, so a cached row is never served from beyond
       the caller's window - and because the cached row is the global
       latest, a row older than the window proves the answer is None.
+
+    Thread safety: lookups run off the table's state lock (the read
+    path is non-blocking), inserts invalidate under it, so every
+    method takes the cache's own small lock; holds are O(1)-ish and
+    never nest inside another lock acquisition.
     """
 
     def __init__(self, capacity: int, metrics=None):
@@ -364,6 +392,7 @@ class LatestRowCache:
         self._m_hits = m.counter("readcache.latest.hits")
         self._m_misses = m.counter("readcache.latest.misses")
         self._m_invalidations = m.counter("readcache.latest.invalidations")
+        self._lock = threading.Lock()
         self._entries: "OrderedDict[Tuple[Any, ...], LatestEntry]" = \
             OrderedDict()
         # Lengths of prefixes currently cached -> entry count, so
@@ -381,29 +410,30 @@ class LatestRowCache:
         """
         if self.capacity <= 0:
             return _MISS
-        entry = self._entries.get(prefix)
-        if entry is None or entry.generation != generation:
+        with self._lock:
+            entry = self._entries.get(prefix)
+            if entry is None or entry.generation != generation:
+                self._m_misses.inc()
+                return _MISS
+            if entry.row is not None:
+                self._entries.move_to_end(prefix)
+                self._m_hits.inc()
+                if cutoff is not None and ts_of(entry.row) < cutoff:
+                    # The global latest is older than the caller's
+                    # window, so nothing qualifies.
+                    return None
+                return entry.row
+            # Cached None: valid only if this lookup's window is no
+            # wider (its cutoff is at least as recent) than the one
+            # that proved emptiness.  none_cutoff None means "table
+            # had no such row at all", valid for every window.
+            if entry.none_cutoff is None or (
+                    cutoff is not None and cutoff >= entry.none_cutoff):
+                self._entries.move_to_end(prefix)
+                self._m_hits.inc()
+                return None
             self._m_misses.inc()
             return _MISS
-        if entry.row is not None:
-            self._entries.move_to_end(prefix)
-            self._m_hits.inc()
-            if cutoff is not None and ts_of(entry.row) < cutoff:
-                # The global latest is older than the caller's window,
-                # so nothing qualifies.
-                return None
-            return entry.row
-        # Cached None: valid only if this lookup's window is no wider
-        # (its cutoff is at least as recent) than the one that proved
-        # emptiness.  none_cutoff None means "table had no such row at
-        # all", valid for every window.
-        if entry.none_cutoff is None or (
-                cutoff is not None and cutoff >= entry.none_cutoff):
-            self._entries.move_to_end(prefix)
-            self._m_hits.inc()
-            return None
-        self._m_misses.inc()
-        return _MISS
 
     @property
     def miss_sentinel(self) -> Any:
@@ -414,15 +444,17 @@ class LatestRowCache:
               cutoff: Optional[int]) -> None:
         if self.capacity <= 0:
             return
-        old = self._entries.pop(prefix, None)
-        if old is not None:
-            self._dec_length(len(prefix))
-        self._entries[prefix] = LatestEntry(
-            generation, row, cutoff if row is None else None)
-        self._lengths[len(prefix)] = self._lengths.get(len(prefix), 0) + 1
-        while len(self._entries) > self.capacity:
-            evicted_prefix, _entry = self._entries.popitem(last=False)
-            self._dec_length(len(evicted_prefix))
+        with self._lock:
+            old = self._entries.pop(prefix, None)
+            if old is not None:
+                self._dec_length(len(prefix))
+            self._entries[prefix] = LatestEntry(
+                generation, row, cutoff if row is None else None)
+            self._lengths[len(prefix)] = \
+                self._lengths.get(len(prefix), 0) + 1
+            while len(self._entries) > self.capacity:
+                evicted_prefix, _entry = self._entries.popitem(last=False)
+                self._dec_length(len(evicted_prefix))
 
     def _dec_length(self, length: int) -> None:
         count = self._lengths.get(length, 0) - 1
@@ -433,21 +465,24 @@ class LatestRowCache:
 
     def invalidate_key(self, key: Tuple[Any, ...]) -> None:
         """Drop entries whose prefix covers an inserted row's key."""
-        if not self._entries:
-            return
-        for length in list(self._lengths):
-            entry = self._entries.pop(key[:length], None)
-            if entry is not None:
-                self._dec_length(length)
-                self._m_invalidations.inc()
+        with self._lock:
+            if not self._entries:
+                return
+            for length in list(self._lengths):
+                entry = self._entries.pop(key[:length], None)
+                if entry is not None:
+                    self._dec_length(length)
+                    self._m_invalidations.inc()
 
     def clear(self) -> int:
-        dropped = len(self._entries)
-        if dropped:
-            self._m_invalidations.inc(dropped)
-        self._entries.clear()
-        self._lengths.clear()
-        return dropped
+        with self._lock:
+            dropped = len(self._entries)
+            if dropped:
+                self._m_invalidations.inc(dropped)
+            self._entries.clear()
+            self._lengths.clear()
+            return dropped
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)

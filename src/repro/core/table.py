@@ -6,17 +6,48 @@ tablets.  This module wires together the memtables, the on-disk tablet
 readers, the flush-dependency graph, the merge policy, primary-key
 uniqueness enforcement, TTL aging, and the query paths.
 
-Threading: the engine itself is single-threaded; the network server
-serializes operations per table through :attr:`Table.lock`.  This
-mirrors the paper's design, where inserts to a table hold a small lock
-while queries proceed against immutable state (§3.4.4).
+Threading (the non-blocking maintenance engine)
+-----------------------------------------------
+
+The paper's background merger runs continuously without stalling the
+writer or the dashboard read path (§3.3, §3.4.4).  The engine mirrors
+that with a two-lock design per table:
+
+* :attr:`Table._maintenance_lock` (acquired FIRST) serializes the
+  tablet-set mutators among themselves: flush, merge, TTL expiry,
+  bulk delete, cold migration, and schema changes.  It is held for
+  the *duration* of the work, which is why that work must never be
+  done under the state lock.
+* :attr:`Table.lock` (the state lock, acquired SECOND) protects the
+  mutable in-memory state: the memtable maps, the flush-dependency
+  graph, and the descriptor binding.  It is only ever held briefly -
+  an insert batch, a snapshot capture, or an O(1) swap.
+
+The on-disk tablet list is **copy-on-write**: ``descriptor.tablets``
+is never mutated in place; every mutator builds a new list off-lock
+and publishes it with a single assignment under the state lock.  A
+reader therefore snapshots ``(generation, tablets, memtables)`` in one
+brief lock hold and scans entirely off-lock against immutable state.
+
+Because scans run off-lock, a merge or TTL reclaim cannot delete its
+source files immediately - an in-flight scan may still be reading
+them.  Removed tablets enter a **deferred-delete queue** tagged with a
+read epoch; the files are reclaimed only once every reader that could
+have seen the old tablet list has finished (epoch-based reclamation,
+see :meth:`Table._defer_delete_locked`).
+
+Insert backpressure: when a :class:`~repro.core.scheduler.`
+``MaintenanceScheduler`` is running it arms a flush-pending threshold;
+an insert batch finding that many memtables awaiting flush waits on
+the state lock's condition (bounded by the policy's wait budget) for
+the flushers to drain, observable via ``insert.backpressure_stalls``.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..disk.vfs import SimulatedDisk
@@ -30,8 +61,9 @@ from .encoding import RowCodec
 from .errors import (CorruptTabletError, DuplicateKeyError, QueryError,
                      SchemaError)
 from .flushdeps import FlushDependencies
+from .maintenance import TableMaintenanceReport
 from .memtable import MemTable
-from .merge import MergePlan, choose_merge
+from .merge import MergePlan, choose_merge, is_quiescent
 from .periods import Period, period_for
 from .readcache import (LatestRowCache, ReadCache, TabletPruneIndex,
                         _zone_map_excludes)
@@ -56,7 +88,12 @@ class QueryResult:
 
 @dataclass
 class TableCounters:
-    """Lifetime counters used by benchmarks and production metrics."""
+    """Lifetime counters used by benchmarks and production metrics.
+
+    Plain ints: exact under the single-threaded test workloads; under
+    concurrent readers they may drift by a few counts (monitoring
+    data, not accounting data).
+    """
 
     rows_inserted: int = 0
     rows_scanned: int = 0
@@ -83,7 +120,16 @@ class Table:
         self.descriptor = descriptor
         self.config = config
         self.clock = clock
+        # Lock hierarchy (acquire downwards, never upwards):
+        #   _maintenance_lock  ->  lock (state)  ->  _reader_lock
+        self._maintenance_lock = threading.RLock()
         self.lock = threading.RLock()
+        self._reader_lock = threading.Lock()
+        # Inserts wait here when flush-pending memtables pile up past
+        # the armed backpressure threshold; flushes notify.
+        self._flush_cond = threading.Condition(self.lock)
+        self._backpressure_limit: Optional[int] = None
+        self._backpressure_wait_s = 5.0
         self.counters = TableCounters()
         # Observability: a database passes its shared registry/tracer;
         # a standalone table gets a private registry so the counters
@@ -103,6 +149,10 @@ class Table:
         self._m_rows_returned = m.counter("query.rows_returned")
         self._m_tablets_pruned = m.counter("query.tablets_pruned")
         self._m_generation_bumps = m.counter("readcache.generation")
+        self._m_backpressure = m.counter("insert.backpressure_stalls")
+        self._h_backpressure_wait = m.histogram("insert.backpressure_wait_us")
+        self._h_swap_hold = m.histogram("maintenance.swap_lock_hold_us")
+        self._m_deferred = m.counter("maintenance.deferred_deletes")
         self._row_codec = RowCodec(descriptor.schema)
         # Read-path caches: a database passes its shared block/footer
         # cache (one budget across all tables); a standalone table
@@ -120,6 +170,9 @@ class Table:
         # Bumped by every mutation that can change a latest() answer;
         # cached entries from older generations are never served.
         self._cache_generation = 0
+        # Bumped per insert batch; latest() skips storing an answer
+        # computed from a snapshot that an insert has since overtaken.
+        self._insert_seq = 0
         # Filling memtables, one per (period.start, period.level).
         self._filling: Dict[Tuple[int, int], MemTable] = {}
         # All unflushed memtables (filling + read-only awaiting flush).
@@ -128,6 +181,13 @@ class Table:
         self._deps = FlushDependencies()
         self._next_memtable_id = 1
         self._readers: Dict[int, TabletReader] = {}
+        # Epoch-based deferred reclamation: _read_epoch advances on
+        # every tablet-set swap that removes tablets; each removal is
+        # queued with the pre-swap epoch and its file is deleted only
+        # once no active reader entered at or before that epoch.
+        self._read_epoch = 0
+        self._active_reads: Dict[int, int] = {}
+        self._pending_deletes: List[Tuple[int, SimulatedDisk, TabletMeta]] = []
         # (period.start, level) -> (descriptor generation, max key).
         self._period_max_cache: Dict[Tuple[int, int], Tuple[int, Any]] = {}
         self._max_ts_ever: Optional[int] = max(
@@ -150,6 +210,8 @@ class Table:
 
     @property
     def on_disk_tablets(self) -> List[TabletMeta]:
+        # The tablet list is copy-on-write: reading the binding once
+        # yields an immutable snapshot, no lock needed.
         return list(self.descriptor.tablets)
 
     @property
@@ -162,8 +224,9 @@ class Table:
 
     def row_count_estimate(self) -> int:
         """Rows on disk plus rows in memory (expired rows included)."""
-        disk_rows = sum(t.row_count for t in self.descriptor.tablets)
-        return disk_rows + sum(len(m) for m in self._unflushed.values())
+        tablets = self.descriptor.tablets
+        disk_rows = sum(t.row_count for t in tablets)
+        return disk_rows + sum(len(m) for m in list(self._unflushed.values()))
 
     def size_bytes_on_disk(self) -> int:
         return sum(t.size_bytes for t in self.descriptor.tablets)
@@ -177,9 +240,10 @@ class Table:
         Figure 9 scan ratio.
         """
         now = self.clock.now()
+        tablets = self.descriptor.tablets
         per_period: Dict[Tuple[int, int], int] = {}
         tiers: Dict[str, int] = {}
-        for meta in self.descriptor.tablets:
+        for meta in tablets:
             period = period_for(meta.min_ts, now,
                                 self.config.time_partitioning)
             bin_key = (period.start, int(period.level))
@@ -196,11 +260,13 @@ class Table:
         return {
             "name": self.name,
             "rows": self.row_count_estimate(),
-            "bytes_on_disk": self.size_bytes_on_disk(),
-            "tablets": len(self.descriptor.tablets),
+            "bytes_on_disk": sum(t.size_bytes for t in tablets),
+            "tablets": len(tablets),
             "tablets_by_tier": tiers,
             "max_tablets_per_period": max(per_period.values(), default=0),
             "unflushed_memtables": self.unflushed_memtable_count,
+            "flush_pending": len(self._flush_pending),
+            "deferred_deletes": len(self._pending_deletes),
             "write_amplification": round(amplification, 2),
             "scan_ratio": round(scanned / returned, 2) if returned else None,
             "ttl_micros": self.descriptor.ttl_micros,
@@ -215,11 +281,14 @@ class Table:
         Benchmarks call this to measure cold-cache behaviour; the
         table's block/footer cache entries and the latest-row cache go
         with it, since none would survive a real restart."""
-        self._readers.clear()
-        self._period_max_cache.clear()
-        self._read_cache.invalidate_tablets(self._tablet_uids.values())
-        self._tablet_uids.clear()
-        self._latest_cache.clear()
+        with self.lock:
+            self._period_max_cache.clear()
+            self._latest_cache.clear()
+            with self._reader_lock:
+                self._readers.clear()
+                uids = list(self._tablet_uids.values())
+                self._tablet_uids.clear()
+        self._read_cache.invalidate_tablets(uids)
 
     def _disk_for(self, meta: TabletMeta) -> SimulatedDisk:
         """The device holding a tablet's file (hot disk or cold tier)."""
@@ -231,16 +300,27 @@ class Table:
             return self.cold_disk
         return self.disk
 
-    def _delete_tablet_file(self, meta: TabletMeta) -> None:
-        disk = self._disk_for(meta)
-        if disk.exists(meta.filename):
-            disk.delete(meta.filename)
-        self._readers.pop(meta.tablet_id, None)
-        uid = self._tablet_uids.pop(meta.tablet_id, None)
+    def _drop_reader_state(self, tablet_id: int) -> None:
+        with self._reader_lock:
+            self._readers.pop(tablet_id, None)
+            uid = self._tablet_uids.pop(tablet_id, None)
         if uid is not None:
             self._read_cache.invalidate_tablet(uid)
 
+    def _delete_tablet_file(self, meta: TabletMeta) -> None:
+        """Immediately delete a tablet's file (drop-table path; the
+        maintenance paths use :meth:`_defer_delete_locked` instead so
+        in-flight readers keep their snapshot)."""
+        disk = self._disk_for(meta)
+        if disk.exists(meta.filename):
+            disk.delete(meta.filename)
+        self._drop_reader_state(meta.tablet_id)
+
     def _tablet_uid(self, meta: TabletMeta) -> int:
+        with self._reader_lock:
+            return self._tablet_uid_locked(meta)
+
+    def _tablet_uid_locked(self, meta: TabletMeta) -> int:
         uid = self._tablet_uids.get(meta.tablet_id)
         if uid is None:
             uid = self._read_cache.allocate_uid()
@@ -248,19 +328,83 @@ class Table:
         return uid
 
     def _reader(self, meta: TabletMeta) -> TabletReader:
-        reader = self._readers.get(meta.tablet_id)
-        if reader is None:
-            reader = TabletReader(self._disk_for(meta), meta.filename,
-                                  metrics=self.metrics,
-                                  cache=self._read_cache,
-                                  cache_uid=self._tablet_uid(meta))
-            self._readers[meta.tablet_id] = reader
+        with self._reader_lock:
+            reader = self._readers.get(meta.tablet_id)
+            if reader is None:
+                reader = TabletReader(self._disk_for(meta), meta.filename,
+                                      metrics=self.metrics,
+                                      cache=self._read_cache,
+                                      cache_uid=self._tablet_uid_locked(meta))
+                self._readers[meta.tablet_id] = reader
         return reader
 
     def _bump_cache_generation(self) -> None:
         """Orphan all latest-row cache entries after a mutation."""
         self._cache_generation += 1
         self._m_generation_bumps.inc()
+
+    # --------------------------------------- epoch-based read reclamation
+
+    def _begin_read(self) -> int:
+        """Enter a read: pins the current tablet snapshot's files."""
+        with self.lock:
+            epoch = self._read_epoch
+            self._active_reads[epoch] = self._active_reads.get(epoch, 0) + 1
+            return epoch
+
+    def _end_read(self, epoch: int) -> None:
+        """Leave a read; reclaims deferred deletes it was pinning."""
+        with self.lock:
+            count = self._active_reads.get(epoch, 0) - 1
+            if count <= 0:
+                self._active_reads.pop(epoch, None)
+            else:
+                self._active_reads[epoch] = count
+            reapable = self._claim_reapable_locked()
+        self._dispose(reapable)
+
+    def _defer_delete_locked(self, metas: Sequence[TabletMeta],
+                             disk: Optional[SimulatedDisk] = None) -> None:
+        """Queue removed tablets' files for deletion once safe.
+
+        Caller holds the state lock and has already published the new
+        tablet list.  The epoch advances so readers entering from now
+        on are known not to reference the removed tablets.  The target
+        disk is captured *now* because cold migration flips
+        ``meta.tier`` before the hot copy is reclaimed.
+        """
+        epoch = self._read_epoch
+        self._read_epoch = epoch + 1
+        for meta in metas:
+            target = disk if disk is not None else self._disk_for(meta)
+            self._pending_deletes.append((epoch, target, meta))
+        if metas:
+            self._m_deferred.inc(len(metas))
+
+    def _claim_reapable_locked(self) -> List[
+            Tuple[int, SimulatedDisk, TabletMeta]]:
+        """Deferred deletes no active reader can still see."""
+        if not self._pending_deletes:
+            return []
+        floor = min(self._active_reads) if self._active_reads else None
+        if floor is None:
+            ready = self._pending_deletes
+            self._pending_deletes = []
+            return ready
+        ready = [item for item in self._pending_deletes if item[0] < floor]
+        if ready:
+            self._pending_deletes = [
+                item for item in self._pending_deletes if item[0] >= floor]
+        return ready
+
+    def _dispose(self, items: Sequence[Tuple[int, SimulatedDisk,
+                                             TabletMeta]]) -> None:
+        """Delete reclaimed files and drop their reader/cache state.
+        Runs without the state lock (file deletion is I/O)."""
+        for _epoch, disk, meta in items:
+            if disk.exists(meta.filename):
+                disk.delete(meta.filename)
+            self._drop_reader_state(meta.tablet_id)
 
     # ----------------------------------------------------------- inserts
 
@@ -277,34 +421,75 @@ class Table:
         return self.insert_tuples(tuples)
 
     def insert_tuples(self, rows: Sequence[Tuple[Any, ...]]) -> int:
-        """Insert validated positional row tuples (fast path)."""
-        now = self.clock.now()
-        schema = self.schema
-        inserted = 0
-        for row in rows:
-            row = schema.validate_row(row)
-            ts = schema.ts_of(row)
-            key = schema.key_of(row)
-            if not self._key_is_unique(key, ts, now):
-                raise DuplicateKeyError(
-                    f"duplicate primary key {key!r} in table {self.name!r}"
-                )
-            memtable = self._memtable_for(ts, now)
-            if not memtable.insert(row, now):
-                raise DuplicateKeyError(
-                    f"duplicate primary key {key!r} in table {self.name!r}"
-                )
-            self._deps.record_insert(memtable.memtable_id)
-            self._latest_cache.invalidate_key(key)
-            if self._max_ts_ever is None or ts > self._max_ts_ever:
-                self._max_ts_ever = ts
-            inserted += 1
-            if memtable.size_bytes >= self.config.flush_size_bytes:
-                self._retire_memtable(memtable)
-        self.counters.rows_inserted += inserted
-        self._m_rows_inserted.inc(inserted)
-        self._m_insert_batches.inc()
-        return inserted
+        """Insert validated positional row tuples (fast path).
+
+        Takes the table's state lock itself - callers need not (and
+        should not) wrap inserts in ``table.lock`` anymore.
+        """
+        with self.lock:
+            self._wait_for_flush_capacity_locked()
+            now = self.clock.now()
+            schema = self.schema
+            inserted = 0
+            for row in rows:
+                row = schema.validate_row(row)
+                ts = schema.ts_of(row)
+                key = schema.key_of(row)
+                if not self._key_is_unique(key, ts, now):
+                    raise DuplicateKeyError(
+                        f"duplicate primary key {key!r} in table "
+                        f"{self.name!r}"
+                    )
+                memtable = self._memtable_for(ts, now)
+                if not memtable.insert(row, now):
+                    raise DuplicateKeyError(
+                        f"duplicate primary key {key!r} in table "
+                        f"{self.name!r}"
+                    )
+                self._deps.record_insert(memtable.memtable_id)
+                self._latest_cache.invalidate_key(key)
+                if self._max_ts_ever is None or ts > self._max_ts_ever:
+                    self._max_ts_ever = ts
+                inserted += 1
+                if memtable.size_bytes >= self.config.flush_size_bytes:
+                    self._retire_memtable(memtable)
+            self._insert_seq += 1
+            self.counters.rows_inserted += inserted
+            self._m_rows_inserted.inc(inserted)
+            self._m_insert_batches.inc()
+            return inserted
+
+    def set_flush_backpressure(self, limit: Optional[int],
+                               wait_s: float = 5.0) -> None:
+        """Arm (or with ``limit=None`` disarm) insert backpressure.
+
+        The :class:`~repro.core.scheduler.MaintenanceScheduler` wires
+        this from its policy on start and disarms it on stop.
+        """
+        with self.lock:
+            self._backpressure_limit = limit
+            self._backpressure_wait_s = wait_s
+            self._flush_cond.notify_all()
+
+    def _wait_for_flush_capacity_locked(self) -> None:
+        """Stall an insert batch while flush-pending memtables exceed
+        the armed threshold.  Bounded: maintenance must never turn the
+        writer away permanently, so after the wait budget the insert
+        proceeds regardless (the stall is the observable signal)."""
+        limit = self._backpressure_limit
+        if limit is None or len(self._flush_pending) < limit:
+            return
+        self._m_backpressure.inc()
+        stalled = time.perf_counter()
+        deadline = time.monotonic() + self._backpressure_wait_s
+        while (self._backpressure_limit is not None
+               and len(self._flush_pending) >= self._backpressure_limit):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            self._flush_cond.wait(remaining)
+        self._h_backpressure_wait.observe(
+            (time.perf_counter() - stalled) * 1e6)
 
     def _memtable_for(self, ts: int, now: int) -> MemTable:
         """The filling memtable for the row's time period (§3.4.3)."""
@@ -332,7 +517,11 @@ class Table:
     # -------------------------------------------------------- uniqueness
 
     def _key_is_unique(self, key: Tuple[Any, ...], ts: int, now: int) -> bool:
-        """Primary-key uniqueness check with the §3.4.4 fast paths."""
+        """Primary-key uniqueness check with the §3.4.4 fast paths.
+
+        Runs under the state lock, which also serializes it against
+        tablet-set swaps - the tablet view cannot change mid-check.
+        """
         # Fast path 1: the timestamp is newer than any row ever stored;
         # needs only cached metadata.
         if self._max_ts_ever is None or ts > self._max_ts_ever:
@@ -421,45 +610,82 @@ class Table:
         All resulting on-disk tablets are added to the descriptor in a
         single atomic update, preserving the prefix-durability
         guarantee.  Returns the tablets written.
+
+        The write runs *off* the state lock: the group is frozen
+        (marked read-only, removed from the filling map) under a brief
+        lock hold, the tablets are built lock-free, and the lock is
+        re-acquired only for the O(1) descriptor swap and dependency
+        bookkeeping.  New dependency edges created by concurrent
+        inserts can only point *at* group members (a read-only
+        memtable never receives inserts), so the closure computed at
+        freeze time stays complete.
         """
+        with self._maintenance_lock:
+            return self._flush_off_lock(memtable_id)
+
+    def _flush_off_lock(self, memtable_id: int) -> List[TabletMeta]:
+        started = time.perf_counter()
         with self.lock:
-            started = time.perf_counter()
             group = [
                 mid for mid in self._deps.flush_group(memtable_id)
                 if mid in self._unflushed
             ]
-            written: List[TabletMeta] = []
-            now = self.clock.now()
-            with self.tracer.span("flush", table=self.name) as span:
-                for mid in group:
-                    memtable = self._unflushed[mid]
-                    memtable.mark_read_only()
+            members: List[MemTable] = []
+            for mid in group:
+                memtable = self._unflushed[mid]
+                memtable.mark_read_only()
+                bin_key = (memtable.period.start,
+                           int(memtable.period.level))
+                if self._filling.get(bin_key) is memtable:
+                    del self._filling[bin_key]
+                members.append(memtable)
+        if not group:
+            return []
+        written: List[TabletMeta] = []
+        now = self.clock.now()
+        with self.tracer.span("flush", table=self.name) as span:
+            try:
+                for memtable in members:
                     meta = self._write_memtable(memtable, now)
                     if meta is not None:
                         written.append(meta)
+            except Exception:
+                # Leave the group flushable: re-queue it so the next
+                # maintenance pass retries (files already written are
+                # not in the descriptor - crash-equivalent garbage).
+                with self.lock:
+                    for mid in group:
+                        if (mid in self._unflushed
+                                and mid not in self._flush_pending):
+                            self._flush_pending.append(mid)
+                raise
+            swap_started = time.perf_counter()
+            with self.lock:
                 if written:
-                    self.descriptor.tablets.extend(written)
+                    self.descriptor.tablets = (
+                        self.descriptor.tablets + written)
                     self.descriptor.save(self.disk)
                 for mid in group:
-                    memtable = self._unflushed.pop(mid)
-                    bin_key = (memtable.period.start,
-                               int(memtable.period.level))
-                    if self._filling.get(bin_key) is memtable:
-                        del self._filling[bin_key]
+                    self._unflushed.pop(mid, None)
                     if mid in self._flush_pending:
                         self._flush_pending.remove(mid)
                 self._deps.mark_flushed(group)
-                rows = sum(meta.row_count for meta in written)
-                size = sum(meta.size_bytes for meta in written)
-                span.tag(tablets=len(written), rows=rows, bytes=size)
-            m = self.metrics
-            m.counter("flush.count").inc()
-            m.counter("flush.tablets").inc(len(written))
-            m.counter("flush.rows").inc(rows)
-            m.counter("flush.bytes").inc(size)
-            m.histogram("flush.duration_us").observe(
-                (time.perf_counter() - started) * 1e6)
-            return written
+                self._flush_cond.notify_all()
+                reapable = self._claim_reapable_locked()
+            self._dispose(reapable)
+            self._h_swap_hold.observe(
+                (time.perf_counter() - swap_started) * 1e6)
+            rows = sum(meta.row_count for meta in written)
+            size = sum(meta.size_bytes for meta in written)
+            span.tag(tablets=len(written), rows=rows, bytes=size)
+        m = self.metrics
+        m.counter("flush.count").inc()
+        m.counter("flush.tablets").inc(len(written))
+        m.counter("flush.rows").inc(rows)
+        m.counter("flush.bytes").inc(size)
+        m.histogram("flush.duration_us").observe(
+            (time.perf_counter() - started) * 1e6)
+        return written
 
     def _write_memtable(self, memtable: MemTable, now: int
                         ) -> Optional[TabletMeta]:
@@ -484,10 +710,12 @@ class Table:
     def flush_all(self) -> List[TabletMeta]:
         """Flush every unflushed memtable (used by shutdown and tests)."""
         written: List[TabletMeta] = []
-        while self._unflushed:
-            some_id = next(iter(self._unflushed))
+        while True:
+            with self.lock:
+                some_id = next(iter(self._unflushed), None)
+            if some_id is None:
+                return written
             written.extend(self.flush_memtable(some_id))
-        return written
 
     def flush_before(self, ts: int) -> List[TabletMeta]:
         """Flush every memtable holding rows with timestamps < ``ts``.
@@ -501,19 +729,22 @@ class Table:
         """
         written: List[TabletMeta] = []
         while True:
-            target = next(
-                (m for m in self._unflushed.values()
-                 if not m.empty and m.min_ts < ts),
-                None,
-            )
+            with self.lock:
+                target = next(
+                    (m for m in self._unflushed.values()
+                     if not m.empty and m.min_ts < ts),
+                    None,
+                )
             if target is None:
                 return written
             written.extend(self.flush_memtable(target.memtable_id))
 
     def pending_flush_work(self, now: int) -> List[int]:
         """Memtable ids due for flushing: queued, oversized, or aged."""
-        due = list(self._flush_pending)
-        for memtable in self._filling.values():
+        with self.lock:
+            due = list(self._flush_pending)
+            filling = list(self._filling.values())
+        for memtable in filling:
             if memtable.empty:
                 continue
             if (memtable.size_bytes >= self.config.flush_size_bytes
@@ -534,31 +765,34 @@ class Table:
         values are accessed infrequently but remain valuable."
 
         Each tablet's file is copied to the cold store, the descriptor
-        is updated atomically, and the hot copy is deleted.  Queries
-        keep working transparently (at the cold tier's latencies);
-        cold tablets are never merged.  Returns tablets migrated.
+        is updated atomically, and the hot copy is reclaimed once no
+        in-flight reader can still touch it.  Queries keep working
+        transparently (at the cold tier's latencies); cold tablets are
+        never merged.  Returns tablets migrated.
         """
-        if self.cold_disk is None:
-            raise QueryError("no cold store attached to this table")
-        migrated = 0
-        for meta in self.on_disk_tablets:
-            if meta.tier != "hot" or meta.max_ts >= before_ts:
-                continue
-            data = self.disk.storage.read_all(meta.filename)
-            self.cold_disk.write_file(meta.filename, data)
-            meta.tier = "cold"
-            self.descriptor.save(self.disk)
-            self.disk.delete(meta.filename)
-            self._readers.pop(meta.tablet_id, None)
-            # A fresh uid so the cold-tier reader never reuses blocks
-            # cached at hot-disk cost accounting.
-            uid = self._tablet_uids.pop(meta.tablet_id, None)
-            if uid is not None:
-                self._read_cache.invalidate_tablet(uid)
-            migrated += 1
-        if migrated:
-            self._bump_cache_generation()
-        return migrated
+        with self._maintenance_lock:
+            if self.cold_disk is None:
+                raise QueryError("no cold store attached to this table")
+            migrated = 0
+            for meta in self.on_disk_tablets:
+                if meta.tier != "hot" or meta.max_ts >= before_ts:
+                    continue
+                data = self.disk.storage.read_all(meta.filename)
+                self.cold_disk.write_file(meta.filename, data)
+                with self.lock:
+                    meta.tier = "cold"
+                    self.descriptor.save(self.disk)
+                    # The hot copy: capture the hot disk explicitly -
+                    # after the tier flip _disk_for would route to the
+                    # cold store and delete the wrong file.
+                    self._defer_delete_locked([meta], disk=self.disk)
+                    reapable = self._claim_reapable_locked()
+                self._dispose(reapable)
+                migrated += 1
+            if migrated:
+                with self.lock:
+                    self._bump_cache_generation()
+            return migrated
 
     def tier_of(self, tablet_id: int) -> Optional[str]:
         """The storage tier of a tablet, or None if unknown."""
@@ -586,32 +820,34 @@ class Table:
                 "bulk delete takes a non-empty prefix of the key "
                 "columns (excluding ts)")
         key_range = KeyRange.prefix(prefix)
-        for memtable in list(self._unflushed.values()):
-            if any(True for _row in memtable.scan(key_range)):
-                self.flush_memtable(memtable.memtable_id)
-        encoded_prefix = None
-        if self.config.bloom_filters:
-            encoded_prefix = self._row_codec.encode_prefix_columns(prefix)
-        removed = 0
-        now = self.clock.now()
-        for meta in self.on_disk_tablets:
-            reader = self._reader(meta)
-            if encoded_prefix is not None:
-                probe = reader.may_contain_prefix(encoded_prefix)
-                if probe is False:
+        with self._maintenance_lock:
+            for memtable in list(self._unflushed.values()):
+                if any(True for _row in memtable.scan(key_range)):
+                    self.flush_memtable(memtable.memtable_id)
+            encoded_prefix = None
+            if self.config.bloom_filters:
+                encoded_prefix = self._row_codec.encode_prefix_columns(prefix)
+            removed = 0
+            now = self.clock.now()
+            for meta in self.on_disk_tablets:
+                reader = self._reader(meta)
+                if encoded_prefix is not None:
+                    probe = reader.may_contain_prefix(encoded_prefix)
+                    if probe is False:
+                        continue
+                if not any(True for _row in reader.scan(key_range)):
                     continue
-            if not any(True for _row in reader.scan(key_range)):
-                continue
-            removed += self._rewrite_tablet_without(meta, key_range, now)
-        return removed
+                removed += self._rewrite_tablet_without(meta, key_range, now)
+            return removed
 
     def _rewrite_tablet_without(self, meta: TabletMeta,
                                 key_range: KeyRange, now: int) -> int:
         """Rewrite one tablet dropping rows inside ``key_range``.
 
-        The replacement is installed with an atomic descriptor update,
-        then the old file is deleted; a crash in between leaves either
-        version, never both.  Returns rows dropped.
+        The replacement is installed with an atomic descriptor update;
+        the old file is reclaimed once in-flight readers drain.  A
+        crash in between leaves either version, never both.  Returns
+        rows dropped.
         """
         reader = self._reader(meta)
         reader.ensure_loaded()
@@ -641,18 +877,25 @@ class Table:
                 self.descriptor.tablet_filename(tablet_id), rows,
                 tablet_id, created_at=now, expected_rows=meta.row_count,
             )
-        self.descriptor.tablets = [
-            t for t in self.descriptor.tablets
-            if t.tablet_id != meta.tablet_id
-        ]
-        kept = 0
-        if new_meta is not None:
-            new_meta.tier = meta.tier
-            self.descriptor.tablets.append(new_meta)
-            kept = new_meta.row_count
-        self.descriptor.save(self.disk)
-        self._delete_tablet_file(meta)
-        self._bump_cache_generation()
+        swap_started = time.perf_counter()
+        with self.lock:
+            remaining = [
+                t for t in self.descriptor.tablets
+                if t.tablet_id != meta.tablet_id
+            ]
+            kept = 0
+            if new_meta is not None:
+                new_meta.tier = meta.tier
+                remaining.append(new_meta)
+                kept = new_meta.row_count
+            self.descriptor.tablets = remaining
+            self.descriptor.save(self.disk)
+            self._defer_delete_locked([meta])
+            self._bump_cache_generation()
+            reapable = self._claim_reapable_locked()
+        self._dispose(reapable)
+        self._h_swap_hold.observe(
+            (time.perf_counter() - swap_started) * 1e6)
         return meta.row_count - kept
 
     # ------------------------------------------------------------ merge
@@ -661,21 +904,25 @@ class Table:
         """Run one merge if the policy finds one (§3.4.1).
 
         Returns the executed plan, or None.  The merge streams the
-        source tablets through a k-way merge into a new tablet, then
-        atomically rewrites the descriptor and deletes the sources.
+        source tablets through a k-way merge into a new tablet entirely
+        off the state lock (sources are immutable files), then
+        re-acquires the lock only for the O(1) copy-on-write descriptor
+        swap; the source files are reclaimed once in-flight readers
+        drain.
         """
-        now = self.clock.now()
-        hot_tablets = [t for t in self.descriptor.tablets
-                       if t.tier != "cold"]
-        plan = choose_merge(hot_tablets, now, self.name, self.config)
-        if plan is None:
-            return None
-        with self.tracer.span("merge", table=self.name,
-                              period=plan.period.level.name.lower(),
-                              tablets=len(plan.tablets),
-                              rows=plan.total_rows):
-            self._execute_merge(plan, now)
-        return plan
+        with self._maintenance_lock:
+            now = self.clock.now()
+            hot_tablets = [t for t in self.descriptor.tablets
+                           if t.tier != "cold"]
+            plan = choose_merge(hot_tablets, now, self.name, self.config)
+            if plan is None:
+                return None
+            with self.tracer.span("merge", table=self.name,
+                                  period=plan.period.level.name.lower(),
+                                  tablets=len(plan.tablets),
+                                  rows=plan.total_rows):
+                self._execute_merge(plan, now)
+            return plan
 
     def _execute_merge(self, plan: MergePlan, now: int) -> None:
         import heapq
@@ -713,20 +960,27 @@ class Table:
                 tablet_id, created_at=now, expected_rows=plan.total_rows,
             )
         merged_ids = {t.tablet_id for t in plan.tablets}
-        self.descriptor.tablets = [
-            t for t in self.descriptor.tablets if t.tablet_id not in merged_ids
-        ]
-        rows_rewritten = 0
-        if meta is not None:
-            self.descriptor.tablets.append(meta)
-            self.counters.bytes_merge_written += meta.size_bytes
-            self.counters.rows_merge_written += meta.row_count
-            rows_rewritten = meta.row_count
-        self.counters.merges += 1
-        self.descriptor.save(self.disk)
-        for source in plan.tablets:
-            self._delete_tablet_file(source)
-        self._bump_cache_generation()
+        swap_started = time.perf_counter()
+        with self.lock:
+            new_tablets = [
+                t for t in self.descriptor.tablets
+                if t.tablet_id not in merged_ids
+            ]
+            rows_rewritten = 0
+            if meta is not None:
+                new_tablets.append(meta)
+                self.counters.bytes_merge_written += meta.size_bytes
+                self.counters.rows_merge_written += meta.row_count
+                rows_rewritten = meta.row_count
+            self.counters.merges += 1
+            self.descriptor.tablets = new_tablets
+            self.descriptor.save(self.disk)
+            self._defer_delete_locked(plan.tablets)
+            self._bump_cache_generation()
+            reapable = self._claim_reapable_locked()
+        self._dispose(reapable)
+        self._h_swap_hold.observe(
+            (time.perf_counter() - swap_started) * 1e6)
         # Per-period rewrite counters make the appendix's O(log T)
         # per-row rewrite bound empirically checkable: rows_rewritten
         # divided by insert.rows bounds the mean rewrite count.
@@ -784,47 +1038,117 @@ class Table:
 
         Returns the number of tablets reclaimed.
         """
-        ttl = self.descriptor.ttl_micros
-        if ttl is None:
-            return 0
-        cutoff = self.clock.now() - ttl
-        expired = [t for t in self.descriptor.tablets if t.max_ts < cutoff]
-        if not expired:
-            return 0
-        expired_ids = {t.tablet_id for t in expired}
-        expired_rows = sum(t.row_count for t in expired)
-        with self.tracer.span("ttl_expire", table=self.name,
-                              tablets=len(expired), rows=expired_rows):
-            self.descriptor.tablets = [
-                t for t in self.descriptor.tablets
-                if t.tablet_id not in expired_ids
-            ]
-            self.descriptor.save(self.disk)
-            for meta in expired:
-                self._delete_tablet_file(meta)
-        self._bump_cache_generation()
-        self.counters.tablets_expired += len(expired)
-        self.metrics.counter("ttl.tablets_expired").inc(len(expired))
-        self.metrics.counter("ttl.rows_expired").inc(expired_rows)
-        return len(expired)
+        with self._maintenance_lock:
+            ttl = self.descriptor.ttl_micros
+            if ttl is None:
+                return 0
+            cutoff = self.clock.now() - ttl
+            expired = [t for t in self.descriptor.tablets
+                       if t.max_ts < cutoff]
+            if not expired:
+                return 0
+            expired_ids = {t.tablet_id for t in expired}
+            expired_rows = sum(t.row_count for t in expired)
+            with self.tracer.span("ttl_expire", table=self.name,
+                                  tablets=len(expired), rows=expired_rows):
+                with self.lock:
+                    self.descriptor.tablets = [
+                        t for t in self.descriptor.tablets
+                        if t.tablet_id not in expired_ids
+                    ]
+                    self.descriptor.save(self.disk)
+                    self._defer_delete_locked(expired)
+                    self._bump_cache_generation()
+                    reapable = self._claim_reapable_locked()
+                self._dispose(reapable)
+            self.counters.tablets_expired += len(expired)
+            self.metrics.counter("ttl.tablets_expired").inc(len(expired))
+            self.metrics.counter("ttl.rows_expired").inc(expired_rows)
+            return len(expired)
 
     # ------------------------------------------------------ maintenance
 
-    def maintenance(self) -> Dict[str, int]:
-        """One background tick: due flushes, one merge, TTL reclaim.
+    def maintenance(self, merge_budget: int = 1,
+                    expire_ttl: bool = True) -> TableMaintenanceReport:
+        """One background tick: due flushes, budgeted merges, TTL.
 
-        Returns a summary of work done, for benchmarks and logging.
+        Returns a typed :class:`TableMaintenanceReport` (dict-style
+        access kept for compatibility).  Each work kind is isolated:
+        a failing flush still lets merges and TTL reclaim run, with
+        the error recorded on the report and counted by the
+        ``maintenance.errors`` metric.
         """
+        report = TableMaintenanceReport(table=self.name)
         now = self.clock.now()
-        flushed = 0
-        for memtable_id in self.pending_flush_work(now):
-            if memtable_id in self._unflushed:
-                flushed += len(self.flush_memtable(memtable_id))
-        merged = 1 if self.maybe_merge() is not None else 0
-        expired = self.expire_tablets()
-        return {"flushed": flushed, "merged": merged, "expired": expired}
+        try:
+            for memtable_id in self.pending_flush_work(now):
+                if memtable_id in self._unflushed:
+                    report.flushed += len(self.flush_memtable(memtable_id))
+        except Exception as exc:  # crash isolation per work kind
+            self._record_maintenance_error(report, "flush", exc)
+        try:
+            for _ in range(max(int(merge_budget), 0)):
+                if self.maybe_merge() is None:
+                    break
+                report.merged += 1
+        except Exception as exc:
+            self._record_maintenance_error(report, "merge", exc)
+        if expire_ttl:
+            try:
+                report.expired = self.expire_tablets()
+            except Exception as exc:
+                self._record_maintenance_error(report, "ttl", exc)
+        return report
+
+    def _record_maintenance_error(self, report: TableMaintenanceReport,
+                                  kind: str, exc: BaseException) -> None:
+        report.errors.append(f"{kind}: {type(exc).__name__}: {exc}")
+        self.metrics.counter("maintenance.errors").inc()
+
+    def maintenance_due(self, now: Optional[int] = None,
+                        include_merge: bool = True) -> bool:
+        """Cheap work-selection probe for the scheduler: True when a
+        maintenance pass would (probably) do something - a queued or
+        due flush, an expirable tablet, or a mergeable run."""
+        if now is None:
+            now = self.clock.now()
+        with self.lock:
+            if self._flush_pending or self._pending_deletes:
+                return True
+            filling = list(self._filling.values())
+            tablets = self.descriptor.tablets
+        for memtable in filling:
+            if memtable.empty:
+                continue
+            if (memtable.size_bytes >= self.config.flush_size_bytes
+                    or memtable.age_micros(now)
+                    >= self.config.flush_age_micros):
+                return True
+        ttl = self.descriptor.ttl_micros
+        if ttl is not None:
+            cutoff = now - ttl
+            if any(t.max_ts < cutoff for t in tablets):
+                return True
+        if include_merge:
+            hot = [t for t in tablets if t.tier != "cold"]
+            if not is_quiescent(hot, now, self.name, self.config):
+                return True
+        return False
 
     # ------------------------------------------------------------ query
+
+    def _read_state(self) -> Tuple[int, List[TabletMeta], List[MemTable]]:
+        """One consistent (generation, tablets, memtables) snapshot.
+
+        A single brief state-lock hold; the tablet list is
+        copy-on-write so the returned binding never mutates, and
+        memtables are safe for concurrent reads (a scan racing an
+        insert sees some, all, or none of it, §3.1).
+        """
+        with self.lock:
+            return (self.descriptor.generation,
+                    self.descriptor.tablets,
+                    [m for m in self._unflushed.values() if not m.empty])
 
     def scan(self, query: Query) -> Iterator[Tuple[Any, ...]]:
         """Stream rows for a query without the server row limit.
@@ -832,24 +1156,34 @@ class Table:
         Accounting still accumulates into :attr:`counters`.
         """
         stats = QueryStats()
+        epoch = self._begin_read()
         try:
             yield from self._execute(query, stats)
         finally:
+            self._end_read(epoch)
             self._absorb_stats(stats)
 
     def query(self, query: Query) -> QueryResult:
-        """Execute one query command with the server row limit (§3.5)."""
+        """Execute one query command with the server row limit (§3.5).
+
+        Runs entirely off the table lock against a snapshot: an
+        in-flight merge, flush, or TTL reclaim never blocks it.
+        """
         stats = QueryStats()
         limit = self.config.server_row_limit
         if query.limit is not None:
             limit = min(limit, query.limit)
         rows: List[Tuple[Any, ...]] = []
         more_available = False
-        for row in self._execute(query, stats):
-            if len(rows) == limit:
-                more_available = True
-                break
-            rows.append(row)
+        epoch = self._begin_read()
+        try:
+            for row in self._execute(query, stats):
+                if len(rows) == limit:
+                    more_available = True
+                    break
+                rows.append(row)
+        finally:
+            self._end_read(epoch)
         self._absorb_stats(stats)
         self.counters.queries += 1
         self._m_queries.inc()
@@ -865,9 +1199,10 @@ class Table:
                  ) -> Iterator[Tuple[Any, ...]]:
         now = self.clock.now()
         descending = query.direction == DESCENDING
+        generation, tablets, memtables = self._read_state()
         sources: List[Iterator[Tuple[Any, ...]]] = []
-        selected, pruned = self._prune_index.select(
-            self.descriptor, query.time_range, query.key_range)
+        selected, pruned = self._prune_index.select_snapshot(
+            generation, tablets, query.time_range, query.key_range)
         if pruned:
             stats.tablets_pruned += pruned
             self._m_tablets_pruned.inc(pruned)
@@ -876,9 +1211,7 @@ class Table:
             sources.append(
                 self._tablet_rows_translated(meta, query.key_range, descending)
             )
-        for memtable in self._unflushed.values():
-            if memtable.empty:
-                continue
+        for memtable in memtables:
             if not query.time_range.overlaps(memtable.min_ts,
                                              memtable.max_ts):
                 continue
@@ -917,13 +1250,21 @@ class Table:
             lookback_cutoff = now - max_lookback_micros
             cutoff = lookback_cutoff if cutoff is None else max(
                 cutoff, lookback_cutoff)
+        # One atomic capture: generation + insert seq + sources.  The
+        # generation gates cached answers; the insert seq lets the
+        # store below detect that an insert overtook this scan.
+        with self.lock:
+            generation = self._cache_generation
+            insert_seq = self._insert_seq
+            tablets = self.descriptor.tablets
+            memtables = [m for m in self._unflushed.values() if not m.empty]
         # Hot-row cache: the dashboard asks for the same devices'
         # newest rows over and over (§3.4.5).  A cached answer is the
         # table's *global* latest for the prefix, so the TTL/lookback
         # window is re-applied at lookup time; inserts covering the
         # prefix and all tablet-set mutations invalidate.
         cached = self._latest_cache.lookup(
-            prefix, self._cache_generation, cutoff, self.schema.ts_of)
+            prefix, generation, cutoff, self.schema.ts_of)
         if cached is not self._latest_cache.miss_sentinel:
             self.counters.queries += 1
             self.counters.rows_returned += 1 if cached is not None else 0
@@ -937,42 +1278,47 @@ class Table:
         key_range = KeyRange.prefix(prefix)
         stats = QueryStats()
         best: Optional[Tuple[Any, ...]] = None
-        for group in self._timespan_groups(key_range):
-            group_max = max(span_max for _src, _span_min, span_max in group)
-            if cutoff is not None and group_max < cutoff:
-                break
-            sources = []
-            for source, _span_min, _span_max in group:
-                if (encoded_prefix is not None
-                        and isinstance(source, TabletMeta)):
-                    reader = self._reader(source)
-                    probe = reader.may_contain_prefix(encoded_prefix)
-                    if probe is False:
-                        continue
-                if isinstance(source, TabletMeta):
-                    sources.append(self._tablet_rows_translated(
-                        source, key_range, descending=True))
-                else:
-                    sources.append(self._memtable_rows_translated(
-                        source, key_range, descending=True))
-            if not sources:
-                continue
-            merged = execute_query(
-                sources, self.schema,
-                Query(key_range, TimeRange.all(), DESCENDING),
-                now, self.descriptor.ttl_micros, stats,
-            )
-            for row in merged:
-                ts = self.schema.ts_of(row)
-                if cutoff is not None and ts < cutoff:
-                    continue
-                if full_prefix:
-                    best = row
+        epoch = self._begin_read()
+        try:
+            for group in self._timespan_groups(tablets, memtables, key_range):
+                group_max = max(
+                    span_max for _src, _span_min, span_max in group)
+                if cutoff is not None and group_max < cutoff:
                     break
-                if best is None or ts > self.schema.ts_of(best):
-                    best = row
-            if best is not None:
-                break
+                sources = []
+                for source, _span_min, _span_max in group:
+                    if (encoded_prefix is not None
+                            and isinstance(source, TabletMeta)):
+                        reader = self._reader(source)
+                        probe = reader.may_contain_prefix(encoded_prefix)
+                        if probe is False:
+                            continue
+                    if isinstance(source, TabletMeta):
+                        sources.append(self._tablet_rows_translated(
+                            source, key_range, descending=True))
+                    else:
+                        sources.append(self._memtable_rows_translated(
+                            source, key_range, descending=True))
+                if not sources:
+                    continue
+                merged = execute_query(
+                    sources, self.schema,
+                    Query(key_range, TimeRange.all(), DESCENDING),
+                    now, self.descriptor.ttl_micros, stats,
+                )
+                for row in merged:
+                    ts = self.schema.ts_of(row)
+                    if cutoff is not None and ts < cutoff:
+                        continue
+                    if full_prefix:
+                        best = row
+                        break
+                    if best is None or ts > self.schema.ts_of(best):
+                        best = row
+                if best is not None:
+                    break
+        finally:
+            self._end_read(epoch)
         # A latest-row query returns at most one row to the client no
         # matter how many rows it scanned - this asymmetry is exactly
         # what produces Figure 9's long tail (§5.2.4).
@@ -982,15 +1328,26 @@ class Table:
         self._m_queries.inc()
         self._m_rows_scanned.inc(stats.rows_scanned)
         self._m_rows_returned.inc(1 if best is not None else 0)
-        self._latest_cache.store(prefix, self._cache_generation, best, cutoff)
+        with self.lock:
+            # Store only if no insert or mutation overtook the scan:
+            # an insert racing this lookup may have added a newer row
+            # for the prefix that the snapshot cannot see, and the
+            # insert's invalidate_key fired before this store.
+            if (self._insert_seq == insert_seq
+                    and self._cache_generation == generation):
+                self._latest_cache.store(prefix, generation, best, cutoff)
         return best
 
-    def _timespan_groups(self, key_range: Optional[KeyRange] = None):
+    def _timespan_groups(self, tablets: Sequence[TabletMeta],
+                         memtables: Sequence[MemTable],
+                         key_range: Optional[KeyRange] = None):
         """Sources grouped by overlapping timespans, newest first.
 
-        Each group is a list of (source, span_min, span_max) where the
-        source is a TabletMeta or a MemTable.  Groups are maximal runs
-        of sources whose timespans form a connected interval chain.
+        Operates on a caller-provided snapshot of tablets/memtables so
+        it never touches mutable table state.  Each group is a list of
+        (source, span_min, span_max) where the source is a TabletMeta
+        or a MemTable.  Groups are maximal runs of sources whose
+        timespans form a connected interval chain.
 
         ``key_range`` optionally drops tablets whose key-range zone map
         proves they cannot hold a qualifying row; removing sources only
@@ -999,14 +1356,14 @@ class Table:
         """
         spans = []
         pruned = 0
-        for meta in self.descriptor.tablets:
+        for meta in tablets:
             if key_range is not None and _zone_map_excludes(meta, key_range):
                 pruned += 1
                 continue
             spans.append((meta, meta.min_ts, meta.max_ts))
         if pruned:
             self._m_tablets_pruned.inc(pruned)
-        for memtable in self._unflushed.values():
+        for memtable in memtables:
             if not memtable.empty:
                 spans.append((memtable, memtable.min_ts, memtable.max_ts))
         spans.sort(key=lambda item: item[1])
@@ -1041,25 +1398,35 @@ class Table:
         """§3.5: alter the table's TTL."""
         if ttl_micros is not None and ttl_micros <= 0:
             raise SchemaError("TTL must be positive (or None to disable)")
-        self.descriptor.ttl_micros = ttl_micros
-        self.descriptor.save(self.disk)
+        with self._maintenance_lock:
+            with self.lock:
+                self.descriptor.ttl_micros = ttl_micros
+                self.descriptor.save(self.disk)
 
     def _apply_schema(self, schema: Schema) -> None:
-        # Retire filling memtables so new inserts use the new schema;
-        # flushed tablets keep their old schema and translate on read.
-        for memtable in list(self._filling.values()):
-            if memtable.empty:
-                bin_key = (memtable.period.start, int(memtable.period.level))
-                del self._filling[bin_key]
-                del self._unflushed[memtable.memtable_id]
-            else:
-                self._retire_memtable(memtable)
-        self.descriptor.schema = schema
-        self._row_codec = RowCodec(schema)
-        self.descriptor.save(self.disk)
-        # Cached blocks hold rows decoded at each tablet's own schema
-        # (translated downstream), but a schema change is rare enough
-        # to drop the table's read-cache entries wholesale and orphan
-        # every cached latest() answer.
-        self._read_cache.invalidate_tablets(self._tablet_uids.values())
-        self._bump_cache_generation()
+        # DDL is a tablet-set mutator: it serializes with flush/merge
+        # through the maintenance lock and swaps state briefly.
+        with self._maintenance_lock:
+            with self.lock:
+                # Retire filling memtables so new inserts use the new
+                # schema; flushed tablets keep their old schema and
+                # translate on read.
+                for memtable in list(self._filling.values()):
+                    if memtable.empty:
+                        bin_key = (memtable.period.start,
+                                   int(memtable.period.level))
+                        del self._filling[bin_key]
+                        del self._unflushed[memtable.memtable_id]
+                    else:
+                        self._retire_memtable(memtable)
+                self.descriptor.schema = schema
+                self._row_codec = RowCodec(schema)
+                self.descriptor.save(self.disk)
+                # Cached blocks hold rows decoded at each tablet's own
+                # schema (translated downstream), but a schema change
+                # is rare enough to drop the table's read-cache entries
+                # wholesale and orphan every cached latest() answer.
+                with self._reader_lock:
+                    uids = list(self._tablet_uids.values())
+                self._bump_cache_generation()
+            self._read_cache.invalidate_tablets(uids)

@@ -123,6 +123,40 @@ def cache_summary(snapshot: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
+def maintenance_summary(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """The background-maintenance corner of a snapshot.
+
+    What an operator needs to judge the non-blocking engine: is the
+    scheduler keeping up (queue depth, ticks, per-table runs), are
+    swaps actually brief (``swap_lock_hold_us`` percentiles - this is
+    the *only* time maintenance holds the state lock), is the writer
+    being stalled (backpressure), and is deferred file reclamation
+    draining (``deferred_deletes``).
+    """
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    swap = histograms.get("maintenance.swap_lock_hold_us", {})
+    stall_wait = histograms.get("insert.backpressure_wait_us", {})
+    return {
+        "queue_depth": gauges.get("maintenance.queue_depth", 0),
+        "ticks": counters.get("maintenance.ticks", 0),
+        "table_runs": counters.get("maintenance.table_runs", 0),
+        "errors": counters.get("maintenance.errors", 0),
+        "deferred_deletes": counters.get("maintenance.deferred_deletes", 0),
+        "swap_lock_hold_us": {
+            "count": swap.get("count", 0),
+            "p50": swap.get("p50"),
+            "p99": swap.get("p99"),
+            "max": swap.get("max"),
+        },
+        "backpressure": {
+            "stalls": counters.get("insert.backpressure_stalls", 0),
+            "wait_p99_us": stall_wait.get("p99"),
+        },
+    }
+
+
 def render_metrics_page(page: Dict[str, Any]) -> str:
     """Render :func:`metrics_page` output as text (CLI and logs)."""
     lines: List[str] = ["== engine metrics =="]
@@ -145,6 +179,25 @@ def render_metrics_page(page: Dict[str, Any]) -> str:
         f"invalidations={cache['invalidations']}, "
         f"generation_bumps={cache['generation_bumps']}, "
         f"tablets_pruned={cache['tablets_pruned']}")
+    upkeep = maintenance_summary(page.get("metrics", {}))
+    lines.append("")
+    lines.append("== maintenance ==")
+    lines.append(
+        f"queue_depth={upkeep['queue_depth']}, ticks={upkeep['ticks']}, "
+        f"table_runs={upkeep['table_runs']}, errors={upkeep['errors']}, "
+        f"deferred_deletes={upkeep['deferred_deletes']}")
+    swap = upkeep["swap_lock_hold_us"]
+
+    def us(value) -> str:
+        return "n/a" if value is None else f"{value:.0f}us"
+
+    lines.append(
+        f"swap_lock_hold: count={swap['count']}, p50={us(swap['p50'])}, "
+        f"p99={us(swap['p99'])}, max={us(swap['max'])}")
+    stalls = upkeep["backpressure"]
+    lines.append(
+        f"backpressure: stalls={stalls['stalls']}, "
+        f"wait_p99={us(stalls['wait_p99_us'])}")
     tables = page.get("tables", {})
     if tables:
         lines.append("")

@@ -6,9 +6,12 @@ instance and serves the adaptor protocol: table listing, schema
 download, batched inserts, bounding-box queries with the server row
 limit and more-available flag (§3.5), and latest-row lookups.
 
-Inserts to a table are serialized through the table's lock; queries run
-against immutable tablet state plus memtable snapshots, matching the
-paper's small-lock design (§3.4.4).  Queries concurrent with an insert
+Tables do their own locking (the paper's small-lock design, §3.4.4):
+inserts serialize through each table's state lock, queries snapshot
+the copy-on-write tablet list and run off-lock, and background
+maintenance - driven by a :class:`~repro.core.scheduler.MaintenanceScheduler`
+under a :class:`~repro.core.maintenance.MaintenancePolicy` - builds new
+tablets outside the lock entirely.  Queries concurrent with an insert
 may see some, all, or none of its rows (§3.1).
 """
 
@@ -18,11 +21,14 @@ import socket
 import socketserver
 import threading
 import time
+import warnings
 from typing import Any, Dict, Optional
 
 from ..core.database import LittleTable
 from ..core.errors import LittleTableError
+from ..core.maintenance import MaintenancePolicy, MaintenanceReport
 from ..core.row import ASCENDING, DESCENDING, KeyRange, Query, TimeRange
+from ..core.scheduler import MaintenanceScheduler
 from ..core.schema import Schema
 from . import protocol
 
@@ -62,7 +68,8 @@ class LittleTableServer:
 
     def __init__(self, db: LittleTable, host: str = "127.0.0.1",
                  port: int = 0,
-                 maintenance_interval_s: Optional[float] = None):
+                 maintenance_interval_s: Optional[float] = None,
+                 policy: Optional[MaintenancePolicy] = None):
         self.db = db
         self._tcp = _ThreadingServer((host, port), _Handler)
         self._tcp.littletable = self  # type: ignore[attr-defined]
@@ -71,10 +78,20 @@ class LittleTableServer:
         self._connections_lock = threading.Lock()
         # Optional background maintenance (flush by age, merges, TTL),
         # the server-side counterpart of the paper's background
-        # threads.  Per-table locks serialize it with client commands.
+        # threads, run by the shared MaintenanceScheduler.  The bare
+        # ``maintenance_interval_s`` float is deprecated: pass a
+        # ``policy=MaintenancePolicy(tick_interval_s=...)`` instead.
+        if maintenance_interval_s is not None:
+            warnings.warn(
+                "maintenance_interval_s is deprecated; pass "
+                "policy=MaintenancePolicy(tick_interval_s=...) instead",
+                DeprecationWarning, stacklevel=2)
+            if policy is None:
+                policy = MaintenancePolicy.from_interval(
+                    maintenance_interval_s)
+        self.policy = policy
         self.maintenance_interval_s = maintenance_interval_s
-        self._maintenance_thread: Optional[threading.Thread] = None
-        self._maintenance_stop = threading.Event()
+        self._scheduler: Optional[MaintenanceScheduler] = None
         # Server-side observability lives in the database's registry,
         # so one STATS snapshot covers engine and network together.
         self.metrics = db.metrics
@@ -82,21 +99,14 @@ class LittleTableServer:
         self._m_errors = self.metrics.counter("server.errors")
         self._m_connections = self.metrics.gauge("server.active_connections")
 
-    def run_maintenance(self) -> Dict[str, Dict[str, int]]:
-        """One maintenance tick over every table, under its lock."""
-        work: Dict[str, Dict[str, int]] = {}
-        for name in self.db.table_names():
-            table = self.db.table(name)
-            with table.lock:
-                work[name] = table.maintenance()
-        return work
+    def run_maintenance(self) -> MaintenanceReport:
+        """One synchronous maintenance pass over every table.
 
-    def _maintenance_loop(self) -> None:
-        while not self._maintenance_stop.wait(self.maintenance_interval_s):
-            try:
-                self.run_maintenance()
-            except Exception:  # pragma: no cover - keep the loop alive
-                pass
+        Tables lock themselves; the returned
+        :class:`~repro.core.maintenance.MaintenanceReport` keeps the
+        deprecated mapping shape readable (``work["t"]["flushed"]``).
+        """
+        return self.db.maintenance()
 
     def _register_connection(self, sock: socket.socket) -> None:
         with self._connections_lock:
@@ -119,19 +129,16 @@ class LittleTableServer:
             target=self._tcp.serve_forever, kwargs={"poll_interval": 0.05},
             daemon=True)
         self._thread.start()
-        if self.maintenance_interval_s is not None:
-            self._maintenance_stop.clear()
-            self._maintenance_thread = threading.Thread(
-                target=self._maintenance_loop, daemon=True)
-            self._maintenance_thread.start()
+        if self.policy is not None:
+            if self._scheduler is None:
+                self._scheduler = MaintenanceScheduler(self.db, self.policy)
+            self._scheduler.start()
 
     def stop(self) -> None:
         """Stop serving and drop all connections (looks like a crash
         to clients: their persistent connection breaks, §3.1)."""
-        self._maintenance_stop.set()
-        if self._maintenance_thread is not None:
-            self._maintenance_thread.join(timeout=5)
-            self._maintenance_thread = None
+        if self._scheduler is not None:
+            self._scheduler.stop()
         self._tcp.shutdown()
         self._tcp.server_close()
         with self._connections_lock:
@@ -221,20 +228,18 @@ class LittleTableServer:
     def _cmd_insert(self, request: Dict[str, Any]) -> Dict[str, Any]:
         table = self.db.table(request["table"])
         rows = [protocol.decode_row(row) for row in request["rows"]]
-        with table.lock:
-            if request.get("dicts"):
-                inserted = table.insert(
-                    [dict(zip(request["columns"], row)) for row in rows])
-            else:
-                inserted = table.insert_tuples(rows)
+        if request.get("dicts"):
+            inserted = table.insert(
+                [dict(zip(request["columns"], row)) for row in rows])
+        else:
+            inserted = table.insert_tuples(rows)
         return protocol.ok_response(inserted=inserted)
 
     def _cmd_query(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        # The query materializes under the table lock: merges and TTL
-        # reclaim delete tablet files, and a scan racing one would read
-        # a vanished file.  Commands are short (the server row limit
-        # bounds them), so this per-table serialization costs little
-        # and makes the threaded server linearizable per table.
+        # Queries run off-lock against a copy-on-write snapshot; a
+        # concurrent merge or TTL reclaim defers its file deletions
+        # until the scan's read epoch drains, so an active merge never
+        # blocks this command (§3.4.4).
         table = self.db.table(request["table"])
         key_range = KeyRange(
             min_prefix=protocol.decode_key(request.get("key_min")),
@@ -251,8 +256,7 @@ class LittleTableServer:
         direction = (DESCENDING if request.get("descending") else ASCENDING)
         query = Query(key_range, time_range, direction,
                       request.get("limit"))
-        with table.lock:
-            result = table.query(query)
+        result = table.query(query)
         return protocol.ok_response(
             rows=[protocol.encode_row(row) for row in result.rows],
             more_available=result.more_available,
@@ -261,17 +265,16 @@ class LittleTableServer:
 
     def _cmd_latest(self, request: Dict[str, Any]) -> Dict[str, Any]:
         table = self.db.table(request["table"])
-        with table.lock:
-            row = table.latest(
-                protocol.decode_key(request["prefix"]) or (),
-                max_lookback_micros=request.get("max_lookback_micros"),
-            )
+        row = table.latest(
+            protocol.decode_key(request["prefix"]) or (),
+            max_lookback_micros=request.get("max_lookback_micros"),
+        )
         return protocol.ok_response(
             row=None if row is None else protocol.encode_row(row))
 
     def _cmd_maintenance(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        """One background tick over every table, under its lock."""
-        return protocol.ok_response(work=self.run_maintenance())
+        """One synchronous maintenance pass over every table."""
+        return protocol.ok_response(work=self.run_maintenance().as_dict())
 
     def _cmd_stats(self, request: Dict[str, Any]) -> Dict[str, Any]:
         """The observability surface: one registry snapshot.
@@ -292,19 +295,17 @@ class LittleTableServer:
         """The §4.1.2 proposed flush command: force rows to disk."""
         table = self.db.table(request["table"])
         before_ts = request.get("before_ts")
-        with table.lock:
-            if before_ts is None:
-                written = table.flush_all()
-            else:
-                written = table.flush_before(before_ts)
+        if before_ts is None:
+            written = table.flush_all()
+        else:
+            written = table.flush_before(before_ts)
         return protocol.ok_response(tablets_written=len(written))
 
     def _cmd_bulk_delete(self, request: Dict[str, Any]) -> Dict[str, Any]:
         """The §7 compliance bulk delete, by key prefix."""
         table = self.db.table(request["table"])
         prefix = protocol.decode_key(request["prefix"]) or ()
-        with table.lock:
-            removed = table.bulk_delete(prefix)
+        removed = table.bulk_delete(prefix)
         return protocol.ok_response(rows_removed=removed)
 
     def _cmd_alter(self, request: Dict[str, Any]) -> Dict[str, Any]:
@@ -315,20 +316,19 @@ class LittleTableServer:
 
         table = self.db.table(request["table"])
         action = request.get("action")
-        with table.lock:
-            if action == "add_column":
-                spec = request["column"]
-                default = spec.get("default")
-                if isinstance(default, dict) and "b64" in default:
-                    default = base64.b64decode(default["b64"])
-                table.append_column(Column(
-                    spec["name"], ColumnType(spec["type"]), default))
-            elif action == "widen_column":
-                table.widen_column(request["column_name"])
-            elif action == "set_ttl":
-                table.set_ttl(request.get("ttl_micros"))
-            else:
-                return protocol.error_response(
-                    "ProtocolViolationError",
-                    f"unknown alter action {action!r}")
+        if action == "add_column":
+            spec = request["column"]
+            default = spec.get("default")
+            if isinstance(default, dict) and "b64" in default:
+                default = base64.b64decode(default["b64"])
+            table.append_column(Column(
+                spec["name"], ColumnType(spec["type"]), default))
+        elif action == "widen_column":
+            table.widen_column(request["column_name"])
+        elif action == "set_ttl":
+            table.set_ttl(request.get("ttl_micros"))
+        else:
+            return protocol.error_response(
+                "ProtocolViolationError",
+                f"unknown alter action {action!r}")
         return protocol.ok_response()

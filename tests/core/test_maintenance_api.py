@@ -1,0 +1,368 @@
+"""The unified maintenance API: policy, typed reports, scheduler.
+
+Covers the api_redesign satellites: MaintenancePolicy validation and
+the deprecated ``maintenance_interval_s`` alias, the typed
+MaintenanceReport / TableMaintenanceReport returns (with dict compat),
+quiescence covering every work kind, scheduler lifecycle, insert
+backpressure, and per-table crash isolation.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import (EngineConfig, LittleTable, LockOrderChecker,
+                        LockOrderError, MaintenancePolicy, MaintenanceReport,
+                        MaintenanceScheduler, Query, TableMaintenanceReport,
+                        instrument_table_locks, pending_merge_runs)
+from repro.disk import SimulatedDisk
+from repro.net.server import LittleTableServer
+from repro.util.clock import MICROS_PER_DAY
+
+from ..conftest import usage_schema
+
+
+def row(device, ts, value=0):
+    return {"network": 1, "device": device, "ts": ts, "bytes": value,
+            "rate": 0.0}
+
+
+def make_flush_due(table, clock, devices=50):
+    """Insert a small batch and age it past the flush-age threshold."""
+    table.insert([row(d, clock.now()) for d in range(devices)])
+    clock.advance_seconds(11 * 60)
+
+
+# Enough rows to exceed small_config's 16 KiB flush size (~20 B/row),
+# retiring the memtable into the flush-pending queue synchronously.
+RETIRE_ROWS = 1200
+
+
+class TestMaintenancePolicy:
+    def test_defaults_validate(self):
+        MaintenancePolicy().validate()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"tick_interval_s": 0},
+        {"tick_interval_s": -1},
+        {"workers": 0},
+        {"max_flush_pending": 0},
+        {"backpressure_wait_s": -0.1},
+        {"merge_budget_per_tick": -1},
+    ])
+    def test_bad_settings_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            MaintenancePolicy(**kwargs).validate()
+
+    def test_none_flush_pending_disables_backpressure(self):
+        MaintenancePolicy(max_flush_pending=None).validate()
+
+    def test_from_interval_adapts_deprecated_kwarg(self):
+        policy = MaintenancePolicy.from_interval(0.25)
+        assert policy.tick_interval_s == 0.25
+
+    def test_database_accepts_policy(self, clock, small_config):
+        policy = MaintenancePolicy(tick_interval_s=0.5, workers=2)
+        db = LittleTable(disk=SimulatedDisk(), config=small_config,
+                        clock=clock, maintenance_policy=policy)
+        assert db.maintenance_policy is policy
+
+    def test_server_interval_kwarg_deprecated(self, db):
+        with pytest.warns(DeprecationWarning):
+            server = LittleTableServer(db, maintenance_interval_s=0.5)
+        assert server.policy is not None
+        assert server.policy.tick_interval_s == 0.5
+
+    def test_server_policy_kwarg_no_warning(self, db, recwarn):
+        server = LittleTableServer(
+            db, policy=MaintenancePolicy(tick_interval_s=0.5))
+        assert server.policy.tick_interval_s == 0.5
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]
+
+
+class TestReports:
+    def test_table_report_dict_compat(self):
+        report = TableMaintenanceReport(table="t", flushed=2, merged=1)
+        assert report["flushed"] == 2
+        assert report["merged"] == 1
+        assert report.get("expired") == 0
+        assert report.get("nope", "dflt") == "dflt"
+        with pytest.raises(KeyError):
+            report["nope"]
+        assert set(report.keys()) == {"flushed", "merged", "expired",
+                                      "errors"}
+        assert report.as_dict() == {"flushed": 2, "merged": 1,
+                                    "expired": 0, "errors": []}
+
+    def test_did_work_counts_errors(self):
+        assert not TableMaintenanceReport(table="t").did_work
+        assert TableMaintenanceReport(table="t", expired=1).did_work
+        assert TableMaintenanceReport(table="t", errors=["boom"]).did_work
+
+    def test_database_report_aggregates(self):
+        report = MaintenanceReport()
+        report.add(TableMaintenanceReport(table="a", flushed=1))
+        report.add(TableMaintenanceReport(table="b", merged=2,
+                                          errors=["x"]))
+        report.add(TableMaintenanceReport(table="a", flushed=3))
+        assert report.flushed == 4
+        assert report.merged == 2
+        assert report.errors == ["b: x"]
+        totals = report.totals()
+        assert (totals.flushed, totals.merged) == (4, 2)
+        assert not report.is_quiet
+        assert MaintenanceReport().is_quiet
+
+    def test_database_report_mapping_compat(self):
+        report = MaintenanceReport()
+        report.add(TableMaintenanceReport(table="usage", flushed=1))
+        # The exact pre-redesign idiom:
+        assert sum(w["flushed"] for w in report.values()) == 1
+        assert "usage" in report
+        assert list(report) == ["usage"]
+        assert len(report) == 1
+        assert report["usage"]["flushed"] == 1
+        assert report.as_dict() == {
+            "usage": {"flushed": 1, "merged": 0, "expired": 0,
+                      "errors": []}}
+
+    def test_table_maintenance_returns_typed_report(self, usage_table,
+                                                    clock):
+        make_flush_due(usage_table, clock)
+        report = usage_table.maintenance()
+        assert isinstance(report, TableMaintenanceReport)
+        assert report.table == "usage"
+        assert report.flushed >= 1
+
+    def test_database_maintenance_returns_typed_report(self, db, clock):
+        table = db.create_table("usage", usage_schema())
+        make_flush_due(table, clock)
+        report = db.maintenance()
+        assert isinstance(report, MaintenanceReport)
+        assert report["usage"].flushed >= 1
+
+
+class TestQuiescence:
+    def test_until_quiet_covers_ttl_expiry(self, db, clock):
+        """TTL-only work must keep the loop going (the old check
+        ignored ``expired`` and declared quiet a round early)."""
+        table = db.create_table("usage", usage_schema(),
+                                ttl_micros=MICROS_PER_DAY)
+        table.insert([row(d, clock.now()) for d in range(10)])
+        table.flush_all()
+        clock.advance_seconds(3 * 24 * 3600)
+        # The only remaining work is expiry.
+        rounds = db.maintenance_until_quiet()
+        assert rounds >= 1
+        assert table.on_disk_tablets == []
+
+    def test_until_quiet_returns_zero_when_quiet(self, db):
+        db.create_table("usage", usage_schema())
+        assert db.maintenance_until_quiet() == 0
+
+
+class TestCrashIsolation:
+    def test_failing_merge_does_not_stop_flush_or_ttl(self, usage_table,
+                                                      clock, monkeypatch):
+        make_flush_due(usage_table, clock)
+
+        def boom():
+            raise RuntimeError("merge exploded")
+
+        monkeypatch.setattr(usage_table, "maybe_merge", boom)
+        report = usage_table.maintenance()
+        assert report.flushed >= 1
+        assert any("merge exploded" in e for e in report.errors)
+        counters = usage_table.metrics.snapshot()["counters"]
+        assert counters.get("maintenance.errors", 0) >= 1
+
+    def test_failing_table_does_not_stop_database_pass(self, db, clock,
+                                                       monkeypatch):
+        bad = db.create_table("bad", usage_schema())
+        good = db.create_table("good", usage_schema())
+        make_flush_due(good, clock)
+
+        def boom(**kwargs):
+            raise RuntimeError("table exploded")
+
+        monkeypatch.setattr(bad, "maintenance", boom)
+        report = db.maintenance()
+        assert report["good"].flushed >= 1
+        assert any("table exploded" in e for e in report.errors)
+
+
+class TestScheduler:
+    def test_tick_enqueues_only_due_tables(self, db, clock):
+        idle = db.create_table("idle", usage_schema())
+        busy = db.create_table("busy", usage_schema())
+        busy.insert([row(d, clock.now()) for d in range(RETIRE_ROWS)])
+        scheduler = MaintenanceScheduler(db, MaintenancePolicy())
+        assert busy.maintenance_due()
+        assert not idle.maintenance_due()
+        assert scheduler.tick() == 1
+
+    def test_tick_arms_backpressure_from_policy(self, db, clock):
+        table = db.create_table("usage", usage_schema())
+        policy = MaintenancePolicy(max_flush_pending=3,
+                                   backpressure_wait_s=0.01)
+        scheduler = MaintenanceScheduler(db, policy)
+        scheduler.tick()
+        assert table._backpressure_limit == 3
+
+    def test_start_stop_runs_work_and_disarms(self, clock, small_config):
+        db = LittleTable(
+            disk=SimulatedDisk(), config=small_config, clock=clock,
+            maintenance_policy=MaintenancePolicy(tick_interval_s=0.01,
+                                                 workers=2))
+        table = db.create_table("usage", usage_schema())
+        table.insert([row(d, clock.now()) for d in range(RETIRE_ROWS)])
+        scheduler = db.start_maintenance()
+        assert scheduler.running
+        deadline = time.monotonic() + 5
+        while (not table.on_disk_tablets
+               and time.monotonic() < deadline):
+            time.sleep(0.005)
+        db.stop_maintenance()
+        assert not scheduler.running
+        assert table.on_disk_tablets  # the pool flushed it
+        assert table._backpressure_limit is None  # disarmed on stop
+        assert scheduler.lifetime_report().flushed >= 1
+
+    def test_scheduler_survives_dropped_table(self, db, clock):
+        table = db.create_table("doomed", usage_schema())
+        table.insert([row(d, clock.now()) for d in range(RETIRE_ROWS)])
+        scheduler = MaintenanceScheduler(db, MaintenancePolicy())
+        assert scheduler.tick() == 1
+        db.drop_table("doomed")
+        # The queued name now points at nothing; the worker must skip.
+        scheduler._run_table("doomed")
+        assert scheduler.lifetime_report().is_quiet
+
+    def test_run_once_accumulates(self, db, clock):
+        table = db.create_table("usage", usage_schema())
+        table.insert([row(d, clock.now()) for d in range(RETIRE_ROWS)])
+        scheduler = MaintenanceScheduler(db, MaintenancePolicy())
+        report = scheduler.run_once()
+        assert report.flushed >= 1
+        assert scheduler.lifetime_report().flushed >= 1
+
+    def test_queue_depth_gauge_published(self, db, clock):
+        table = db.create_table("usage", usage_schema())
+        table.insert([row(d, clock.now()) for d in range(RETIRE_ROWS)])
+        scheduler = MaintenanceScheduler(db, MaintenancePolicy())
+        scheduler.tick()
+        gauges = db.metrics.snapshot()["gauges"]
+        assert gauges.get("maintenance.queue_depth", 0) >= 1
+
+
+class TestBackpressure:
+    def test_insert_stalls_then_proceeds(self, usage_table, clock):
+        usage_table.set_flush_backpressure(1, wait_s=0.01)
+        # Pile up flush-pending memtables past the limit.
+        usage_table.insert([row(d, clock.now(), value=d)
+                            for d in range(RETIRE_ROWS)])
+        assert usage_table.flush_pending_count >= 1
+        started = time.monotonic()
+        usage_table.insert([row(5000, clock.now())])
+        elapsed = time.monotonic() - started
+        assert elapsed >= 0.005  # it waited (bounded)
+        counters = usage_table.metrics.snapshot()["counters"]
+        assert counters.get("insert.backpressure_stalls", 0) >= 1
+
+    def test_flush_wakes_stalled_insert(self, usage_table, clock):
+        usage_table.set_flush_backpressure(1, wait_s=10.0)
+        usage_table.insert([row(d, clock.now()) for d in range(RETIRE_ROWS)])
+        assert usage_table.flush_pending_count >= 1
+        done = threading.Event()
+
+        def stalled_insert():
+            usage_table.insert([row(2000, clock.now())])
+            done.set()
+
+        thread = threading.Thread(target=stalled_insert, daemon=True)
+        thread.start()
+        time.sleep(0.05)  # let it reach the wait
+        usage_table.flush_all()  # drains the queue, notifies
+        assert done.wait(timeout=5), "insert never woke after flush"
+        thread.join(timeout=5)
+
+    def test_disarm_wakes_stalled_insert(self, usage_table, clock):
+        usage_table.set_flush_backpressure(1, wait_s=10.0)
+        usage_table.insert([row(d, clock.now()) for d in range(RETIRE_ROWS)])
+        done = threading.Event()
+
+        def stalled_insert():
+            usage_table.insert([row(2000, clock.now())])
+            done.set()
+
+        thread = threading.Thread(target=stalled_insert, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        usage_table.set_flush_backpressure(None)
+        assert done.wait(timeout=5), "insert never woke after disarm"
+        thread.join(timeout=5)
+
+
+class TestLockOrderChecker:
+    def test_wrong_order_raises(self):
+        checker = LockOrderChecker()
+        low = checker.wrap(threading.RLock(), "maintenance", 10)
+        high = checker.wrap(threading.RLock(), "state", 20)
+        with low, high:
+            pass  # documented order: fine
+        with pytest.raises(LockOrderError):
+            with high:
+                with low:
+                    pass
+        assert checker.violations
+
+    def test_reentrant_acquire_allowed(self):
+        checker = LockOrderChecker()
+        lock = checker.wrap(threading.RLock(), "state", 20)
+        with lock, lock:
+            pass
+        assert not checker.violations
+
+    def test_condition_wait_over_wrapped_lock(self):
+        checker = LockOrderChecker()
+        lock = checker.wrap(threading.RLock(), "state", 20)
+        cond = threading.Condition(lock)
+        with cond:
+            cond.wait(timeout=0.01)
+        assert not checker.violations
+
+    def test_instrumented_table_workload_is_clean(self, usage_table,
+                                                  clock):
+        checker = instrument_table_locks(usage_table, LockOrderChecker())
+        make_flush_due(usage_table, clock, devices=120)
+        usage_table.maintenance()
+        usage_table.query(Query())
+        usage_table.latest((1, 3))
+        usage_table.maintenance()
+        assert not checker.violations
+
+
+class TestPendingMergeRuns:
+    def test_counts_merge_debt(self, usage_table, clock):
+        for batch in range(6):
+            usage_table.insert([row(d, clock.now(), value=batch)
+                                for d in range(10)])
+            usage_table.flush_all()
+            clock.advance_seconds(60)
+        plans = pending_merge_runs(usage_table.on_disk_tablets,
+                                   clock.now(), usage_table.name,
+                                   usage_table.config)
+        assert plans  # six small adjacent tablets: debt exists
+        executed = 0
+        while usage_table.maybe_merge() is not None:
+            executed += 1
+        assert executed >= len(plans) or executed > 0
+
+    def test_quiescent_table_has_no_debt(self, usage_table, clock):
+        usage_table.insert([row(1, clock.now())])
+        usage_table.flush_all()
+        assert pending_merge_runs(usage_table.on_disk_tablets,
+                                  clock.now(), usage_table.name,
+                                  usage_table.config) == []
