@@ -39,13 +39,20 @@ def _build(bloom_filters):
     db, clock = make_bench_db(config)
     table = db.create_table("events", _schema())
     # Each tablet holds one hour for a disjoint set of devices: the
-    # target device's rows live only in the oldest tablet.
+    # target device's rows live only in the oldest tablet.  Every
+    # newer tablet also carries two sentinel devices (0 and 99999) so
+    # its min/max-key zone map spans the whole device range: range
+    # pruning cannot exclude it, and only the Bloom filter knows the
+    # target key is absent (membership vs range — the paper's point).
     for tablet in range(TABLETS):
         ts = BENCH_EPOCH + tablet * MICROS_PER_HOUR
         clock.set(ts)
         base_device = tablet * DEVICES_PER_TABLET
         rows = [(1, base_device + d, ts + d, tablet)
                 for d in range(DEVICES_PER_TABLET)]
+        if tablet > 0:
+            rows += [(1, 0, ts + 1000, tablet),
+                     (1, 99999, ts + 1000, tablet)]
         table.insert_tuples(rows)
         table.flush_all()
     clock.set(BENCH_EPOCH + TABLETS * MICROS_PER_HOUR)

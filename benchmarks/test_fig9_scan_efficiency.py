@@ -101,7 +101,10 @@ def test_scan_ratio_distribution(benchmark):
     # Most tables are efficient (the paper's 1.4 average / 3.3 at 80%).
     assert median <= 2.0
     assert cdf_at(ordered, 3.3) >= 0.6
-    # The latest-row tables form the long tail.
-    assert max(ordered) >= 20
+    # The latest-row tables form the long tail.  The exact maximum
+    # depends on how many rows land in the final block (format v2
+    # packs denser blocks than v1), so the floor is an order-of-
+    # magnitude check, not a byte-layout constant.
+    assert max(ordered) >= 10
     # Every ratio is at least 1 (you cannot return unscanned rows).
     assert min(ordered) >= 1.0

@@ -250,9 +250,11 @@ def stats_main(argv: list) -> int:
 
         with open_database(args.data) as db:
             page = metrics_page(db)
-    from .dashboard.metrics_view import cache_summary, maintenance_summary
+    from .dashboard.metrics_view import (cache_summary, codec_summary,
+                                         maintenance_summary)
 
     page["cache"] = cache_summary(page.get("metrics", {}))
+    page["codec"] = codec_summary(page.get("metrics", {}))
     page["maintenance"] = maintenance_summary(page.get("metrics", {}))
     if args.json:
         import json as _json

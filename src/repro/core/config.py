@@ -60,6 +60,13 @@ class EngineConfig:
     # Fraction of the containing period by which rollover merges are
     # delayed (scaled by a per-table pseudorandom value in [0, 1)).
     merge_rollover_delay_fraction: float = 1.0
+    # On-disk block format for newly written tablets.  2 (the default)
+    # writes column-major blocks with delta timestamps, prefix-
+    # compressed key strings, and restart points (core/codec.py);
+    # 1 writes the original row-at-a-time format.  Readers handle both
+    # regardless of this setting - the tablet footer records which
+    # format its blocks use - and merges rewrite v1 tablets as v2.
+    block_format_version: int = 2
     # Ablation switches (DESIGN.md §5).  time_partitioning=False bins
     # all rows into one giant period - the §3.4.2 "too few tablets"
     # failure mode.  merge_policy: "adjacent-half" is the paper's
@@ -86,6 +93,9 @@ class EngineConfig:
             raise ValueError("read_cache_bytes must be >= 0 (0 disables)")
         if self.latest_cache_entries < 0:
             raise ValueError("latest_cache_entries must be >= 0 (0 disables)")
+        if self.block_format_version not in (1, 2):
+            raise ValueError(
+                f"unknown block format version {self.block_format_version!r}")
 
 
 DEFAULT_CONFIG = EngineConfig()

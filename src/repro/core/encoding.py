@@ -54,12 +54,19 @@ def decode_value(column_type: ColumnType, buf: bytes, offset: int) -> Tuple[Any,
             return _DOUBLE.unpack_from(buf, offset)[0], end
         if column_type is ColumnType.STRING:
             length, pos = decode_uvarint(buf, offset)
+            # A negative length must never reach the slice below:
+            # Python would interpret it as an end-relative index and
+            # silently return the wrong bytes instead of failing.
+            if length < 0:
+                raise ValueError("negative string length")
             end = pos + length
             if end > len(buf):
                 raise ValueError("truncated string")
             return buf[pos:end].decode("utf-8"), end
         if column_type is ColumnType.BLOB:
             length, pos = decode_uvarint(buf, offset)
+            if length < 0:
+                raise ValueError("negative blob length")
             end = pos + length
             if end > len(buf):
                 raise ValueError("truncated blob")

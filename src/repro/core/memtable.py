@@ -10,10 +10,11 @@ another in-memory tablet to receive new rows."
 period, to keep tablets' timespans mostly disjoint when clients insert
 rows with timestamps other than "now".
 
-Each memtable remembers, alongside the row, its encoded form, so the
-flush path streams pre-encoded bytes straight into blocks and the size
-accounting matches on-disk bytes (the 16 MB flush threshold is about
-disk write efficiency, §3.3).
+Each memtable remembers, alongside the row, its encoded *size* (not the
+bytes): size accounting still matches on-disk v1 bytes (the 16 MB
+flush threshold is about disk write efficiency, §3.3), but rows are
+not serialized until flush, which batch-encodes whole sorted runs
+through the schema-compiled codec (``core/codec.py``).
 
 Concurrency: a memtable has no lock of its own.  Inserts are
 serialized by the owning table's state lock; scans may run off-lock
@@ -31,6 +32,7 @@ from __future__ import annotations
 from typing import Any, Iterator, List, Optional, Tuple
 
 from ..util.skiplist import SkipList
+from .codec import compiled_ops
 from .encoding import RowCodec
 from .periods import Period
 from .row import KeyRange
@@ -51,7 +53,8 @@ class MemTable:
         self.max_ts: Optional[int] = None
         self.first_insert_at: Optional[int] = None
         self.read_only = False
-        self._row_codec = row_codec or RowCodec(schema)
+        self._ops = compiled_ops(schema)
+        self._max_key: Optional[Tuple[Any, ...]] = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -62,18 +65,30 @@ class MemTable:
 
     def insert(self, row: Tuple[Any, ...], now: int) -> bool:
         """Add a validated row.  Returns False on duplicate key."""
+        ops = self._ops
+        return self.insert_sized(ops.key_of(row), row, ops.size_of(row),
+                                 now)
+
+    def insert_sized(self, key: Tuple[Any, ...], row: Tuple[Any, ...],
+                     size: int, now: int) -> bool:
+        """Fast-path insert: key and encoded size already computed.
+
+        The table's batch insert path validates and sizes each row once
+        through the compiled codec and hands the results straight here,
+        so nothing on the insert path walks the schema twice.
+        """
         if self.read_only:
             raise RuntimeError("insert into a read-only memtable")
-        key = self.schema.key_of(row)
-        encoded = self._row_codec.encode_row(row)
-        if not self.rows.insert(key, (row, encoded)):
+        if not self.rows.insert(key, (row, size)):
             return False
-        self.size_bytes += len(encoded)
-        ts = self.schema.ts_of(row)
+        self.size_bytes += size
+        ts = row[self.schema.ts_index]
         if self.min_ts is None or ts < self.min_ts:
             self.min_ts = ts
         if self.max_ts is None or ts > self.max_ts:
             self.max_ts = ts
+        if self._max_key is None or key > self._max_key:
+            self._max_key = key
         if self.first_insert_at is None:
             self.first_insert_at = now
         return True
@@ -95,17 +110,27 @@ class MemTable:
 
     def sorted_rows(self) -> Iterator[Tuple[Any, ...]]:
         """All rows in ascending key order (used by flush)."""
-        for _key, (row, _encoded) in self.rows.items():
+        for _key, (row, _size) in self.rows.items():
             yield row
 
     def sorted_encoded(self) -> Iterator[Tuple[Tuple[Any, ...], bytes]]:
-        """All (row, encoded) pairs in ascending key order."""
+        """All (row, v1-encoded bytes) pairs in ascending key order.
+
+        Encoding happens lazily here; the hot flush path uses
+        :meth:`sorted_sized` and batch-encodes whole blocks instead.
+        """
+        encode = self._ops.encode_row_v1
+        for _key, (row, _size) in self.rows.items():
+            yield row, encode(row)
+
+    def sorted_sized(self) -> Iterator[Tuple[Tuple[Any, ...], int]]:
+        """All (row, encoded size) pairs in ascending key order."""
         for _key, pair in self.rows.items():
             yield pair
 
     def last_key(self) -> Optional[Tuple[Any, ...]]:
-        """The largest key currently held, or None."""
-        return self.rows.last_key()
+        """The largest key currently held, or None (O(1))."""
+        return self._max_key
 
     def scan(self, key_range: KeyRange, descending: bool = False
              ) -> Iterator[Tuple[Any, ...]]:
@@ -121,7 +146,7 @@ class MemTable:
         else:
             source = self.rows.items_from(seek)
         if not descending:
-            for key, (row, _encoded) in source:
+            for key, (row, _size) in source:
                 if key_range.before_range(key):
                     continue
                 if key_range.after_range(key):
@@ -129,7 +154,7 @@ class MemTable:
                 yield row
             return
         matched: List[Tuple[Any, ...]] = []
-        for key, (row, _encoded) in source:
+        for key, (row, _size) in source:
             if key_range.before_range(key):
                 continue
             if key_range.after_range(key):

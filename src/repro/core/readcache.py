@@ -465,6 +465,13 @@ class LatestRowCache:
 
     def invalidate_key(self, key: Tuple[Any, ...]) -> None:
         """Drop entries whose prefix covers an inserted row's key."""
+        # Unlocked emptiness probe: this runs once per inserted row,
+        # and an insert-heavy table with no latest() traffic should
+        # not pay a lock round-trip per row.  A racing put() after the
+        # probe is benign - the entry it caches already reflects the
+        # row being inserted or loses to the insert's generation bump.
+        if not self._entries:
+            return
         with self._lock:
             if not self._entries:
                 return

@@ -45,6 +45,7 @@ the flushers to drain, observable via ``insert.backpressure_stalls``.
 
 from __future__ import annotations
 
+import bisect
 import threading
 import time
 from dataclasses import dataclass
@@ -54,6 +55,8 @@ from ..disk.vfs import SimulatedDisk
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import NULL_TRACER
 from ..util.clock import Clock
+from .block import decompress
+from .codec import BLOCK_FORMAT_V1, BLOCK_FORMAT_V2, SchemaCodec
 from .config import EngineConfig
 from .cursor import execute_query
 from .descriptor import TableDescriptor
@@ -69,7 +72,7 @@ from .readcache import (LatestRowCache, ReadCache, TabletPruneIndex,
                         _zone_map_excludes)
 from .row import ASCENDING, DESCENDING, KeyRange, Query, QueryStats, TimeRange
 from .schema import Column, Schema
-from .tablet import TabletMeta, TabletReader, TabletWriter
+from .tablet import TabletMeta, TabletReader, TabletSink, TabletWriter
 
 
 @dataclass
@@ -105,6 +108,56 @@ class TableCounters:
     merges: int = 0
     flushes: int = 0
     tablets_expired: int = 0
+
+
+class _MergeSource:
+    """Streaming cursor over one merge input tablet.
+
+    At any moment the source is either *decoded* - ``rows``/``keys``
+    hold the remainder of the current block, ``pos`` the read point -
+    or sitting at a *block boundary* (``rows is None``).  ``lo_bound``
+    is the last key already consumed, so every remaining key is known
+    to be strictly greater; that is what lets whole untouched blocks
+    from other sources pass through without being decoded.
+    """
+
+    __slots__ = ("reader", "entries", "index", "rows", "keys", "pos",
+                 "lo_bound", "_entry_last")
+
+    def __init__(self, reader: TabletReader):
+        self.reader = reader
+        self.entries = reader.block_entries()
+        self.index = 0
+        self.rows: Optional[List[Tuple[Any, ...]]] = None
+        self.keys: Optional[List[Tuple[Any, ...]]] = None
+        self.pos = 0
+        self.lo_bound: Optional[Tuple[Any, ...]] = None
+        self._entry_last: Optional[Tuple[Any, ...]] = None
+
+    @property
+    def exhausted(self) -> bool:
+        return self.rows is None and self.index >= len(self.entries)
+
+    def decode_next(self) -> None:
+        """Decode the block at the boundary and step past it."""
+        entry = self.entries[self.index]
+        payload = self.reader.read_block_payload(self.index)
+        self.rows, self.keys = self.reader.decode_payload(
+            self.index, payload)
+        self.pos = 0
+        self._entry_last = entry.last_key
+        self.index += 1
+
+    def skip_block(self) -> None:
+        """Step past the boundary block (it was passed through)."""
+        self.lo_bound = self.entries[self.index].last_key
+        self.index += 1
+
+    def finish_pending(self) -> None:
+        """Drop the fully-consumed decoded block."""
+        self.rows = None
+        self.keys = None
+        self.lo_bound = self._entry_last
 
 
 class Table:
@@ -154,6 +207,9 @@ class Table:
         self._h_swap_hold = m.histogram("maintenance.swap_lock_hold_us")
         self._m_deferred = m.counter("maintenance.deferred_deletes")
         self._row_codec = RowCodec(descriptor.schema)
+        # The schema-compiled batch codec: validates, sizes, keys, and
+        # block-encodes rows without per-value dispatch (core/codec.py).
+        self._codec = SchemaCodec(descriptor.schema, self.metrics)
         # Read-path caches: a database passes its shared block/footer
         # cache (one budget across all tables); a standalone table
         # builds a private one from its config.
@@ -429,30 +485,53 @@ class Table:
         with self.lock:
             self._wait_for_flush_capacity_locked()
             now = self.clock.now()
-            schema = self.schema
+            codec = self._codec
+            validate = codec.validate_and_size
+            key_of = codec.key_of
+            ts_index = self.schema.ts_index
+            flush_limit = self.config.flush_size_bytes
+            record_insert = self._deps.record_insert
+            invalidate_key = self._latest_cache.invalidate_key
+            max_ts_ever = self._max_ts_ever
             inserted = 0
+            # The filling memtable and its period window are carried
+            # across rows: period windows partition the timestamp axis
+            # for a fixed ``now`` (periods.py aligns every boundary), so
+            # ``cur_lo <= ts < cur_hi`` proves the row bins into the
+            # same memtable without re-deriving the period.
+            cur_mt: Optional[MemTable] = None
+            cur_lo = cur_hi = 0
             for row in rows:
-                row = schema.validate_row(row)
-                ts = schema.ts_of(row)
-                key = schema.key_of(row)
+                # One pass: the compiled codec validates, coerces, and
+                # returns the row's on-disk encoded size together.
+                row, size = validate(row)
+                ts = row[ts_index]
+                key = key_of(row)
                 if not self._key_is_unique(key, ts, now):
                     raise DuplicateKeyError(
                         f"duplicate primary key {key!r} in table "
                         f"{self.name!r}"
                     )
-                memtable = self._memtable_for(ts, now)
-                if not memtable.insert(row, now):
+                if cur_mt is None or ts < cur_lo or ts >= cur_hi:
+                    cur_mt = self._memtable_for(ts, now)
+                    cur_lo = cur_mt.period.start
+                    cur_hi = cur_mt.period.end
+                    record_insert(cur_mt.memtable_id)
+                if not cur_mt.insert_sized(key, row, size, now):
                     raise DuplicateKeyError(
                         f"duplicate primary key {key!r} in table "
                         f"{self.name!r}"
                     )
-                self._deps.record_insert(memtable.memtable_id)
-                self._latest_cache.invalidate_key(key)
-                if self._max_ts_ever is None or ts > self._max_ts_ever:
+                invalidate_key(key)
+                if max_ts_ever is None or ts > max_ts_ever:
+                    # Written through immediately: _key_is_unique's
+                    # fast path 1 reads it for the *next* row.
+                    max_ts_ever = ts
                     self._max_ts_ever = ts
                 inserted += 1
-                if memtable.size_bytes >= self.config.flush_size_bytes:
-                    self._retire_memtable(memtable)
+                if cur_mt.size_bytes >= flush_limit:
+                    self._retire_memtable(cur_mt)
+                    cur_mt = None
             self._insert_seq += 1
             self.counters.rows_inserted += inserted
             self._m_rows_inserted.inc(inserted)
@@ -588,17 +667,22 @@ class Table:
         for memtable in self._unflushed.values():
             if memtable.contains_key(key):
                 return True
-        encoded_prefix = self._row_codec.encode_key_columns(key)[:-1]
-        key_range = KeyRange.prefix(key)
-        for meta in self.descriptor.tablets:
-            if ts < meta.min_ts or ts > meta.max_ts:
-                continue
+        candidates = [meta for meta in self.descriptor.tablets
+                      if meta.min_ts <= ts <= meta.max_ts]
+        if not candidates:
+            return False
+        # Encode the bloom probe only once a tablet actually overlaps
+        # the row's timestamp (most point checks stop at the ts test).
+        encoded_prefix = None
+        if self.config.bloom_filters:
+            encoded_prefix = self._codec.encode_key_prefix(key[:-1])
+        for meta in candidates:
             reader = self._reader(meta)
-            if self.config.bloom_filters:
+            if encoded_prefix is not None:
                 probe = reader.may_contain_prefix(encoded_prefix)
                 if probe is False:
                     continue
-            for _row in reader.scan(key_range):
+            if reader.probe_key(key):
                 return True
         return False
 
@@ -696,11 +780,13 @@ class Table:
             self.disk, memtable.schema, self.config.block_size_bytes,
             self.config.compression,
             self.config.bloom_bits_per_row if self.config.bloom_filters else 0,
+            block_format=self.config.block_format_version,
+            metrics=self.metrics,
         )
         meta = writer.write(
             self.descriptor.tablet_filename(tablet_id), (),
             tablet_id, created_at=now, expected_rows=len(memtable),
-            encoded_pairs=memtable.sorted_encoded(),
+            sized_pairs=memtable.sorted_sized(),
         )
         if meta is not None:
             self.counters.bytes_flushed += meta.size_bytes
@@ -856,9 +942,13 @@ class Table:
             self._disk_for(meta), self.schema,
             self.config.block_size_bytes, self.config.compression,
             self.config.bloom_bits_per_row if self.config.bloom_filters else 0,
+            block_format=self.config.block_format_version,
+            metrics=self.metrics,
         )
         key_of = self.schema.key_of
-        if reader.schema.version == self.schema.version:
+        if (reader.schema.version == self.schema.version
+                and self.config.block_format_version == BLOCK_FORMAT_V1):
+            # v1 -> v1: raw encodings pass straight through.
             pairs = (
                 (row, encoded) for row, encoded in reader.scan_pairs()
                 if not key_range.contains(key_of(row))
@@ -929,34 +1019,60 @@ class Table:
 
         started = time.perf_counter()
         tablet_id = self.descriptor.allocate_tablet_id()
-        writer = TabletWriter(
-            self.disk, self.schema, self.config.block_size_bytes,
-            self.config.compression,
-            self.config.bloom_bits_per_row if self.config.bloom_filters else 0,
-        )
+        filename = self.descriptor.tablet_filename(tablet_id)
         readers = [self._reader(source) for source in plan.tablets]
         for reader in readers:
             reader.ensure_loaded()
-        if all(r.schema.version == self.schema.version for r in readers):
-            # Common case: every source is on the current schema, so
-            # rows pass straight through with their raw encodings.
+        same_schema = all(
+            r.schema.version == self.schema.version for r in readers)
+        have_zone_maps = all(
+            t.min_key is not None and t.max_key is not None
+            for t in plan.tablets)
+        if (same_schema
+                and self.config.block_format_version == BLOCK_FORMAT_V2
+                and have_zone_maps):
+            # Common case: block-at-a-time merge.  Non-overlapping v2
+            # source blocks are copied compressed-payload-verbatim;
+            # overlapping runs are batch-decoded and re-encoded whole
+            # blocks at a time; v1 sources come out upgraded to v2.
+            meta = self._merge_blockwise(plan, readers, filename,
+                                         tablet_id, now)
+        elif same_schema:
+            # v1 writer config: rows pass through with their raw v1
+            # encodings, as before the v2 format existed.
+            writer = TabletWriter(
+                self.disk, self.schema, self.config.block_size_bytes,
+                self.config.compression,
+                self.config.bloom_bits_per_row
+                if self.config.bloom_filters else 0,
+                block_format=self.config.block_format_version,
+                metrics=self.metrics,
+            )
             key_of = self.schema.key_of
             pairs = heapq.merge(*[r.scan_pairs() for r in readers],
                                 key=lambda pair: key_of(pair[0]))
             meta = writer.write(
-                self.descriptor.tablet_filename(tablet_id), (), tablet_id,
+                filename, (), tablet_id,
                 created_at=now, expected_rows=plan.total_rows,
                 encoded_pairs=pairs,
             )
         else:
             # Mixed schema versions: translating while merging also
             # upgrades old rows to the current schema (§3.5).
+            writer = TabletWriter(
+                self.disk, self.schema, self.config.block_size_bytes,
+                self.config.compression,
+                self.config.bloom_bits_per_row
+                if self.config.bloom_filters else 0,
+                block_format=self.config.block_format_version,
+                metrics=self.metrics,
+            )
             merged = self._merge_streams([
                 self._tablet_rows_translated(source)
                 for source in plan.tablets
             ])
             meta = writer.write(
-                self.descriptor.tablet_filename(tablet_id), merged,
+                filename, merged,
                 tablet_id, created_at=now, expected_rows=plan.total_rows,
             )
         merged_ids = {t.tablet_id for t in plan.tablets}
@@ -995,6 +1111,126 @@ class Table:
         m.counter(f"merge.count.{level}").inc()
         m.counter(f"merge.rows_rewritten.{level}").inc(rows_rewritten)
         m.histogram("merge.duration_us").observe(duration_us)
+
+    def _merge_blockwise(self, plan: MergePlan,
+                         readers: List[TabletReader], filename: str,
+                         tablet_id: int, now: int) -> Optional[TabletMeta]:
+        """Merge same-schema sources block-at-a-time into a v2 tablet.
+
+        Time-partitioned tablets rarely interleave, so most blocks'
+        key ranges are disjoint from every other source's remaining
+        keys; those are appended as raw compressed payloads without
+        decoding.  Only genuinely overlapping stretches are decoded -
+        whole blocks at a time through the compiled codec - and even
+        then rows are emitted in provably-least *runs* (bisect against
+        the other sources' frontier) rather than one heap pop per row.
+        v1 source blocks are always decoded, so the output upgrades
+        them to v2.
+        """
+        config = self.config
+        sink = TabletSink(
+            self.disk, self.schema, config.block_size_bytes,
+            config.compression,
+            config.bloom_bits_per_row if config.bloom_filters else 0,
+            block_format=BLOCK_FORMAT_V2,
+            metrics=self.metrics,
+            expected_rows=plan.total_rows,
+        )
+        # Every source row survives a merge, so the output's timespan
+        # and zone map are exactly the union of the sources' metadata;
+        # passthrough blocks never reveal their rows, so these cannot
+        # be tracked per-row.
+        sink.note_ts_bounds(min(t.min_ts for t in plan.tablets),
+                            max(t.max_ts for t in plan.tablets))
+        min_key = min(t.min_key for t in plan.tablets)
+        max_key = max(t.max_key for t in plan.tablets)
+        # Don't interleave passthrough blocks with tiny row-built
+        # fragments: require the pending block to be empty or at least
+        # a quarter full before sealing it early.
+        frag_floor = config.block_size_bytes // 4
+        upgraded = 0
+        sources = [_MergeSource(r) for r in readers]
+        while True:
+            sources = [s for s in sources if not s.exhausted]
+            if not sources:
+                break
+            # A block at some source's boundary whose keys all precede
+            # every other source's remaining keys can move as a unit.
+            best = best_entry = None
+            for s in sources:
+                if s.rows is not None:
+                    continue
+                entry = s.entries[s.index]
+                last = entry.last_key
+                ok = True
+                for t in sources:
+                    if t is s:
+                        continue
+                    if t.rows is not None:
+                        if t.keys[t.pos] <= last:
+                            ok = False
+                            break
+                    elif t.lo_bound is None or t.lo_bound < last:
+                        # t's remaining keys are only known to exceed
+                        # its lo_bound; that bound must cover ``last``.
+                        ok = False
+                        break
+                if ok and (best is None or last < best_entry.last_key):
+                    best, best_entry = s, entry
+            if best is not None:
+                reader = best.reader
+                if (reader.block_format == BLOCK_FORMAT_V2
+                        and reader.codec_byte == sink.codec
+                        and (sink.pending_bytes == 0
+                             or sink.pending_bytes >= frag_floor)):
+                    payload = reader.read_block_payload(best.index)
+                    sink.add_block_passthrough(
+                        payload, best_entry.row_count, best_entry.last_key)
+                    if sink.wants_bloom:
+                        raw = decompress(reader.codec_byte, payload)
+                        cols = reader.schema_codec.decode_key_columns(
+                            raw, include_ts=False)
+                        if cols:
+                            sink.add_bloom_prefixes(zip(*cols))
+                    best.skip_block()
+                else:
+                    # Right block, wrong format/codec/fill: take the
+                    # row path (decoding a v1 block here is what
+                    # upgrades it to v2 in the output).
+                    if reader.block_format == BLOCK_FORMAT_V1:
+                        upgraded += 1
+                    best.decode_next()
+                continue
+            # Overlap: decode every boundary source's next block, then
+            # emit the longest provably-least run in bulk.
+            for s in sources:
+                if s.rows is None:
+                    if s.reader.block_format == BLOCK_FORMAT_V1:
+                        upgraded += 1
+                    s.decode_next()
+            add_row = sink.add_row
+            while True:
+                winner = min(sources, key=lambda s: s.keys[s.pos])
+                others = [s.keys[s.pos] for s in sources
+                          if s is not winner]
+                if others:
+                    cut = bisect.bisect_left(winner.keys, min(others),
+                                             winner.pos)
+                    if cut <= winner.pos:
+                        cut = winner.pos + 1
+                else:
+                    cut = len(winner.rows)
+                rows, keys = winner.rows, winner.keys
+                for i in range(winner.pos, cut):
+                    add_row(rows[i], key=keys[i])
+                winner.pos = cut
+                if cut == len(rows):
+                    winner.finish_pending()
+                    break  # boundary reached: passthrough gets a shot
+        if upgraded:
+            self._codec.note_upgraded_blocks(upgraded)
+        return sink.finish(filename, tablet_id, created_at=now,
+                           min_key=min_key, max_key=max_key)
 
     def _merge_streams(self, sources: List[Iterator[Tuple[Any, ...]]]
                        ) -> Iterator[Tuple[Any, ...]]:
@@ -1421,6 +1657,7 @@ class Table:
                         self._retire_memtable(memtable)
                 self.descriptor.schema = schema
                 self._row_codec = RowCodec(schema)
+                self._codec = SchemaCodec(schema, self.metrics)
                 self.descriptor.save(self.disk)
                 # Cached blocks hold rows decoded at each tablet's own
                 # schema (translated downstream), but a schema change

@@ -6,12 +6,21 @@ File layout (paper §3.2, §3.5):
 
 * Each block holds rows sorted by primary key, compressed.
 * The footer records the tablet's schema, its timespan, a block index
-  with the **last key in each block**, and (optionally) a key-prefix
-  Bloom filter (§3.4.5).
+  with the **last key in each block**, (optionally) a key-prefix
+  Bloom filter (§3.4.5), and - for tablets written since block format
+  v2 - the block format version.  Old footers end at the Bloom bytes,
+  so a missing version field means v1; v1 blocks carry no version
+  byte of their own, which is why the negotiation lives here.
 * The trailer is the "final two words of the file": the footer's
   decompressed size and its offset within the file, 8 bytes each,
   little-endian.  The compressed footer therefore spans
   ``[offset, file_size - 16)``.
+
+Block bodies come in two formats.  v1 is row-major: each row's v1
+encoding concatenated.  v2 (``core/codec.py``) is column-major with
+delta timestamps, prefix-compressed key strings, and restart points;
+whole blocks encode and decode through the schema-compiled batch
+codec.  Readers handle both; merges rewrite v1 blocks as v2.
 
 Reading a footer costs three seeks on a cold cache (inode, trailer,
 footer - §3.5); once cached in memory the reader answers block lookups
@@ -38,13 +47,16 @@ from .block import (
     decode_rows,
     decompress,
 )
+from .codec import BLOCK_FORMAT_V1, BLOCK_FORMAT_V2, SchemaCodec
 from .encoding import RowCodec
 from .errors import CorruptTabletError
 from .readcache import NULL_READ_CACHE
 from .row import KeyRange
-from .schema import Schema
+from .schema import ColumnType, Schema
 
 TRAILER_BYTES = 16
+
+_UNSET = object()
 
 
 @dataclass
@@ -114,123 +126,287 @@ class _BlockEntry:
     last_key: Tuple[Any, ...]
 
 
-class TabletWriter:
-    """Writes one tablet file from an iterator of sorted rows."""
+def _prefix_column_encoders(schema: Schema):
+    """Per-column encoders for Bloom prefix parts (key cols sans ts)."""
+
+    def string_encoder(value: str) -> bytes:
+        raw = value.encode("utf-8")
+        return encode_uvarint(len(raw)) + raw
+
+    def int_encoder(value: int) -> bytes:
+        return encode_uvarint((value << 1) ^ (value >> 63))
+
+    encoders = []
+    for index in schema.key_indexes[:-1]:
+        t = schema.columns[index].type
+        if t is ColumnType.STRING:
+            encoders.append(string_encoder)
+        elif t is ColumnType.TIMESTAMP:
+            encoders.append(encode_uvarint)
+        else:
+            encoders.append(int_encoder)
+    return encoders
+
+
+class TabletSink:
+    """Streams sorted rows - or whole pre-compressed blocks - into one
+    tablet file.
+
+    The flush path feeds it (row, size) pairs from a memtable; the
+    merge path feeds it decoded rows and, when an entire v2 block from
+    one source survives unmodified, the block's compressed payload
+    verbatim (``add_block_passthrough``), skipping the decode and
+    re-encode entirely.
+
+    Bloom filters are fed incrementally as keys arrive (sorted keys
+    repeat their leading columns, so most prefix levels are skipped);
+    when the expected row count is unknown the per-key prefix parts
+    are buffered and the filter is sized and filled at finish.
+    """
 
     def __init__(self, disk: SimulatedDisk, schema: Schema,
                  block_size: int, compression: str,
-                 bloom_bits_per_row: int = 0):
+                 bloom_bits_per_row: int = 0,
+                 block_format: int = BLOCK_FORMAT_V2,
+                 metrics=None, expected_rows: int = 0):
         self.disk = disk
         self.schema = schema
         self.codec = codec_id(compression)
         self.block_size = block_size
+        self.block_format = block_format
         self.bloom_bits_per_row = bloom_bits_per_row
-        self._row_codec = RowCodec(schema)
+        self.schema_codec = SchemaCodec(schema, metrics)
+        self._key_of = self.schema_codec.key_of
+        self._size_of = self.schema_codec.size_of
+        self._ts_index = schema.ts_index
+        self._row_codec = RowCodec(schema)  # footer keys only
+        self._body = bytearray()
+        self._entries: List[_BlockEntry] = []
+        self._rows: List[Tuple[Any, ...]] = []
+        self._keys: List[Tuple[Any, ...]] = []
+        self._pending_bytes = 0
+        self._builder = (BlockBuilder(block_size)
+                         if block_format == BLOCK_FORMAT_V1 else None)
+        self.row_count = 0
+        self.min_ts: Optional[int] = None
+        self.max_ts: Optional[int] = None
+        self.first_key: Optional[Tuple[Any, ...]] = None
+        self.last_key: Optional[Tuple[Any, ...]] = None
+        self._expected_rows = expected_rows
+        self._bloom: Optional[KeyPrefixBloom] = None
+        self._bloom_buffered: Optional[List[Tuple[bytes, ...]]] = None
+        self._bloom_state: list = []
+        if bloom_bits_per_row:
+            self._bloom_width = schema.key_width - 1
+            self._bloom_encoders = _prefix_column_encoders(schema)
+            self._bloom_prev_vals: List[Any] = [_UNSET] * self._bloom_width
+            self._bloom_parts: List[bytes] = [b""] * self._bloom_width
+            if expected_rows > 0:
+                self._bloom = KeyPrefixBloom(
+                    expected_keys=expected_rows,
+                    key_width=max(1, self._bloom_width),
+                    bits_per_key=bloom_bits_per_row,
+                )
+            else:
+                self._bloom_buffered = []
 
-    def write(self, filename: str, rows: Iterable[Tuple[Any, ...]],
-              tablet_id: int, created_at: int, expected_rows: int = 0,
-              encoded_pairs: Optional[Iterable[Tuple[Tuple[Any, ...], bytes]]]
-              = None) -> Optional[TabletMeta]:
-        """Encode and write ``rows`` (already sorted by key, unique).
+    @property
+    def wants_bloom(self) -> bool:
+        return bool(self.bloom_bits_per_row)
 
-        Returns the tablet's metadata, or None if ``rows`` was empty
-        (no file is written).  ``expected_rows`` sizes the Bloom
-        filter; 0 lets it default from the actual count (two-pass
-        sizing is avoided by buffering encoded keys).  When the caller
-        already holds each row's encoding (memtables do, §3.2's flush
-        path; merges pass encodings through), ``encoded_pairs``
-        supplies (row, encoded) pairs and ``rows`` is ignored.
+    @property
+    def pending_bytes(self) -> int:
+        """Estimated uncompressed size of the block being built."""
+        if self._builder is not None:
+            return self._builder.size_bytes
+        return self._pending_bytes
+
+    # ------------------------------------------------------------- rows
+
+    def _note_row(self, key: Tuple[Any, ...], ts: int) -> None:
+        if self.min_ts is None or ts < self.min_ts:
+            self.min_ts = ts
+        if self.max_ts is None or ts > self.max_ts:
+            self.max_ts = ts
+        if self.first_key is None:
+            self.first_key = key
+        self.last_key = key
+        self.row_count += 1
+        if self.bloom_bits_per_row:
+            self._bloom_add(key)
+
+    def _bloom_add(self, key: Tuple[Any, ...]) -> None:
+        prev_vals = self._bloom_prev_vals
+        parts = self._bloom_parts
+        encoders = self._bloom_encoders
+        for level in range(self._bloom_width):
+            value = key[level]
+            if value != prev_vals[level]:
+                parts[level] = encoders[level](value)
+                prev_vals[level] = value
+        if self._bloom is not None:
+            self._bloom.add_key_incremental(parts, self._bloom_state)
+        else:
+            self._bloom_buffered.append(tuple(parts))
+
+    def add_row(self, row: Tuple[Any, ...],
+                key: Optional[Tuple[Any, ...]] = None,
+                size: Optional[int] = None) -> None:
+        """Append one decoded row (sorted, unique).
+
+        ``size`` is the row's v1-encoded size when the caller already
+        knows it (memtables do); it only drives block cutting.
         """
-        schema = self.schema
-        row_codec = self._row_codec
-        builder = BlockBuilder(self.block_size)
-        body = bytearray()
-        entries: List[_BlockEntry] = []
-        bloom_keys: List[List[bytes]] = []
-        min_ts: Optional[int] = None
-        max_ts: Optional[int] = None
-        row_count = 0
-        first_key: Optional[Tuple[Any, ...]] = None
-        last_key: Optional[Tuple[Any, ...]] = None
+        if key is None:
+            key = self._key_of(row)
+        if self._builder is not None:
+            self.add_encoded(row, self.schema_codec.encode_row_v1(row),
+                             key=key)
+            return
+        if size is None:
+            size = self._size_of(row)
+        if self._pending_bytes and \
+                self._pending_bytes + size > self.block_size:
+            self._cut_v2()
+        self._rows.append(row)
+        self._keys.append(key)
+        self._pending_bytes += size
+        self._note_row(key, row[self._ts_index])
 
-        def cut_block() -> None:
-            payload, count, _raw = builder.finish(self.codec)
-            entries.append(
-                _BlockEntry(len(body), len(payload), count, last_key)
-            )
-            body.extend(payload)
+    def add_encoded(self, row: Tuple[Any, ...], encoded: bytes,
+                    key: Optional[Tuple[Any, ...]] = None) -> None:
+        """Append one row with its v1 encoding (v1-format sinks only)."""
+        if key is None:
+            key = self._key_of(row)
+        if self._builder.would_overflow(len(encoded)):
+            self._cut_v1()
+        self._builder.add(encoded)
+        self._note_row(key, row[self._ts_index])
 
-        if encoded_pairs is None:
-            encoded_pairs = (
-                (row, row_codec.encode_row(row)) for row in rows
-            )
-        for row, encoded in encoded_pairs:
-            key = schema.key_of(row)
-            if builder.would_overflow(len(encoded)):
-                cut_block()
-            builder.add(encoded)
-            if first_key is None:
-                first_key = key
-            last_key = key
-            ts = schema.ts_of(row)
-            if min_ts is None or ts < min_ts:
-                min_ts = ts
-            if max_ts is None or ts > max_ts:
-                max_ts = ts
-            row_count += 1
-            if self.bloom_bits_per_row:
-                # Prefix filters exclude the trailing timestamp column.
-                bloom_keys.append(row_codec.encode_key_columns(key)[:-1])
+    # ----------------------------------------------------------- blocks
 
-        if row_count == 0:
+    def _cut_v2(self) -> None:
+        raw = self.schema_codec.encode_rows(self._rows)
+        payload = compress(self.codec, raw)
+        self._entries.append(_BlockEntry(
+            len(self._body), len(payload), len(self._rows), self._keys[-1]))
+        self._body += payload
+        self._rows = []
+        self._keys = []
+        self._pending_bytes = 0
+
+    def _cut_v1(self) -> None:
+        payload, count, _raw = self._builder.finish(self.codec)
+        self._entries.append(_BlockEntry(
+            len(self._body), len(payload), count, self.last_key))
+        self._body += payload
+
+    def _cut_pending(self) -> None:
+        if self._builder is not None:
+            if len(self._builder):
+                self._cut_v1()
+        elif self._rows:
+            self._cut_v2()
+
+    def add_block_passthrough(self, payload: bytes, row_count: int,
+                              last_key: Tuple[Any, ...]) -> None:
+        """Append one already-compressed v2 block verbatim.
+
+        The caller guarantees the block's rows are sorted after
+        everything added so far and before everything added later,
+        that the payload's codec matches the sink's, and that it
+        feeds key/timestamp bookkeeping itself (``add_bloom_prefixes``
+        / ``note_ts_bounds``) since the rows are never decoded here.
+        """
+        self._cut_pending()
+        self._entries.append(_BlockEntry(
+            len(self._body), len(payload), row_count, last_key))
+        self._body += payload
+        self.row_count += row_count
+        if self.first_key is None:
+            self.first_key = last_key  # refined by finish() overrides
+        self.last_key = last_key
+
+    def add_bloom_prefixes(self, prefix_rows: Iterable[Tuple[Any, ...]]
+                           ) -> None:
+        """Feed Bloom prefixes for rows added via passthrough blocks.
+
+        ``prefix_rows`` yields key tuples *without* the trailing
+        timestamp (e.g. ``zip(*decoded key columns)``).
+        """
+        if not self.bloom_bits_per_row:
+            return
+        for values in prefix_rows:
+            self._bloom_add(values)
+
+    def note_ts_bounds(self, min_ts: int, max_ts: int) -> None:
+        """Widen the tablet's timespan (passthrough bookkeeping)."""
+        if self.min_ts is None or min_ts < self.min_ts:
+            self.min_ts = min_ts
+        if self.max_ts is None or max_ts > self.max_ts:
+            self.max_ts = max_ts
+
+    # ----------------------------------------------------------- finish
+
+    def finish(self, filename: str, tablet_id: int, created_at: int,
+               min_key: Optional[Tuple[Any, ...]] = None,
+               max_key: Optional[Tuple[Any, ...]] = None
+               ) -> Optional[TabletMeta]:
+        """Cut the final block, write the file, return its metadata.
+
+        Returns None (writing nothing) if no rows were added.
+        ``min_key``/``max_key`` override the tracked zone map - the
+        merge path passes bounds derived from the source tablets'
+        metadata because passed-through blocks never expose their
+        first key.
+        """
+        self._cut_pending()
+        if self.row_count == 0:
             return None
-        if len(builder):
-            cut_block()
-
         bloom_bytes = b""
         if self.bloom_bits_per_row:
-            bloom = KeyPrefixBloom(
-                expected_keys=max(expected_rows, row_count),
-                key_width=schema.key_width - 1,
-                bits_per_key=self.bloom_bits_per_row,
-            )
-            for columns in bloom_keys:
-                bloom.add_key(columns)
+            bloom = self._bloom
+            if bloom is None:
+                bloom = KeyPrefixBloom(
+                    expected_keys=max(self._expected_rows, self.row_count),
+                    key_width=max(1, self._bloom_width),
+                    bits_per_key=self.bloom_bits_per_row,
+                )
+                state: list = []
+                for parts in self._bloom_buffered:
+                    bloom.add_key_incremental(parts, state)
             bloom_bytes = bloom.serialize()
-
-        footer = self._encode_footer(entries, min_ts, max_ts, row_count,
-                                     bloom_bytes)
+        footer = self._encode_footer(bloom_bytes)
         compressed_footer = compress(self.codec, footer)
-        footer_offset = len(body)
-        trailer = len(footer).to_bytes(8, "little") + footer_offset.to_bytes(8, "little")
-        file_bytes = bytes(body) + compressed_footer + trailer
+        footer_offset = len(self._body)
+        trailer = (len(footer).to_bytes(8, "little")
+                   + footer_offset.to_bytes(8, "little"))
+        file_bytes = bytes(self._body) + compressed_footer + trailer
         self.disk.write_file(filename, file_bytes)
         return TabletMeta(
             tablet_id=tablet_id,
             filename=filename,
-            min_ts=min_ts,
-            max_ts=max_ts,
-            row_count=row_count,
+            min_ts=self.min_ts,
+            max_ts=self.max_ts,
+            row_count=self.row_count,
             size_bytes=len(file_bytes),
-            schema_version=schema.version,
+            schema_version=self.schema.version,
             created_at=created_at,
-            min_key=first_key,
-            max_key=last_key,
+            min_key=min_key if min_key is not None else self.first_key,
+            max_key=max_key if max_key is not None else self.last_key,
         )
 
-    def _encode_footer(self, entries: List[_BlockEntry], min_ts: int,
-                       max_ts: int, row_count: int,
-                       bloom_bytes: bytes) -> bytes:
+    def _encode_footer(self, bloom_bytes: bytes) -> bytes:
         schema_json = json.dumps(self.schema.to_dict()).encode("utf-8")
         out = bytearray()
         out += encode_uvarint(len(schema_json))
         out += schema_json
-        out += encode_uvarint(min_ts)
-        out += encode_uvarint(max_ts)
-        out += encode_uvarint(row_count)
+        out += encode_uvarint(self.min_ts)
+        out += encode_uvarint(self.max_ts)
+        out += encode_uvarint(self.row_count)
         out.append(self.codec)
-        out += encode_uvarint(len(entries))
-        for entry in entries:
+        out += encode_uvarint(len(self._entries))
+        for entry in self._entries:
             key_bytes = self._row_codec.encode_key(entry.last_key)
             out += encode_uvarint(entry.offset)
             out += encode_uvarint(entry.compressed_len)
@@ -239,7 +415,65 @@ class TabletWriter:
             out += key_bytes
         out += encode_uvarint(len(bloom_bytes))
         out += bloom_bytes
+        # Trailing fields: absent in pre-v2 footers (which end at the
+        # Bloom bytes), so readers treat a missing version as v1.
+        out += encode_uvarint(self.block_format)
         return bytes(out)
+
+
+class TabletWriter:
+    """Writes one tablet file from an iterator of sorted rows."""
+
+    def __init__(self, disk: SimulatedDisk, schema: Schema,
+                 block_size: int, compression: str,
+                 bloom_bits_per_row: int = 0,
+                 block_format: int = BLOCK_FORMAT_V2,
+                 metrics=None):
+        self.disk = disk
+        self.schema = schema
+        self.codec = codec_id(compression)
+        self.compression = compression
+        self.block_size = block_size
+        self.bloom_bits_per_row = bloom_bits_per_row
+        self.block_format = block_format
+        self.metrics = metrics
+        self._row_codec = RowCodec(schema)
+
+    def write(self, filename: str, rows: Iterable[Tuple[Any, ...]],
+              tablet_id: int, created_at: int, expected_rows: int = 0,
+              encoded_pairs: Optional[Iterable[Tuple[Tuple[Any, ...], bytes]]]
+              = None,
+              sized_pairs: Optional[Iterable[Tuple[Tuple[Any, ...], int]]]
+              = None) -> Optional[TabletMeta]:
+        """Encode and write ``rows`` (already sorted by key, unique).
+
+        Returns the tablet's metadata, or None if ``rows`` was empty
+        (no file is written).  ``expected_rows`` sizes the Bloom
+        filter up front (0 defers sizing to the actual count).  When
+        the caller already knows each row's encoded size
+        (memtables do, §3.2's flush path), ``sized_pairs`` supplies
+        (row, size) pairs; ``encoded_pairs`` supplies (row, v1 bytes)
+        pairs (the legacy merge path); in either case ``rows`` is
+        ignored.
+        """
+        sink = TabletSink(self.disk, self.schema, self.block_size,
+                          self.compression, self.bloom_bits_per_row,
+                          self.block_format, metrics=self.metrics,
+                          expected_rows=expected_rows)
+        if sized_pairs is not None:
+            for row, size in sized_pairs:
+                sink.add_row(row, size=size)
+        elif encoded_pairs is not None:
+            if self.block_format == BLOCK_FORMAT_V1:
+                for row, encoded in encoded_pairs:
+                    sink.add_encoded(row, encoded)
+            else:
+                for row, encoded in encoded_pairs:
+                    sink.add_row(row, size=len(encoded))
+        else:
+            for row in rows:
+                sink.add_row(row)
+        return sink.finish(filename, tablet_id, created_at)
 
 
 class _ParsedFooter:
@@ -251,10 +485,12 @@ class _ParsedFooter:
     """
 
     __slots__ = ("schema", "row_codec", "min_ts", "max_ts", "row_count",
-                 "codec", "entries", "last_keys", "bloom", "body_size")
+                 "codec", "entries", "last_keys", "bloom", "body_size",
+                 "block_format")
 
     def __init__(self, schema, row_codec, min_ts, max_ts, row_count,
-                 codec, entries, last_keys, bloom, body_size):
+                 codec, entries, last_keys, bloom, body_size,
+                 block_format):
         self.schema = schema
         self.row_codec = row_codec
         self.min_ts = min_ts
@@ -265,6 +501,7 @@ class _ParsedFooter:
         self.last_keys = last_keys
         self.bloom = bloom
         self.body_size = body_size
+        self.block_format = block_format
 
 
 class TabletReader:
@@ -311,6 +548,8 @@ class TabletReader:
         self._row_codec: Optional[RowCodec] = None
         self._bloom: Optional[KeyPrefixBloom] = None
         self._body_size = 0
+        self.block_format = BLOCK_FORMAT_V1
+        self._schema_codec: Optional[SchemaCodec] = None
 
     # ----------------------------------------------------------- footer
 
@@ -346,7 +585,7 @@ class TabletReader:
         self._cache.put_footer(self._cache_uid, _ParsedFooter(
             self.schema, self._row_codec, self.min_ts, self.max_ts,
             self.row_count, self._codec, self._entries, self._last_keys,
-            self._bloom, self._body_size))
+            self._bloom, self._body_size, self.block_format))
 
     def _install_footer(self, footer: _ParsedFooter) -> None:
         self.schema = footer.schema
@@ -359,6 +598,8 @@ class TabletReader:
         self._last_keys = footer.last_keys
         self._bloom = footer.bloom
         self._body_size = footer.body_size
+        self.block_format = footer.block_format
+        self._schema_codec = SchemaCodec(self.schema, self._decode_metrics)
 
     def _parse_footer(self, compressed: bytes, footer_size: int) -> None:
         # The codec byte lives inside the (possibly compressed) footer,
@@ -413,11 +654,23 @@ class TabletReader:
         bloom_bytes = footer[offset:offset + bloom_len]
         if len(bloom_bytes) != bloom_len:
             raise CorruptTabletError(f"{self.filename}: truncated bloom")
+        offset += bloom_len
         self._bloom = (
             KeyPrefixBloom.deserialize(bloom_bytes) if bloom_len else None
         )
+        # Footers written before block format v2 end here; the version
+        # field's absence means the blocks are row-major v1.
+        if offset < len(footer):
+            block_format, offset = decode_uvarint(footer, offset)
+            if block_format not in (BLOCK_FORMAT_V1, BLOCK_FORMAT_V2):
+                raise CorruptTabletError(
+                    f"{self.filename}: unknown block format {block_format}")
+            self.block_format = block_format
+        else:
+            self.block_format = BLOCK_FORMAT_V1
         self._entries = entries
         self._last_keys = [entry.last_key for entry in entries]
+        self._schema_codec = SchemaCodec(self.schema, self._decode_metrics)
 
     # ------------------------------------------------------------ blocks
 
@@ -425,6 +678,58 @@ class TabletReader:
     def block_count(self) -> int:
         self.ensure_loaded()
         return len(self._entries)
+
+    def block_entries(self) -> List[_BlockEntry]:
+        """The footer's block index (offset, length, count, last key)."""
+        self.ensure_loaded()
+        return self._entries
+
+    @property
+    def codec_byte(self) -> int:
+        """The compression codec id this tablet's blocks use."""
+        self.ensure_loaded()
+        return self._codec
+
+    @property
+    def schema_codec(self) -> SchemaCodec:
+        self.ensure_loaded()
+        return self._schema_codec
+
+    def read_block_payload(self, index: int) -> bytes:
+        """The compressed bytes of block ``index`` (one seek)."""
+        self.ensure_loaded()
+        entry = self._entries[index]
+        payload = self.disk.read(self.filename, entry.offset,
+                                 entry.compressed_len)
+        self._m_blocks_read.inc()
+        self._m_block_bytes.inc(entry.compressed_len)
+        return payload
+
+    def decode_payload(self, index: int, payload: bytes
+                       ) -> Tuple[List[Tuple[Any, ...]],
+                                  List[Tuple[Any, ...]]]:
+        """Decode one block's compressed payload into (rows, keys)."""
+        entry = self._entries[index]
+        raw = decompress(self._codec, payload)
+        if self.block_format == BLOCK_FORMAT_V2:
+            rows, keys = self._schema_codec.decode_block(raw)
+            if len(rows) != entry.row_count:
+                raise CorruptTabletError(
+                    f"{self.filename}: block {index} row count mismatch")
+            self._count_decoded(len(rows), len(raw))
+        else:
+            rows = decode_rows(raw, self._row_codec, entry.row_count,
+                               metrics=self._decode_metrics)
+            key_of = self.schema.key_of
+            keys = [key_of(row) for row in rows]
+        return rows, keys
+
+    def _count_decoded(self, row_count: int, raw_len: int) -> None:
+        metrics = self._decode_metrics
+        if metrics is not None:
+            metrics.counter("block.decoded").inc()
+            metrics.counter("block.rows_decoded").inc(row_count)
+            metrics.counter("block.decoded_bytes").inc(raw_len)
 
     def read_block(self, index: int) -> List[Tuple[Any, ...]]:
         """Read and decode block ``index`` (one seek if uncached).
@@ -436,51 +741,103 @@ class TabletReader:
         cached = self._cache.get_block(self._cache_uid, index)
         if cached is not None:
             return cached.rows
-        rows, raw_len = self._read_block_uncached(index)
-        self._cache.put_block(self._cache_uid, index, rows, raw_len)
+        rows, raw_len, keys = self._read_block_uncached(index)
+        self._cache.put_block(self._cache_uid, index, rows, raw_len,
+                              keys=keys)
         return rows
 
     def _read_block_uncached(self, index: int
-                             ) -> Tuple[List[Tuple[Any, ...]], int]:
-        """Disk read + decompress + decode; returns (rows, raw bytes)."""
+                             ) -> Tuple[List[Tuple[Any, ...]], int,
+                                        Optional[List[Tuple[Any, ...]]]]:
+        """Disk read + decompress + decode; (rows, raw bytes, keys).
+
+        v2 blocks decode rows and keys in one batch pass; for v1
+        blocks keys are None and extracted lazily by scans.
+        """
         entry = self._entries[index]
         payload = self.disk.read(self.filename, entry.offset,
                                  entry.compressed_len)
         self._m_blocks_read.inc()
         self._m_block_bytes.inc(entry.compressed_len)
         raw = decompress(self._codec, payload)
+        if self.block_format == BLOCK_FORMAT_V2:
+            rows, keys = self._schema_codec.decode_block(raw)
+            if len(rows) != entry.row_count:
+                raise CorruptTabletError(
+                    f"{self.filename}: block {index} row count mismatch")
+            self._count_decoded(len(rows), len(raw))
+            return rows, len(raw), keys
         rows = decode_rows(raw, self._row_codec, entry.row_count,
                            metrics=self._decode_metrics)
-        return rows, len(raw)
+        return rows, len(raw), None
 
     def _scan_block(self, index: int) -> Tuple[List[Tuple[Any, ...]],
                                                List[Tuple[Any, ...]]]:
         """Block rows plus their keys, both cache-resident when warm.
 
-        Keys are extracted at most once per cached block (stored on
+        Keys come straight out of the v2 batch decode; for v1 blocks
+        they are extracted at most once per cached block (stored on
         the cache entry), so warm scans skip both the decode and the
         per-row key extraction.
         """
         cached = self._cache.get_block(self._cache_uid, index)
         if cached is None:
-            rows, raw_len = self._read_block_uncached(index)
+            rows, raw_len, keys = self._read_block_uncached(index)
             cached = self._cache.put_block(self._cache_uid, index, rows,
-                                           raw_len)
+                                           raw_len, keys=keys)
             if cached is None:  # caching disabled
-                key_of = self.schema.key_of
-                return rows, [key_of(row) for row in rows]
+                if keys is None:
+                    key_of = self.schema.key_of
+                    keys = [key_of(row) for row in rows]
+                return rows, keys
         if cached.keys is None:
             key_of = self.schema.key_of
             cached.keys = [key_of(row) for row in cached.rows]
         return cached.rows, cached.keys
 
-    def scan_pairs(self) -> Iterator[Tuple[Tuple[Any, ...], bytes]]:
-        """Full ascending scan yielding (row, raw_encoding) pairs.
+    def probe_key(self, key: Tuple[Any, ...]) -> bool:
+        """Does this tablet hold exactly ``key``?  (Duplicate checks.)
 
-        The merge path streams these straight into the output tablet,
-        skipping a decode/re-encode round trip.
+        Warm blocks answer from the cache; cold v2 blocks decode only
+        the restart span covering the key via ``decode_range`` and do
+        not pollute the cache.
         """
         self.ensure_loaded()
+        index = bisect.bisect_left(self._last_keys, key)
+        if index >= len(self._entries):
+            return False
+        cached = self._cache.get_block(self._cache_uid, index)
+        if cached is not None:
+            if cached.keys is None:
+                key_of = self.schema.key_of
+                cached.keys = [key_of(row) for row in cached.rows]
+            keys = cached.keys
+        elif self.block_format == BLOCK_FORMAT_V2:
+            payload = self.read_block_payload(index)
+            raw = decompress(self._codec, payload)
+            _rows, keys, _base = self._schema_codec.decode_range(
+                raw, lo_key=key, hi_prefix=key)
+        else:
+            _rows, keys = self._scan_block(index)
+        position = bisect.bisect_left(keys, key)
+        return position < len(keys) and keys[position] == key
+
+    def scan_pairs(self) -> Iterator[Tuple[Tuple[Any, ...], bytes]]:
+        """Full ascending scan yielding (row, v1 encoding) pairs.
+
+        The legacy (v1-format) merge path streams these straight into
+        the output tablet; v2 tablets re-encode through the compiled
+        row encoder, since a v1-format consumer is asking.
+        """
+        self.ensure_loaded()
+        if self.block_format == BLOCK_FORMAT_V2:
+            encode = self._schema_codec.encode_row_v1
+            for index in range(len(self._entries)):
+                rows, _keys = self.decode_payload(
+                    index, self.read_block_payload(index))
+                for row in rows:
+                    yield row, encode(row)
+            return
         for index in range(len(self._entries)):
             entry = self._entries[index]
             payload = self.disk.read(self.filename, entry.offset,

@@ -123,6 +123,37 @@ def cache_summary(snapshot: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
+def codec_summary(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """The block-codec corner of a snapshot.
+
+    Encode/decode volume and cost of the schema-compiled codec
+    (``core/codec.py``), plus how many legacy v1 blocks merges have
+    rewritten into format v2.  Throughputs are derived from the
+    ``codec.*_ns`` counters; None until the first block moves.
+    """
+    counters = snapshot.get("counters", {})
+
+    def mrows_per_s(rows: int, ns: int) -> Optional[float]:
+        return rows / (ns / 1e9) / 1e6 if ns else None
+
+    rows_encoded = counters.get("codec.rows_encoded", 0)
+    rows_decoded = counters.get("codec.rows_decoded", 0)
+    encode_ns = counters.get("codec.encode_ns", 0)
+    decode_ns = counters.get("codec.decode_ns", 0)
+    return {
+        "rows_encoded": rows_encoded,
+        "rows_decoded": rows_decoded,
+        "blocks_encoded": counters.get("codec.blocks_encoded", 0),
+        "blocks_decoded": counters.get("codec.blocks_decoded", 0),
+        "blocks_upgraded_v1_to_v2": counters.get(
+            "codec.blocks_upgraded_v1_to_v2", 0),
+        "encode_ms": encode_ns / 1e6,
+        "decode_ms": decode_ns / 1e6,
+        "encode_mrows_per_s": mrows_per_s(rows_encoded, encode_ns),
+        "decode_mrows_per_s": mrows_per_s(rows_decoded, decode_ns),
+    }
+
+
 def maintenance_summary(snapshot: Dict[str, Any]) -> Dict[str, Any]:
     """The background-maintenance corner of a snapshot.
 
@@ -179,6 +210,23 @@ def render_metrics_page(page: Dict[str, Any]) -> str:
         f"invalidations={cache['invalidations']}, "
         f"generation_bumps={cache['generation_bumps']}, "
         f"tablets_pruned={cache['tablets_pruned']}")
+    codec = codec_summary(page.get("metrics", {}))
+    lines.append("")
+    lines.append("== block codec ==")
+    lines.append(
+        f"encode: rows={codec['rows_encoded']}, "
+        f"blocks={codec['blocks_encoded']}, "
+        f"time={codec['encode_ms']:.1f}ms, "
+        + ("throughput=n/a" if codec['encode_mrows_per_s'] is None else
+           f"throughput={codec['encode_mrows_per_s']:.2f}Mrows/s"))
+    lines.append(
+        f"decode: rows={codec['rows_decoded']}, "
+        f"blocks={codec['blocks_decoded']}, "
+        f"time={codec['decode_ms']:.1f}ms, "
+        + ("throughput=n/a" if codec['decode_mrows_per_s'] is None else
+           f"throughput={codec['decode_mrows_per_s']:.2f}Mrows/s"))
+    lines.append(
+        f"blocks_upgraded_v1_to_v2={codec['blocks_upgraded_v1_to_v2']}")
     upkeep = maintenance_summary(page.get("metrics", {}))
     lines.append("")
     lines.append("== maintenance ==")

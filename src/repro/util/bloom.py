@@ -130,6 +130,36 @@ class KeyPrefixBloom:
             buf += part
             self._filter.add(bytes(buf))
 
+    def add_key_incremental(self, encoded_columns: Sequence[bytes],
+                            state: list) -> None:
+        """Like :meth:`add_key`, reusing work from the previous key.
+
+        ``state`` is a caller-held scratch list (start with ``[]``)
+        holding ``[parts, cumulative_buffers]`` from the previous call.
+        Sorted keys repeat their leading columns for long runs, so only
+        levels from the first differing column are re-encoded and
+        re-hashed; the filter contents are identical to calling
+        :meth:`add_key` for every key (the filter is a set).
+        """
+        if not state:
+            state.append([None] * len(encoded_columns))
+            state.append([b""] * len(encoded_columns))
+        prev_parts, prev_bufs = state
+        if len(prev_parts) != len(encoded_columns):
+            prev_parts[:] = [None] * len(encoded_columns)
+            prev_bufs[:] = [b""] * len(encoded_columns)
+        add = self._filter.add
+        changed = False
+        for level, part in enumerate(encoded_columns):
+            if not changed and part == prev_parts[level]:
+                continue
+            changed = True
+            base = prev_bufs[level - 1] if level else b""
+            buf = base + len(part).to_bytes(4, "little") + part
+            prev_parts[level] = part
+            prev_bufs[level] = buf
+            add(buf)
+
     def may_contain_prefix(self, encoded_columns: Sequence[bytes]) -> bool:
         """May any stored key start with the given column prefix?"""
         if not encoded_columns:
