@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Smoke check: checksum verification must cost <5% on the query mix.
+
+Runs a Figure 9-style query mix - range scans plus latest-row lookups
+against a multi-tablet table - twice per trial, once with content
+checksums (storage format v2.1, every block CRC-verified on read) and
+once without, and compares best-of-N wall-clock times.  The read
+cache is disabled so every block decode actually re-verifies its CRC;
+with the cache on, the overhead would hide behind decoded-block hits.
+
+The design contract (docs/ARCHITECTURE.md, "Failure model and
+recovery") is that verification adds under 5% to query wall clock; CI
+runs this script in the chaos job and fails the build if it regresses.
+
+Run:  PYTHONPATH=src python benchmarks/checksum_overhead_smoke.py
+"""
+
+import sys
+import time
+
+from repro.core import (
+    Column,
+    ColumnType,
+    EngineConfig,
+    KeyRange,
+    LittleTable,
+    Query,
+    Schema,
+    TimeRange,
+)
+from repro.util.clock import MICROS_PER_DAY, MICROS_PER_MINUTE, VirtualClock
+
+NETWORKS = 4
+DEVICES = 8
+BATCHES = 12
+ROWS_PER_BATCH = NETWORKS * DEVICES * 16
+QUERY_ROUNDS = 6
+TRIALS = 5
+THRESHOLD = 0.05
+BASE = 20_000 * MICROS_PER_DAY
+
+
+def usage_schema():
+    return Schema(
+        [Column("network", ColumnType.INT64),
+         Column("device", ColumnType.INT64),
+         Column("ts", ColumnType.TIMESTAMP),
+         Column("bytes", ColumnType.INT64)],
+        key=["network", "device", "ts"],
+    )
+
+
+def build_table(checksums: bool):
+    """A multi-tablet table, one flushed tablet per batch."""
+    clock = VirtualClock(start=BASE)
+    config = EngineConfig(
+        checksums=checksums,
+        read_cache_bytes=0,          # cold reads: verify every block
+        block_size_bytes=4 * 1024,   # many blocks per tablet
+        merge_min_age_micros=10**15,  # keep the tablets unmerged
+    )
+    db = LittleTable(clock=clock, config=config)
+    table = db.create_table("usage", usage_schema())
+    sample = 0
+    for _ in range(BATCHES):
+        rows = []
+        for _ in range(ROWS_PER_BATCH // (NETWORKS * DEVICES)):
+            ts = BASE + sample * MICROS_PER_MINUTE
+            sample += 1
+            for network in range(NETWORKS):
+                for device in range(DEVICES):
+                    rows.append((network, device, ts, device))
+        table.insert_tuples(rows)
+        table.flush_all()
+    return table
+
+
+def run_query_mix(checksums: bool) -> float:
+    """Wall-clock seconds for the query mix (build time excluded)."""
+    table = build_table(checksums)
+    horizon = BASE + (BATCHES * ROWS_PER_BATCH // (NETWORKS * DEVICES)
+                      ) * MICROS_PER_MINUTE
+    started = time.perf_counter()
+    for _ in range(QUERY_ROUNDS):
+        # Dashboard-style scans: one device's full history each.
+        for network in range(NETWORKS):
+            for device in range(DEVICES):
+                query = Query(KeyRange.prefix((network, device)),
+                              TimeRange.between(BASE, horizon))
+                for _ in table.scan(query):
+                    pass
+        # Latest-value lookups (the paper's long-tail query class).
+        for network in range(NETWORKS):
+            for device in range(DEVICES):
+                table.latest((network, device))
+    return time.perf_counter() - started
+
+
+def main() -> int:
+    run_query_mix(True)  # warm up allocators and code paths
+    run_query_mix(False)
+    with_crc = min(run_query_mix(True) for _ in range(TRIALS))
+    without_crc = min(run_query_mix(False) for _ in range(TRIALS))
+    overhead = with_crc / without_crc - 1.0
+    print(f"query mix x {TRIALS} trials (best-of), "
+          f"{BATCHES} tablets, cold reads")
+    print(f"  checksums off:  {without_crc * 1000:8.2f} ms")
+    print(f"  checksums on:   {with_crc * 1000:8.2f} ms")
+    print(f"  overhead: {overhead * 100:+.2f}% "
+          f"(threshold {THRESHOLD * 100:.0f}%)")
+    if overhead > THRESHOLD:
+        print("FAIL: checksum verification overhead exceeds the budget")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

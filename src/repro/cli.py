@@ -240,7 +240,8 @@ def stats_main(argv: list) -> int:
         try:
             with LittleTableClient(host or "127.0.0.1", int(port)) as client:
                 page = {"metrics": client.stats(),
-                        "tables": client.table_stats(), "spans": []}
+                        "tables": client.table_stats(), "spans": [],
+                        "health": client.health()}
         except OSError as exc:
             print(f"error: cannot reach {args.connect}: {exc}",
                   file=sys.stderr)
@@ -251,11 +252,13 @@ def stats_main(argv: list) -> int:
         with open_database(args.data) as db:
             page = metrics_page(db)
     from .dashboard.metrics_view import (cache_summary, codec_summary,
+                                         fault_summary,
                                          maintenance_summary)
 
     page["cache"] = cache_summary(page.get("metrics", {}))
     page["codec"] = codec_summary(page.get("metrics", {}))
     page["maintenance"] = maintenance_summary(page.get("metrics", {}))
+    page["fault"] = fault_summary(page.get("metrics", {}))
     if args.json:
         import json as _json
 
@@ -267,15 +270,74 @@ def stats_main(argv: list) -> int:
     return 0
 
 
+def fsck_main(argv: list) -> int:
+    """The ``fsck`` subcommand: offline integrity check and repair.
+
+    Runs the startup scrub (crash-garbage collection + trailer/footer
+    verification) when opening the directory, then the exhaustive
+    :func:`~repro.core.check.check_database` row-level verification.
+    ``--repair`` additionally quarantines every hot tablet with an
+    error-severity finding.  Exit status 0 = healthy, 1 = problems
+    found (or repaired), 2 = usage/corrupt-root errors.
+    """
+    parser = argparse.ArgumentParser(
+        prog="littletable fsck",
+        description="verify descriptor and tablet integrity")
+    parser.add_argument("--data", metavar="DIR", required=True,
+                        help="data directory to check")
+    parser.add_argument("--repair", action="store_true",
+                        help="quarantine tablets with error findings")
+    args = parser.parse_args(argv)
+    from .core.check import ERROR, check_database, repair_database
+    from .core.config import EngineConfig
+    from .core.errors import CorruptTabletError
+
+    # Without --repair the check is strictly read-only: no startup
+    # scrub (it deletes crash garbage and moves damaged files) and no
+    # read-path quarantine.
+    config = EngineConfig(startup_scrub=args.repair,
+                          quarantine_on_corruption=args.repair)
+    try:
+        db = LittleTable(disk=SimulatedDisk(FileStorage(args.data)),
+                         config=config)
+    except CorruptTabletError as exc:
+        print(f"fsck: unrecoverable: {exc}", file=sys.stderr)
+        return 2
+    with db:
+        scrub = db.last_scrub
+        for temp in scrub.temps_removed:
+            print(f"scrub: removed stale descriptor temp {temp}")
+        for orphan in scrub.orphans_removed:
+            print(f"scrub: removed orphan tablet {orphan}")
+        for issue in scrub.issues:
+            print(f"scrub: {issue}")
+        findings = check_database(db)
+        problems = 0
+        for _table, found in sorted(findings.items()):
+            for issue in found:
+                problems += issue.severity == ERROR
+                print(str(issue))
+        if args.repair and problems:
+            for table_name, moved in sorted(repair_database(db).items()):
+                for filename in moved:
+                    print(f"repaired: {table_name}: quarantined {filename}")
+        if problems == 0 and scrub.clean:
+            print("ok: all tables healthy")
+            return 0
+        return 1
+
+
 def main(argv: Optional[list] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "stats":
         return stats_main(argv[1:])
+    if argv and argv[0] == "fsck":
+        return fsck_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="littletable",
         description="SQL shell for the LittleTable reproduction "
-                    "(subcommand: stats)")
+                    "(subcommands: stats, fsck)")
     parser.add_argument("--data", metavar="DIR", default=None,
                         help="data directory (default: in-memory)")
     parser.add_argument("-e", "--execute", metavar="SQL", action="append",

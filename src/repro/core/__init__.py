@@ -7,17 +7,20 @@ schema/query vocabulary (:class:`Schema`, :class:`Column`,
 """
 
 from .check import (Issue, LockOrderChecker, LockOrderError, check_database,
-                    check_table, instrument_table_locks, is_healthy)
+                    check_table, instrument_table_locks, is_healthy,
+                    repair_database)
 from .config import EngineConfig
 from .database import LittleTable
 from .descriptor import TableDescriptor
 from .errors import (
+    ChecksumError,
     CorruptTabletError,
     DuplicateKeyError,
     LittleTableError,
     NoSuchTableError,
     ProtocolViolationError,
     QueryError,
+    ReadOnlyModeError,
     SchemaError,
     ServerError,
     TableExistsError,
@@ -29,6 +32,7 @@ from .merge import MergePlan, choose_merge, pending_merge_runs
 from .periods import Period, PeriodLevel, period_for
 from .scheduler import MaintenanceScheduler
 from .readcache import LatestRowCache, ReadCache, TabletPruneIndex
+from .recovery import ScrubReport, startup_scrub
 from .row import ASCENDING, DESCENDING, KeyRange, Query, QueryStats, TimeRange
 from .schema import Column, ColumnType, Schema
 from .table import QueryResult, Table
@@ -42,6 +46,9 @@ __all__ = [
     "check_table",
     "instrument_table_locks",
     "is_healthy",
+    "repair_database",
+    "ScrubReport",
+    "startup_scrub",
     "MaintenancePolicy",
     "MaintenanceReport",
     "MaintenanceScheduler",
@@ -50,8 +57,10 @@ __all__ = [
     "EngineConfig",
     "LittleTable",
     "TableDescriptor",
+    "ChecksumError",
     "CorruptTabletError",
     "DuplicateKeyError",
+    "ReadOnlyModeError",
     "LittleTableError",
     "NoSuchTableError",
     "ProtocolViolationError",

@@ -244,6 +244,10 @@ def _check_tablet(table: Table, meta) -> List[Issue]:
         issues.append(Issue(
             WARNING, name, meta.tablet_id,
             "no Bloom filter although the config expects one"))
+    if table.config.checksums and not reader.has_checksums:
+        issues.append(Issue(
+            WARNING, name, meta.tablet_id,
+            "no content checksums (pre-v2.1 file); a merge upgrades it"))
     return issues
 
 
@@ -292,6 +296,38 @@ def check_database(db: LittleTable) -> Dict[str, List[Issue]]:
     """
     return {name: check_table(db.table(name))
             for name in db.table_names()}
+
+
+def repair_database(db: LittleTable) -> Dict[str, List[str]]:
+    """Quarantine every hot tablet with an error-severity finding.
+
+    The repair a checksummed LSM store can do without replicas:
+    isolate what is provably damaged so the table serves everything
+    still intact.  Files move to ``quarantine/`` (never deleted) and
+    the descriptor drops them, exactly like the read path's automatic
+    quarantine.  Cold-tier tablets are reported by :func:`check_table`
+    but never auto-quarantined - the archive copy is the only copy,
+    and dropping its reference would orphan it.
+
+    Returns {table_name: [quarantined filenames]} for what was moved.
+    Backs ``ltdb fsck --repair``.
+    """
+    moved: Dict[str, List[str]] = {}
+    for name, issues in check_database(db).items():
+        table = db.table(name)
+        bad_ids = {issue.tablet_id for issue in issues
+                   if issue.severity == ERROR and issue.tablet_id}
+        filenames: List[str] = []
+        for meta in list(table.on_disk_tablets):
+            if meta.tablet_id in bad_ids and meta.tier == "hot":
+                reason = "; ".join(
+                    issue.message for issue in issues
+                    if issue.tablet_id == meta.tablet_id)
+                if table.quarantine_tablet(meta, reason):
+                    filenames.append(meta.filename)
+        if filenames:
+            moved[name] = filenames
+    return moved
 
 
 def is_healthy(db: LittleTable) -> bool:

@@ -67,6 +67,24 @@ class EngineConfig:
     # regardless of this setting - the tablet footer records which
     # format its blocks use - and merges rewrite v1 tablets as v2.
     block_format_version: int = 2
+    # Content checksums (storage format v2.1): newly written tablets
+    # carry a CRC per block plus footer and trailer CRCs, verified on
+    # every disk read; descriptors carry a body CRC.  Pre-v2.1 files
+    # stay readable either way; merges upgrade them.  Disabling only
+    # affects newly written files.
+    checksums: bool = True
+    # Verify descriptors and tablet trailers when opening a database,
+    # deleting crash garbage (orphan tablets, stale descriptor temps)
+    # and quarantining corrupt tablet files into quarantine/.  Prefix
+    # durability is preserved: only files the descriptor never
+    # referenced are deleted; referenced-but-corrupt files are moved,
+    # never destroyed.
+    startup_scrub: bool = True
+    # Reads that trip a checksum/corruption error quarantine the
+    # offending tablet (descriptor drops it, file moves to
+    # quarantine/).  The in-flight query still raises; later queries
+    # proceed without the bad tablet.
+    quarantine_on_corruption: bool = True
     # Ablation switches (DESIGN.md §5).  time_partitioning=False bins
     # all rows into one giant period - the §3.4.2 "too few tablets"
     # failure mode.  merge_policy: "adjacent-half" is the paper's

@@ -9,8 +9,10 @@ benchmarks, the Dashboard applications) can use it directly.
 
 from __future__ import annotations
 
+import os
 from typing import Any, Dict, List, Optional, Sequence
 
+from ..disk.faults import FailpointRegistry, classify_storage_error
 from ..disk.storage import Storage
 from ..disk.vfs import SimulatedDisk
 from ..obs.metrics import MetricsRegistry
@@ -18,12 +20,22 @@ from ..obs.trace import Tracer
 from ..util.clock import Clock, SystemClock
 from .config import DEFAULT_CONFIG, EngineConfig
 from .descriptor import TableDescriptor
-from .errors import NoSuchTableError, TableExistsError
+from .errors import NoSuchTableError, ReadOnlyModeError, TableExistsError
 from .maintenance import MaintenancePolicy, MaintenanceReport
 from .readcache import ReadCache
+from .recovery import ScrubReport, startup_scrub
 from .row import Query
 from .schema import Schema
 from .table import QueryResult, Table
+
+# Environment hook for the failpoint framework: arms the disk with a
+# registry parsed from e.g. "flush.before_descriptor=crash*1" without
+# touching any code (see repro.disk.faults.FailpointRegistry.from_env).
+FAILPOINTS_ENV = "LITTLETABLE_FAILPOINTS"
+
+# Consecutive storage-layer I/O errors (EIO) before the engine
+# degrades to read-only; a single ENOSPC degrades immediately.
+EIO_READ_ONLY_THRESHOLD = 3
 
 
 class LittleTable:
@@ -78,16 +90,41 @@ class LittleTable:
         self.maintenance_policy.validate()
         self._scheduler = None
         self._tables: Dict[str, Table] = {}
+        # Read-only degradation state (ISSUE: "the server degrades to
+        # read-only on ENOSPC or persistent EIO").  Inserts are
+        # rejected with ReadOnlyModeError; queries keep serving.
+        self._read_only_reason: Optional[str] = None
+        self._io_failure_streak = 0
+        self._m_read_only = self.metrics.gauge("fault.read_only")
+        self._m_read_only_entries = self.metrics.counter(
+            "fault.read_only_entries")
+        self._m_read_only_rejections = self.metrics.counter(
+            "fault.read_only_rejections")
+        # Startup scrub BEFORE the env failpoint hook arms: recovery
+        # is the administrative pass cleaning up the last crash, not
+        # part of the workload under test.
+        if self.config.startup_scrub:
+            self.last_scrub = startup_scrub(self.disk, self.metrics)
+        else:
+            self.last_scrub = ScrubReport()
+        if self.disk.failpoints is None:
+            spec = os.environ.get(FAILPOINTS_ENV, "")
+            if spec:
+                self.disk.failpoints = FailpointRegistry.from_env(spec)
+        if self.disk.failpoints is not None:
+            self.disk.failpoints.attach_metrics(self.metrics)
         self._open_existing_tables()
 
     def _open_existing_tables(self) -> None:
         for name in TableDescriptor.list_tables(self.disk):
             descriptor = TableDescriptor.load(self.disk, name)
-            self._tables[name] = Table(self.disk, descriptor, self.config,
-                                       self.clock, cold_disk=self.cold_disk,
-                                       metrics=self.metrics,
-                                       tracer=self.tracer,
-                                       read_cache=self.read_cache)
+            table = Table(self.disk, descriptor, self.config,
+                          self.clock, cold_disk=self.cold_disk,
+                          metrics=self.metrics,
+                          tracer=self.tracer,
+                          read_cache=self.read_cache)
+            table._fault_listener = self._note_storage_failure
+            self._tables[name] = table
 
     # ----------------------------------------------------------- catalog
 
@@ -112,12 +149,14 @@ class LittleTable:
             raise TableExistsError(f"table exists: {name!r}")
         if "/" in name or not name:
             raise ValueError(f"bad table name: {name!r}")
+        self._check_writable()
         descriptor = TableDescriptor(name=name, schema=schema,
                                      ttl_micros=ttl_micros)
         descriptor.save(self.disk)
         table = Table(self.disk, descriptor, self.config, self.clock,
                       cold_disk=self.cold_disk, metrics=self.metrics,
                       tracer=self.tracer, read_cache=self.read_cache)
+        table._fault_listener = self._note_storage_failure
         self._tables[name] = table
         return table
 
@@ -153,6 +192,7 @@ class LittleTable:
 
     def insert(self, table_name: str, rows: Sequence[Dict[str, Any]]) -> int:
         """Insert dict rows into a table."""
+        self._check_writable()
         return self.table(table_name).insert(rows)
 
     def query(self, table_name: str,
@@ -182,6 +222,7 @@ class LittleTable:
         table's entry.
         """
         report = MaintenanceReport()
+        streak_before = self._io_failure_streak
         for name in self.table_names():
             try:
                 table = self._tables[name]
@@ -198,6 +239,10 @@ class LittleTable:
                 report.add(TableMaintenanceReport(
                     table=name,
                     errors=[f"maintenance: {type(exc).__name__}: {exc}"]))
+        # A full pass with no fresh storage failure breaks the EIO
+        # streak: only *consecutive* errors count toward read-only.
+        if self._io_failure_streak == streak_before:
+            self._io_failure_streak = 0
         return report
 
     def maintenance_until_quiet(self, max_rounds: int = 1000) -> int:
@@ -254,6 +299,80 @@ class LittleTable:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    # ------------------------------------------- degraded (read-only) mode
+
+    @property
+    def read_only(self) -> bool:
+        """True while the engine is degraded to read-only."""
+        return self._read_only_reason is not None
+
+    @property
+    def read_only_reason(self) -> Optional[str]:
+        """Why the engine is read-only, or None when writable."""
+        return self._read_only_reason
+
+    def enter_read_only(self, reason: str) -> None:
+        """Degrade to read-only: reject writes, keep serving reads.
+
+        Entered automatically on ENOSPC (immediately) or after
+        ``EIO_READ_ONLY_THRESHOLD`` consecutive I/O failures; may also
+        be called directly (e.g. by an operator before maintenance).
+        """
+        if self._read_only_reason is None:
+            self._m_read_only_entries.inc()
+        self._read_only_reason = reason
+        self._m_read_only.set(1)
+
+    def exit_read_only(self) -> None:
+        """Clear read-only mode after the operator resolves the cause."""
+        self._read_only_reason = None
+        self._io_failure_streak = 0
+        self._m_read_only.set(0)
+
+    def _check_writable(self) -> None:
+        if self._read_only_reason is not None:
+            self._m_read_only_rejections.inc()
+            raise ReadOnlyModeError(
+                f"engine is read-only: {self._read_only_reason}")
+
+    def _note_storage_failure(self, exc: BaseException) -> None:
+        """Fault listener installed on every table (write-path errors).
+
+        Classifies the failure by errno: disk-full degrades at once
+        (retrying cannot help until space is freed); plain I/O errors
+        must persist across ``EIO_READ_ONLY_THRESHOLD`` consecutive
+        events before degrading, so one transient error doesn't take
+        the write path down.
+        """
+        kind = classify_storage_error(exc)
+        if kind == "enospc":
+            self.enter_read_only(f"disk full: {exc}")
+        elif kind == "eio":
+            self._io_failure_streak += 1
+            if (self._io_failure_streak >= EIO_READ_ONLY_THRESHOLD
+                    and self._read_only_reason is None):
+                self.enter_read_only(
+                    f"{self._io_failure_streak} consecutive I/O errors;"
+                    f" last: {exc}")
+
+    def health_summary(self) -> Dict[str, Any]:
+        """Degradation state + fault counters, JSON-safe.
+
+        Served through the STATS command so clients and ``ltdb stats``
+        can see a degraded server without a separate endpoint.
+        """
+        counters = self.metrics.snapshot()["counters"]
+        return {
+            "read_only": self.read_only,
+            "read_only_reason": self._read_only_reason,
+            "io_failure_streak": self._io_failure_streak,
+            "checksum_failures": counters.get(
+                "storage.checksum_failures", 0),
+            "quarantined_tablets": counters.get(
+                "storage.quarantined_tablets", 0),
+            "scrub": self.last_scrub.as_dict(),
+        }
 
     # ------------------------------------------------- crash & archival
 

@@ -31,6 +31,19 @@ class CorruptTabletError(LittleTableError):
     """An on-disk tablet or descriptor failed to parse."""
 
 
+class ChecksumError(CorruptTabletError):
+    """A stored CRC (block, footer, or descriptor) did not match the
+    bytes read back - bit rot or a torn write slipped past structural
+    parsing.  The offending tablet is quarantined; this error reports
+    the detection to the in-flight reader."""
+
+
+class ReadOnlyModeError(LittleTableError):
+    """The engine has degraded to read-only (disk full or persistent
+    I/O errors).  Writes are rejected; reads keep serving.  Clears via
+    ``LittleTable.exit_read_only()`` once the disk recovers."""
+
+
 class QueryError(LittleTableError):
     """Malformed query bounds or options."""
 

@@ -49,8 +49,10 @@ import bisect
 import threading
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (Any, Callable, Dict, Iterator, List, Optional, Sequence,
+                    Tuple)
 
+from ..disk.storage import StorageError
 from ..disk.vfs import SimulatedDisk
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import NULL_TRACER
@@ -206,6 +208,11 @@ class Table:
         self._h_backpressure_wait = m.histogram("insert.backpressure_wait_us")
         self._h_swap_hold = m.histogram("maintenance.swap_lock_hold_us")
         self._m_deferred = m.counter("maintenance.deferred_deletes")
+        self._m_quarantined = m.counter("storage.quarantined_tablets")
+        # Set by the database: receives storage-level exceptions from
+        # flush/merge/TTL so persistent ENOSPC/EIO can flip the engine
+        # to read-only mode.
+        self._fault_listener: Optional[Callable[[BaseException], None]] = None
         self._row_codec = RowCodec(descriptor.schema)
         # The schema-compiled batch codec: validates, sizes, keys, and
         # block-encodes rows without per-value dispatch (core/codec.py).
@@ -371,6 +378,41 @@ class Table:
         if disk.exists(meta.filename):
             disk.delete(meta.filename)
         self._drop_reader_state(meta.tablet_id)
+
+    def quarantine_tablet(self, meta: TabletMeta, reason: str) -> bool:
+        """Pull a corrupt tablet out of the live set.
+
+        The descriptor drops it (atomic replace, same swap discipline
+        as every other tablet-set mutation) and its file moves into
+        ``quarantine/`` on the same device - never deleted, so an
+        operator can inspect or recover it.  Returns False if the
+        tablet was already gone (a concurrent merge or quarantine got
+        there first).
+        """
+        with self.lock:
+            current = self.descriptor.tablets
+            if not any(t.tablet_id == meta.tablet_id for t in current):
+                return False
+            self.descriptor.tablets = [
+                t for t in current if t.tablet_id != meta.tablet_id
+            ]
+            self.descriptor.save(self.disk)
+            self._bump_cache_generation()
+        disk = self._disk_for(meta)
+        destination = f"quarantine/{meta.filename}"
+        try:
+            if disk.exists(meta.filename):
+                if disk.exists(destination):
+                    disk.delete(destination)
+                disk.rename(meta.filename, destination)
+        except StorageError:
+            pass  # quarantining must not fail the caller further
+        self._drop_reader_state(meta.tablet_id)
+        self._m_quarantined.inc()
+        with self.tracer.span("quarantine", table=self.name,
+                              tablet=meta.tablet_id, reason=reason):
+            pass
+        return True
 
     def _tablet_uid(self, meta: TabletMeta) -> int:
         with self._reader_lock:
@@ -729,26 +771,32 @@ class Table:
         now = self.clock.now()
         with self.tracer.span("flush", table=self.name) as span:
             try:
+                self.disk.fire("flush.before_write")
                 for memtable in members:
                     meta = self._write_memtable(memtable, now)
                     if meta is not None:
                         written.append(meta)
-            except Exception:
+            except Exception as exc:
                 # Leave the group flushable: re-queue it so the next
                 # maintenance pass retries (files already written are
                 # not in the descriptor - crash-equivalent garbage).
+                # A simulated kill (CrashPoint derives from
+                # BaseException) bypasses this on purpose.
                 with self.lock:
                     for mid in group:
                         if (mid in self._unflushed
                                 and mid not in self._flush_pending):
                             self._flush_pending.append(mid)
+                self._notify_fault(exc)
                 raise
             swap_started = time.perf_counter()
             with self.lock:
                 if written:
+                    self.disk.fire("flush.before_descriptor")
                     self.descriptor.tablets = (
                         self.descriptor.tablets + written)
                     self.descriptor.save(self.disk)
+                    self.disk.fire("flush.after_descriptor")
                 for mid in group:
                     self._unflushed.pop(mid, None)
                     if mid in self._flush_pending:
@@ -782,6 +830,7 @@ class Table:
             self.config.bloom_bits_per_row if self.config.bloom_filters else 0,
             block_format=self.config.block_format_version,
             metrics=self.metrics,
+            checksums=self.config.checksums,
         )
         meta = writer.write(
             self.descriptor.tablet_filename(tablet_id), (),
@@ -866,6 +915,7 @@ class Table:
                 data = self.disk.storage.read_all(meta.filename)
                 self.cold_disk.write_file(meta.filename, data)
                 with self.lock:
+                    self.disk.fire("migrate.before_descriptor")
                     meta.tier = "cold"
                     self.descriptor.save(self.disk)
                     # The hot copy: capture the hot disk explicitly -
@@ -944,6 +994,7 @@ class Table:
             self.config.bloom_bits_per_row if self.config.bloom_filters else 0,
             block_format=self.config.block_format_version,
             metrics=self.metrics,
+            checksums=self.config.checksums,
         )
         key_of = self.schema.key_of
         if (reader.schema.version == self.schema.version
@@ -978,6 +1029,7 @@ class Table:
                 new_meta.tier = meta.tier
                 remaining.append(new_meta)
                 kept = new_meta.row_count
+            self.disk.fire("rewrite.before_descriptor")
             self.descriptor.tablets = remaining
             self.descriptor.save(self.disk)
             self._defer_delete_locked([meta])
@@ -1018,6 +1070,7 @@ class Table:
         import heapq
 
         started = time.perf_counter()
+        self.disk.fire("merge.before_write")
         tablet_id = self.descriptor.allocate_tablet_id()
         filename = self.descriptor.tablet_filename(tablet_id)
         readers = [self._reader(source) for source in plan.tablets]
@@ -1047,6 +1100,7 @@ class Table:
                 if self.config.bloom_filters else 0,
                 block_format=self.config.block_format_version,
                 metrics=self.metrics,
+                checksums=self.config.checksums,
             )
             key_of = self.schema.key_of
             pairs = heapq.merge(*[r.scan_pairs() for r in readers],
@@ -1066,6 +1120,7 @@ class Table:
                 if self.config.bloom_filters else 0,
                 block_format=self.config.block_format_version,
                 metrics=self.metrics,
+                checksums=self.config.checksums,
             )
             merged = self._merge_streams([
                 self._tablet_rows_translated(source)
@@ -1089,8 +1144,10 @@ class Table:
                 self.counters.rows_merge_written += meta.row_count
                 rows_rewritten = meta.row_count
             self.counters.merges += 1
+            self.disk.fire("merge.before_descriptor")
             self.descriptor.tablets = new_tablets
             self.descriptor.save(self.disk)
+            self.disk.fire("merge.after_descriptor")
             self._defer_delete_locked(plan.tablets)
             self._bump_cache_generation()
             reapable = self._claim_reapable_locked()
@@ -1135,6 +1192,7 @@ class Table:
             block_format=BLOCK_FORMAT_V2,
             metrics=self.metrics,
             expected_rows=plan.total_rows,
+            checksums=config.checksums,
         )
         # Every source row survives a merge, so the output's timespan
         # and zone map are exactly the union of the sources' metadata;
@@ -1239,6 +1297,31 @@ class Table:
         key_of = self.schema.key_of
         return heapq.merge(*sources, key=key_of)
 
+    def _guarded_tablet_rows(self, meta: TabletMeta,
+                             key_range: Optional[KeyRange] = None,
+                             descending: bool = False
+                             ) -> Iterator[Tuple[Any, ...]]:
+        """A tablet scan with corruption isolation.
+
+        A checksum or structural failure (or a vanished file)
+        quarantines the tablet - descriptor drops it, file moves to
+        ``quarantine/`` - and then re-raises for the in-flight query.
+        Detection is never silent: this query gets a typed error, the
+        ``storage.checksum_failures`` / ``storage.quarantined_tablets``
+        metrics advance, and *subsequent* queries serve from the
+        remaining tablets.  Rows already yielded from the bad tablet's
+        earlier blocks were CRC-verified, so nothing corrupt was ever
+        returned.
+        """
+        try:
+            yield from self._tablet_rows_translated(meta, key_range,
+                                                    descending)
+        except (CorruptTabletError, StorageError) as exc:
+            if self.config.quarantine_on_corruption:
+                self.quarantine_tablet(
+                    meta, f"{type(exc).__name__}: {exc}")
+            raise
+
     def _tablet_rows_translated(self, meta: TabletMeta,
                                 key_range: Optional[KeyRange] = None,
                                 descending: bool = False
@@ -1288,11 +1371,13 @@ class Table:
             with self.tracer.span("ttl_expire", table=self.name,
                                   tablets=len(expired), rows=expired_rows):
                 with self.lock:
+                    self.disk.fire("ttl.before_descriptor")
                     self.descriptor.tablets = [
                         t for t in self.descriptor.tablets
                         if t.tablet_id not in expired_ids
                     ]
                     self.descriptor.save(self.disk)
+                    self.disk.fire("ttl.after_descriptor")
                     self._defer_delete_locked(expired)
                     self._bump_cache_generation()
                     reapable = self._claim_reapable_locked()
@@ -1340,6 +1425,15 @@ class Table:
                                   kind: str, exc: BaseException) -> None:
         report.errors.append(f"{kind}: {type(exc).__name__}: {exc}")
         self.metrics.counter("maintenance.errors").inc()
+        self._notify_fault(exc)
+
+    def _notify_fault(self, exc: BaseException) -> None:
+        """Tell the database about a storage-level failure (it decides
+        whether to degrade to read-only).  Duplicate notifications for
+        one failure are fine - the listener is idempotent."""
+        listener = self._fault_listener
+        if listener is not None:
+            listener(exc)
 
     def maintenance_due(self, now: Optional[int] = None,
                         include_merge: bool = True) -> bool:
@@ -1445,7 +1539,7 @@ class Table:
         for meta in selected:
             stats.tablets_opened += 1
             sources.append(
-                self._tablet_rows_translated(meta, query.key_range, descending)
+                self._guarded_tablet_rows(meta, query.key_range, descending)
             )
         for memtable in memtables:
             if not query.time_range.overlaps(memtable.min_ts,

@@ -16,6 +16,20 @@ File layout (paper §3.2, §3.5):
   little-endian.  The compressed footer therefore spans
   ``[offset, file_size - 16)``.
 
+Format v2.1 (checksummed storage) extends the trailer to 24 bytes:
+the two legacy words, then the CRC of the *compressed* footer bytes
+(4 bytes LE) and the magic ``b"LT21"``.  The footer additionally
+carries one CRC per block (over each block's compressed payload),
+appended after the ``block_format`` field through the same
+trailing-field mechanism, so the footer CRC guards the block CRCs and
+the block CRCs guard the data.  Readers detect v2.1 by the magic: a
+legacy 16-byte trailer's last four bytes are the high bytes of the
+footer offset, which are always zero for any real file, so the magic
+can never collide.  Every flipped bit is therefore caught somewhere:
+in a block (block CRC), in the footer (footer CRC), or in the trailer
+itself (magic/offset validation or footer CRC mismatch).
+
+
 Block bodies come in two formats.  v1 is row-major: each row's v1
 encoding concatenated.  v2 (``core/codec.py``) is column-major with
 delta timestamps, prefix-compressed key strings, and restart points;
@@ -38,6 +52,7 @@ from typing import Any, Iterable, Iterator, List, Optional, Tuple
 from ..disk.vfs import SimulatedDisk
 from ..obs.metrics import NULL_REGISTRY
 from ..util.bloom import KeyPrefixBloom
+from ..util.checksum import crc32c
 from ..util.varint import decode_uvarint, encode_uvarint
 from .block import (
     BlockBuilder,
@@ -49,12 +64,16 @@ from .block import (
 )
 from .codec import BLOCK_FORMAT_V1, BLOCK_FORMAT_V2, SchemaCodec
 from .encoding import RowCodec
-from .errors import CorruptTabletError
+from .errors import ChecksumError, CorruptTabletError
 from .readcache import NULL_READ_CACHE
 from .row import KeyRange
 from .schema import ColumnType, Schema
 
 TRAILER_BYTES = 16
+
+# Format v2.1: legacy trailer + footer CRC (4 bytes LE) + magic.
+CHECKSUM_TRAILER_BYTES = 24
+CHECKSUM_MAGIC = b"LT21"
 
 _UNSET = object()
 
@@ -168,12 +187,15 @@ class TabletSink:
                  block_size: int, compression: str,
                  bloom_bits_per_row: int = 0,
                  block_format: int = BLOCK_FORMAT_V2,
-                 metrics=None, expected_rows: int = 0):
+                 metrics=None, expected_rows: int = 0,
+                 checksums: bool = True):
         self.disk = disk
         self.schema = schema
         self.codec = codec_id(compression)
         self.block_size = block_size
         self.block_format = block_format
+        self.checksums = checksums
+        self._block_crcs: List[int] = []
         self.bloom_bits_per_row = bloom_bits_per_row
         self.schema_codec = SchemaCodec(schema, metrics)
         self._key_of = self.schema_codec.key_of
@@ -290,6 +312,8 @@ class TabletSink:
         payload = compress(self.codec, raw)
         self._entries.append(_BlockEntry(
             len(self._body), len(payload), len(self._rows), self._keys[-1]))
+        if self.checksums:
+            self._block_crcs.append(crc32c(payload))
         self._body += payload
         self._rows = []
         self._keys = []
@@ -299,6 +323,8 @@ class TabletSink:
         payload, count, _raw = self._builder.finish(self.codec)
         self._entries.append(_BlockEntry(
             len(self._body), len(payload), count, self.last_key))
+        if self.checksums:
+            self._block_crcs.append(crc32c(payload))
         self._body += payload
 
     def _cut_pending(self) -> None:
@@ -321,6 +347,8 @@ class TabletSink:
         self._cut_pending()
         self._entries.append(_BlockEntry(
             len(self._body), len(payload), row_count, last_key))
+        if self.checksums:
+            self._block_crcs.append(crc32c(payload))
         self._body += payload
         self.row_count += row_count
         if self.first_key is None:
@@ -381,7 +409,11 @@ class TabletSink:
         footer_offset = len(self._body)
         trailer = (len(footer).to_bytes(8, "little")
                    + footer_offset.to_bytes(8, "little"))
+        if self.checksums:
+            trailer += (crc32c(compressed_footer).to_bytes(4, "little")
+                        + CHECKSUM_MAGIC)
         file_bytes = bytes(self._body) + compressed_footer + trailer
+        self.disk.fire("tablet.write")
         self.disk.write_file(filename, file_bytes)
         return TabletMeta(
             tablet_id=tablet_id,
@@ -418,6 +450,13 @@ class TabletSink:
         # Trailing fields: absent in pre-v2 footers (which end at the
         # Bloom bytes), so readers treat a missing version as v1.
         out += encode_uvarint(self.block_format)
+        # v2.1: one CRC per block, over the compressed payload.  The
+        # reader only looks for these when the trailer carries the
+        # v2.1 magic, so legacy parsers stay compatible.
+        if self.checksums:
+            out += encode_uvarint(len(self._entries))
+            for crc in self._block_crcs:
+                out += crc.to_bytes(4, "little")
         return bytes(out)
 
 
@@ -428,7 +467,7 @@ class TabletWriter:
                  block_size: int, compression: str,
                  bloom_bits_per_row: int = 0,
                  block_format: int = BLOCK_FORMAT_V2,
-                 metrics=None):
+                 metrics=None, checksums: bool = True):
         self.disk = disk
         self.schema = schema
         self.codec = codec_id(compression)
@@ -436,6 +475,7 @@ class TabletWriter:
         self.block_size = block_size
         self.bloom_bits_per_row = bloom_bits_per_row
         self.block_format = block_format
+        self.checksums = checksums
         self.metrics = metrics
         self._row_codec = RowCodec(schema)
 
@@ -459,7 +499,8 @@ class TabletWriter:
         sink = TabletSink(self.disk, self.schema, self.block_size,
                           self.compression, self.bloom_bits_per_row,
                           self.block_format, metrics=self.metrics,
-                          expected_rows=expected_rows)
+                          expected_rows=expected_rows,
+                          checksums=self.checksums)
         if sized_pairs is not None:
             for row, size in sized_pairs:
                 sink.add_row(row, size=size)
@@ -486,11 +527,11 @@ class _ParsedFooter:
 
     __slots__ = ("schema", "row_codec", "min_ts", "max_ts", "row_count",
                  "codec", "entries", "last_keys", "bloom", "body_size",
-                 "block_format")
+                 "block_format", "block_crcs")
 
     def __init__(self, schema, row_codec, min_ts, max_ts, row_count,
                  codec, entries, last_keys, bloom, body_size,
-                 block_format):
+                 block_format, block_crcs=None):
         self.schema = schema
         self.row_codec = row_codec
         self.min_ts = min_ts
@@ -502,6 +543,7 @@ class _ParsedFooter:
         self.bloom = bloom
         self.body_size = body_size
         self.block_format = block_format
+        self.block_crcs = block_crcs
 
 
 class TabletReader:
@@ -529,6 +571,8 @@ class TabletReader:
         self._m_blocks_read = self.metrics.counter("tablet.blocks_read")
         self._m_block_bytes = self.metrics.counter("tablet.block_bytes_read")
         self._m_footer_loads = self.metrics.counter("tablet.footer_loads")
+        self._m_checksum_failures = self.metrics.counter(
+            "storage.checksum_failures")
         self._m_bloom_probes = self.metrics.counter("bloom.probes")
         self._m_bloom_negative = self.metrics.counter("bloom.negatives")
         self._m_bloom_positive = self.metrics.counter("bloom.positives")
@@ -549,7 +593,14 @@ class TabletReader:
         self._bloom: Optional[KeyPrefixBloom] = None
         self._body_size = 0
         self.block_format = BLOCK_FORMAT_V1
+        self._block_crcs: Optional[List[int]] = None
         self._schema_codec: Optional[SchemaCodec] = None
+
+    @property
+    def has_checksums(self) -> bool:
+        """True when this tablet carries v2.1 content CRCs."""
+        self.ensure_loaded()
+        return self._block_crcs is not None
 
     # ----------------------------------------------------------- footer
 
@@ -571,21 +622,41 @@ class TabletReader:
         size = disk.size(self.filename)
         if size < TRAILER_BYTES:
             raise CorruptTabletError(f"{self.filename}: too small")
-        trailer = disk.read(self.filename, size - TRAILER_BYTES, TRAILER_BYTES)
-        footer_size = int.from_bytes(trailer[:8], "little")
-        footer_offset = int.from_bytes(trailer[8:16], "little")
-        compressed_len = size - TRAILER_BYTES - footer_offset
+        # v2.1 files end in a 24-byte trailer tagged with the magic; a
+        # legacy trailer's last 4 bytes are the high bytes of the
+        # footer offset (always zero), so the magic cannot collide.
+        tail_len = min(size, CHECKSUM_TRAILER_BYTES)
+        tail = disk.read(self.filename, size - tail_len, tail_len)
+        footer_crc: Optional[int] = None
+        if (tail_len == CHECKSUM_TRAILER_BYTES
+                and tail[20:24] == CHECKSUM_MAGIC):
+            footer_size = int.from_bytes(tail[0:8], "little")
+            footer_offset = int.from_bytes(tail[8:16], "little")
+            footer_crc = int.from_bytes(tail[16:20], "little")
+            trailer_bytes = CHECKSUM_TRAILER_BYTES
+        else:
+            trailer = tail[-TRAILER_BYTES:]
+            footer_size = int.from_bytes(trailer[:8], "little")
+            footer_offset = int.from_bytes(trailer[8:16], "little")
+            trailer_bytes = TRAILER_BYTES
+        compressed_len = size - trailer_bytes - footer_offset
         if compressed_len < 0 or footer_offset > size:
             raise CorruptTabletError(f"{self.filename}: bad trailer")
         compressed = disk.read(self.filename, footer_offset, compressed_len)
+        if footer_crc is not None and crc32c(compressed) != footer_crc:
+            self._m_checksum_failures.inc()
+            raise ChecksumError(
+                f"{self.filename}: footer checksum mismatch")
         self._body_size = footer_offset
-        self._parse_footer(compressed, footer_size)
+        self._parse_footer(compressed, footer_size,
+                           has_checksums=footer_crc is not None)
         self._loaded = True
         self._m_footer_loads.inc()
         self._cache.put_footer(self._cache_uid, _ParsedFooter(
             self.schema, self._row_codec, self.min_ts, self.max_ts,
             self.row_count, self._codec, self._entries, self._last_keys,
-            self._bloom, self._body_size, self.block_format))
+            self._bloom, self._body_size, self.block_format,
+            self._block_crcs))
 
     def _install_footer(self, footer: _ParsedFooter) -> None:
         self.schema = footer.schema
@@ -599,9 +670,11 @@ class TabletReader:
         self._bloom = footer.bloom
         self._body_size = footer.body_size
         self.block_format = footer.block_format
+        self._block_crcs = footer.block_crcs
         self._schema_codec = SchemaCodec(self.schema, self._decode_metrics)
 
-    def _parse_footer(self, compressed: bytes, footer_size: int) -> None:
+    def _parse_footer(self, compressed: bytes, footer_size: int,
+                      has_checksums: bool = False) -> None:
         # The codec byte lives inside the (possibly compressed) footer,
         # so detect the footer's own encoding by attempting zlib first
         # and falling back to raw; the trailer's decompressed-size word
@@ -617,9 +690,10 @@ class TabletReader:
                 raise CorruptTabletError(
                     f"{self.filename}: footer size mismatch"
                 )
-        self._parse_footer_body(footer)
+        self._parse_footer_body(footer, has_checksums)
 
-    def _parse_footer_body(self, footer: bytes) -> None:
+    def _parse_footer_body(self, footer: bytes,
+                           has_checksums: bool = False) -> None:
         offset = 0
         schema_len, offset = decode_uvarint(footer, offset)
         try:
@@ -668,6 +742,27 @@ class TabletReader:
             self.block_format = block_format
         else:
             self.block_format = BLOCK_FORMAT_V1
+        # v2.1 (signalled by the trailer magic): per-block CRCs.  The
+        # footer CRC already vouched for these bytes, so failures here
+        # mean a buggy writer, not bit rot - still refuse to serve.
+        self._block_crcs = None
+        if has_checksums:
+            if offset >= len(footer):
+                raise CorruptTabletError(
+                    f"{self.filename}: missing block checksums")
+            crc_count, offset = decode_uvarint(footer, offset)
+            if crc_count != len(entries):
+                raise CorruptTabletError(
+                    f"{self.filename}: block checksum count mismatch")
+            if offset + 4 * crc_count > len(footer):
+                raise CorruptTabletError(
+                    f"{self.filename}: truncated block checksums")
+            self._block_crcs = [
+                int.from_bytes(footer[offset + 4 * i:offset + 4 * i + 4],
+                               "little")
+                for i in range(crc_count)
+            ]
+            offset += 4 * crc_count
         self._entries = entries
         self._last_keys = [entry.last_key for entry in entries]
         self._schema_codec = SchemaCodec(self.schema, self._decode_metrics)
@@ -696,13 +791,24 @@ class TabletReader:
         return self._schema_codec
 
     def read_block_payload(self, index: int) -> bytes:
-        """The compressed bytes of block ``index`` (one seek)."""
+        """The compressed bytes of block ``index`` (one seek).
+
+        On v2.1 tablets the payload's CRC is verified here - every
+        disk read of a block passes through this method, so a flipped
+        bit anywhere in the body surfaces as :class:`ChecksumError`
+        before any row is decoded.
+        """
         self.ensure_loaded()
         entry = self._entries[index]
         payload = self.disk.read(self.filename, entry.offset,
                                  entry.compressed_len)
         self._m_blocks_read.inc()
         self._m_block_bytes.inc(entry.compressed_len)
+        crcs = self._block_crcs
+        if crcs is not None and crc32c(payload) != crcs[index]:
+            self._m_checksum_failures.inc()
+            raise ChecksumError(
+                f"{self.filename}: block {index} checksum mismatch")
         return payload
 
     def decode_payload(self, index: int, payload: bytes
@@ -755,10 +861,7 @@ class TabletReader:
         blocks keys are None and extracted lazily by scans.
         """
         entry = self._entries[index]
-        payload = self.disk.read(self.filename, entry.offset,
-                                 entry.compressed_len)
-        self._m_blocks_read.inc()
-        self._m_block_bytes.inc(entry.compressed_len)
+        payload = self.read_block_payload(index)
         raw = decompress(self._codec, payload)
         if self.block_format == BLOCK_FORMAT_V2:
             rows, keys = self._schema_codec.decode_block(raw)
@@ -840,10 +943,7 @@ class TabletReader:
             return
         for index in range(len(self._entries)):
             entry = self._entries[index]
-            payload = self.disk.read(self.filename, entry.offset,
-                                     entry.compressed_len)
-            self._m_blocks_read.inc()
-            self._m_block_bytes.inc(entry.compressed_len)
+            payload = self.read_block_payload(index)
             yield from decode_block_pairs(payload, self._codec,
                                           self._row_codec, entry.row_count,
                                           metrics=self._decode_metrics)

@@ -30,6 +30,7 @@ def metrics_page(db: LittleTable,
                    for name in db.table_names()},
         "spans": [span.to_dict()
                   for span in db.tracer.recent(limit=recent_spans)],
+        "health": db.health_summary(),
     }
 
 
@@ -188,6 +189,33 @@ def maintenance_summary(snapshot: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
+def fault_summary(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """The fault-tolerance corner of a snapshot.
+
+    Detection (checksum failures), containment (quarantined tablets,
+    scrub activity), degradation (read-only mode), and injection (how
+    many faults the failpoint framework fired - nonzero only under
+    test).  The ``fault`` subsection of ``ltdb stats --json`` and the
+    engine-health page both render this.
+    """
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    return {
+        "checksum_failures": counters.get("storage.checksum_failures", 0),
+        "quarantined_tablets": counters.get(
+            "storage.quarantined_tablets", 0),
+        "scrub_runs": counters.get("storage.scrub_runs", 0),
+        "scrub_orphans_removed": counters.get(
+            "storage.scrub_orphans_removed", 0),
+        "scrub_quarantined": counters.get("storage.scrub_quarantined", 0),
+        "read_only": bool(gauges.get("fault.read_only", 0)),
+        "read_only_entries": counters.get("fault.read_only_entries", 0),
+        "read_only_rejections": counters.get(
+            "fault.read_only_rejections", 0),
+        "faults_injected": counters.get("fault.injected", 0),
+    }
+
+
 def render_metrics_page(page: Dict[str, Any]) -> str:
     """Render :func:`metrics_page` output as text (CLI and logs)."""
     lines: List[str] = ["== engine metrics =="]
@@ -246,6 +274,25 @@ def render_metrics_page(page: Dict[str, Any]) -> str:
     lines.append(
         f"backpressure: stalls={stalls['stalls']}, "
         f"wait_p99={us(stalls['wait_p99_us'])}")
+    fault = fault_summary(page.get("metrics", {}))
+    lines.append("")
+    lines.append("== fault tolerance ==")
+    lines.append(
+        f"checksum_failures={fault['checksum_failures']}, "
+        f"quarantined_tablets={fault['quarantined_tablets']}, "
+        f"faults_injected={fault['faults_injected']}")
+    lines.append(
+        f"scrub: runs={fault['scrub_runs']}, "
+        f"garbage_removed={fault['scrub_orphans_removed']}, "
+        f"quarantined={fault['scrub_quarantined']}")
+    lines.append(
+        f"read_only={fault['read_only']}, "
+        f"entries={fault['read_only_entries']}, "
+        f"rejections={fault['read_only_rejections']}")
+    health_state = page.get("health")
+    if health_state and health_state.get("read_only"):
+        lines.append(
+            f"DEGRADED: {health_state.get('read_only_reason')}")
     tables = page.get("tables", {})
     if tables:
         lines.append("")

@@ -3,21 +3,34 @@
 See DESIGN.md section 2: the paper evaluates on a single 7,200 RPM
 spindle; this package provides the storage backends plus a first-order
 disk cost model so benchmarks can report paper-comparable disk time.
+``faults`` layers deterministic fault injection (crashes, torn writes,
+bit flips, EIO/ENOSPC) over the disk for chaos testing.
 """
 
+from .faults import (ACTIONS, KNOWN_SITES, CrashPoint, DiskFullError,
+                     FailpointRegistry, FaultyVFS, InjectedIOError,
+                     classify_storage_error)
 from .model import DiskModel, DiskParameters, IoStats, KIB, MIB
 from .storage import FileStorage, MemoryStorage, Storage, StorageError
 from .vfs import SimulatedDisk
 
 __all__ = [
+    "ACTIONS",
+    "KNOWN_SITES",
+    "CrashPoint",
+    "DiskFullError",
     "DiskModel",
     "DiskParameters",
+    "FailpointRegistry",
+    "FaultyVFS",
+    "FileStorage",
+    "InjectedIOError",
     "IoStats",
     "KIB",
     "MIB",
-    "FileStorage",
     "MemoryStorage",
+    "SimulatedDisk",
     "Storage",
     "StorageError",
-    "SimulatedDisk",
+    "classify_storage_error",
 ]

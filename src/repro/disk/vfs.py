@@ -23,6 +23,10 @@ class SimulatedDisk:
                  params: Optional[DiskParameters] = None):
         self.storage = storage if storage is not None else MemoryStorage()
         self.model = DiskModel(params)
+        # A FailpointRegistry (disk/faults.py) when fault injection is
+        # armed; None in normal operation.  Duck-typed to avoid a
+        # vfs -> faults import cycle.
+        self.failpoints = None
         self._init_metrics(NULL_REGISTRY)
 
     def _init_metrics(self, registry) -> None:
@@ -51,15 +55,28 @@ class SimulatedDisk:
         """Clear the modeled page cache (as the paper does between runs)."""
         self.model.drop_caches()
 
+    # Fault injection ---------------------------------------------------
+
+    def fire(self, site: str) -> None:
+        """Hit a named failpoint site; no-op unless one is armed."""
+        if self.failpoints is not None:
+            self.failpoints.fire(site)
+
     # File operations ---------------------------------------------------
 
     def write_file(self, name: str, data: bytes) -> float:
         """Write a whole new file; returns modeled seconds."""
+        crash_after = None
+        if self.failpoints is not None:
+            data, crash_after = self.failpoints.intercept_write(name, data)
         self.storage.write_file(name, data)
         self.model.allocate(name, len(data))
         self._m_writes.inc()
         self._m_write_bytes.inc(len(data))
-        return self.model.charge_write(name, len(data))
+        seconds = self.model.charge_write(name, len(data))
+        if crash_after is not None:
+            raise crash_after
+        return seconds
 
     def open(self, name: str) -> None:
         """Charge the inode-read seek for first open of a file.
@@ -72,6 +89,7 @@ class SimulatedDisk:
 
     def read(self, name: str, offset: int, length: int) -> bytes:
         """Read bytes, charging modeled time for uncached chunks."""
+        self.fire("disk.read")
         data = self.storage.read(name, offset, length)
         self.model.charge_read(name, offset, len(data))
         self._m_reads.inc()
@@ -88,12 +106,14 @@ class SimulatedDisk:
         return self.storage.exists(name)
 
     def delete(self, name: str) -> None:
+        self.fire("disk.delete")
         self.storage.delete(name)
         self.model.release(name)
         self._m_deletes.inc()
 
     def rename(self, old: str, new: str) -> None:
         """Atomic rename (free in the model: metadata only)."""
+        self.fire("disk.rename")
         self.storage.rename(old, new)
         self.model.rename(old, new)
 

@@ -10,12 +10,20 @@ Plays the role of the paper's SQLite-side adaptor (§3.1, §3.5):
   transmits them to the LittleTable server in batches", §3.1);
 * transparently continues queries that hit the server's row limit by
   re-submitting with the start bound moved past the last returned key
-  (§3.5).
+  (§3.5);
+* retries *idempotent* commands (queries, latest, stats, schema
+  listing, ping) through a bounded auto-reconnect with exponential
+  backoff and jitter.  Writes and DDL are never retried: a connection
+  can break after the server applied an insert but before the reply
+  arrived, and a blind resend would duplicate rows - exactly the
+  recovery protocol the paper leaves to the application (§4.1).
 """
 
 from __future__ import annotations
 
+import random
 import socket
+import time
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..core import errors as _errors
@@ -52,10 +60,38 @@ _ERROR_TYPES.setdefault("InternalError", ServerError)
 class LittleTableClient:
     """A connection to a LittleTable server."""
 
-    def __init__(self, host: str, port: int, insert_batch_rows: int = 512):
+    def __init__(self, host: str, port: int, insert_batch_rows: int = 512,
+                 connect_timeout_s: float = 10.0,
+                 request_timeout_s: Optional[float] = None,
+                 max_retries: int = 3,
+                 retry_backoff_s: float = 0.05,
+                 retry_backoff_max_s: float = 2.0,
+                 auto_reconnect: bool = True):
+        """Connect to a server.
+
+        ``connect_timeout_s`` bounds connection establishment (the old
+        hardwired 10 s, now a knob); ``request_timeout_s`` bounds each
+        request/response round trip (None = wait forever, the historic
+        behaviour).  A timed-out or broken idempotent request is
+        retried up to ``max_retries`` times through a fresh connection,
+        sleeping ``retry_backoff_s * 2**attempt`` (capped at
+        ``retry_backoff_max_s``, jittered to half) between attempts;
+        ``auto_reconnect=False`` disables retries entirely, surfacing
+        every break as :class:`~repro.net.protocol.ConnectionLost`.
+        """
         self._address = (host, port)
         self._sock: Optional[socket.socket] = None
         self.insert_batch_rows = insert_batch_rows
+        self.connect_timeout_s = connect_timeout_s
+        self.request_timeout_s = request_timeout_s
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+        self.retry_backoff_max_s = retry_backoff_max_s
+        self.auto_reconnect = auto_reconnect
+        # Injectable for deterministic tests (resilience suite swaps
+        # these to count sleeps instead of waiting them out).
+        self._sleep = time.sleep
+        self._rng = random.Random()
         self._pending: Dict[str, List[Tuple[Any, ...]]] = {}
         # Lazily-filled table -> Schema cache used by the query
         # continuation path; invalidated by every DDL call (and on
@@ -69,8 +105,12 @@ class LittleTableClient:
     def connect(self) -> None:
         """(Re)establish the persistent connection."""
         self.close()
-        sock = socket.create_connection(self._address, timeout=10)
+        sock = socket.create_connection(self._address,
+                                        timeout=self.connect_timeout_s)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        # After the handshake the socket switches to the per-request
+        # read timeout; None restores blocking mode.
+        sock.settimeout(self.request_timeout_s)
         self._sock = sock
         # The server may have restarted with different tables.
         self.invalidate_schema_cache()
@@ -93,15 +133,44 @@ class LittleTableClient:
     def connected(self) -> bool:
         return self._sock is not None
 
-    def _call(self, message: Dict[str, Any]) -> Dict[str, Any]:
-        if self._sock is None:
-            raise ConnectionLost("not connected")
+    def _call(self, message: Dict[str, Any],
+              idempotent: bool = False) -> Dict[str, Any]:
+        """One request/response exchange, with bounded retries.
+
+        Only ``idempotent`` requests survive a broken connection:
+        they are resent through a fresh connection up to
+        ``max_retries`` times with jittered exponential backoff.
+        Non-idempotent requests (inserts, DDL) always surface the
+        first :class:`ConnectionLost` - the server may have applied
+        them, so only the application can safely decide to resend
+        (the paper's §4.1 recovery protocol).
+        """
+        retries = (self.max_retries
+                   if idempotent and self.auto_reconnect else 0)
+        last_error: Optional[Exception] = None
+        for attempt in range(retries + 1):
+            if attempt:
+                self._backoff(attempt - 1)
+            try:
+                if self._sock is None:
+                    if not (idempotent and self.auto_reconnect):
+                        raise ConnectionLost("not connected")
+                    self.connect()
+                return self._call_once(message)
+            except (ConnectionLost, OSError) as exc:
+                self.close()
+                last_error = exc
+        if isinstance(last_error, ConnectionLost):
+            raise last_error
+        raise ConnectionLost(str(last_error)) from last_error
+
+    def _call_once(self, message: Dict[str, Any]) -> Dict[str, Any]:
         try:
             send_message(self._sock, message)
             response = recv_message(self._sock)
         except (ConnectionLost, OSError) as exc:
             # The persistent connection broke: surface it so the
-            # application can run its recovery protocol (§4.1).
+            # caller (or _call's retry loop) can run recovery (§4.1).
             self.close()
             if isinstance(exc, ConnectionLost):
                 raise
@@ -112,9 +181,15 @@ class LittleTableClient:
                                       LittleTableError)
         raise error_type(response.get("message", "server error"))
 
+    def _backoff(self, attempt: int) -> None:
+        delay = min(self.retry_backoff_max_s,
+                    self.retry_backoff_s * (2 ** attempt))
+        self._sleep(delay * (0.5 + 0.5 * self._rng.random()))
+
     def ping(self) -> bool:
         """Round-trip liveness check."""
-        return bool(self._call({"cmd": "ping"}).get("pong"))
+        return bool(self._call({"cmd": "ping"},
+                               idempotent=True).get("pong"))
 
     # ------------------------------------------------------ observability
 
@@ -124,17 +199,27 @@ class LittleTableClient:
         Returns exactly what ``db.metrics.snapshot()`` returns in
         process: ``{"counters": ..., "gauges": ..., "histograms": ...}``.
         """
-        return self._call({"cmd": "stats", "tables": False})["metrics"]
+        return self._call({"cmd": "stats", "tables": False},
+                          idempotent=True)["metrics"]
 
     def table_stats(self) -> Dict[str, Dict[str, Any]]:
         """Per-table shape summaries (``Table.stats_summary`` each)."""
-        return self._call({"cmd": "stats", "tables": True})["tables"]
+        return self._call({"cmd": "stats", "tables": True},
+                          idempotent=True)["tables"]
+
+    def health(self) -> Dict[str, Any]:
+        """The server's degradation state (``db.health_summary()``):
+        read-only mode + reason, checksum failures, quarantined
+        tablets, last startup scrub.  Empty dict from servers that
+        predate the fault-tolerance layer."""
+        return self._call({"cmd": "stats", "tables": False},
+                          idempotent=True).get("health", {})
 
     # ----------------------------------------------------------- schema
 
     def list_tables(self) -> Dict[str, Schema]:
         """Download the table list and schemas (connect-time step)."""
-        response = self._call({"cmd": "list_tables"})
+        response = self._call({"cmd": "list_tables"}, idempotent=True)
         return {
             entry["name"]: Schema.from_dict(entry["schema"])
             for entry in response["tables"]
@@ -239,7 +324,7 @@ class LittleTableClient:
             }
             if limit is not None:
                 request["limit"] = limit - returned
-            response = self._call(request)
+            response = self._call(request, idempotent=True)
             rows = [decode_row(row) for row in response["rows"]]
             last_row: Optional[Tuple[Any, ...]] = None
             for row in rows:
@@ -270,7 +355,7 @@ class LittleTableClient:
             "cmd": "latest", "table": table,
             "prefix": encode_key(tuple(prefix)),
             "max_lookback_micros": max_lookback_micros,
-        })
+        }, idempotent=True)
         row = response.get("row")
         return None if row is None else decode_row(row)
 

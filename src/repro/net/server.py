@@ -17,12 +17,23 @@ may see some, all, or none of its rows (§3.1).
 
 from __future__ import annotations
 
+import logging
 import socket
 import socketserver
 import threading
 import time
 import warnings
 from typing import Any, Dict, Optional
+
+logger = logging.getLogger(__name__)
+
+# Commands refused while the engine is degraded to read-only (disk
+# full / persistent I/O errors).  Reads and stats keep serving; the
+# maintenance command stays allowed because TTL expiry and deferred
+# deletes are how space gets freed again.
+_WRITE_COMMANDS = frozenset(
+    {"insert", "create_table", "drop_table", "alter", "bulk_delete",
+     "flush"})
 
 from ..core.database import LittleTable
 from ..core.errors import LittleTableError
@@ -154,7 +165,23 @@ class LittleTableServer:
             self._connections.clear()
         if self._thread is not None:
             self._thread.join(timeout=5)
-            self._thread = None
+            if self._thread.is_alive():
+                # Leaking a live serve_forever thread silently (the
+                # old behaviour set _thread = None regardless) hid a
+                # wedged shutdown from callers; keep the handle so
+                # is_stopped tells the truth, and say so.
+                logger.warning(
+                    "server thread did not exit within 5s; "
+                    "leaving it running (daemon)")
+            else:
+                self._thread = None
+
+    @property
+    def is_stopped(self) -> bool:
+        """True once the serving thread has actually exited (or was
+        never started).  False while serving *and* when a stop timed
+        out with the thread still alive."""
+        return self._thread is None or not self._thread.is_alive()
 
     def close(self) -> None:
         """Alias for :meth:`stop`, completing the symmetric
@@ -186,6 +213,12 @@ class LittleTableServer:
             self._m_errors.inc()
             return protocol.error_response(
                 "ProtocolViolationError", f"unknown command {command!r}")
+        if command in _WRITE_COMMANDS and self.db.read_only:
+            self._m_errors.inc()
+            self.metrics.counter("fault.read_only_rejections").inc()
+            return protocol.error_response(
+                "ReadOnlyModeError",
+                f"server is read-only: {self.db.read_only_reason}")
         started = time.perf_counter()
         try:
             response = handler(request)
@@ -283,7 +316,8 @@ class LittleTableServer:
         view an in-process user reads - plus per-table shape summaries
         when ``tables`` is requested.
         """
-        response: Dict[str, Any] = {"metrics": self.db.metrics.snapshot()}
+        response: Dict[str, Any] = {"metrics": self.db.metrics.snapshot(),
+                                    "health": self.db.health_summary()}
         if request.get("tables", True):
             response["tables"] = {
                 name: self.db.table(name).stats_summary()

@@ -1,0 +1,172 @@
+"""The failpoint framework itself: arming, firing, interception."""
+
+import pytest
+
+from repro.disk import (
+    ACTIONS,
+    KNOWN_SITES,
+    CrashPoint,
+    DiskFullError,
+    FailpointRegistry,
+    FaultyVFS,
+    InjectedIOError,
+    classify_storage_error,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestRegistry:
+    def test_unarmed_site_is_free(self):
+        registry = FailpointRegistry()
+        registry.fire("disk.write")  # nothing armed: no-op
+        assert registry.fired == {}
+
+    def test_crash_fires_once_by_default(self):
+        registry = FailpointRegistry()
+        registry.set("flush.before_descriptor", "crash")
+        with pytest.raises(CrashPoint):
+            registry.fire("flush.before_descriptor")
+        registry.fire("flush.before_descriptor")  # count exhausted
+        assert registry.fired["flush.before_descriptor"] == 1
+
+    def test_skip_delays_firing(self):
+        registry = FailpointRegistry()
+        registry.set("disk.rename", "eio", skip=2)
+        registry.fire("disk.rename")
+        registry.fire("disk.rename")
+        with pytest.raises(InjectedIOError):
+            registry.fire("disk.rename")
+
+    def test_count_minus_one_fires_forever(self):
+        registry = FailpointRegistry()
+        registry.set("disk.read", "enospc", count=-1)
+        for _ in range(5):
+            with pytest.raises(DiskFullError):
+                registry.fire("disk.read")
+        assert registry.fired["disk.read"] == 5
+
+    def test_clear_disarms(self):
+        registry = FailpointRegistry()
+        registry.set("disk.write", "crash")
+        registry.clear("disk.write")
+        registry.fire("disk.write")
+        registry.set("disk.write", "crash")
+        registry.clear()
+        registry.fire("disk.write")
+
+    def test_unknown_action_rejected(self):
+        registry = FailpointRegistry()
+        with pytest.raises(ValueError):
+            registry.set("disk.write", "explode")
+
+    def test_torn_and_bitflip_are_write_only(self):
+        registry = FailpointRegistry()
+        for action in ("torn", "bitflip"):
+            with pytest.raises(ValueError):
+                registry.set("disk.rename", action)
+        registry.set("disk.write", "torn")  # allowed there
+
+    def test_actions_and_sites_catalog(self):
+        assert set(ACTIONS) == {"crash", "torn", "bitflip", "eio", "enospc"}
+        # The crash matrix relies on a stable, sufficiently broad
+        # catalog: write/rename paths across flush, merge, TTL, and
+        # descriptor swaps.
+        assert len(KNOWN_SITES) >= 10
+        for site in ("disk.write", "disk.rename", "flush.before_descriptor",
+                     "merge.after_descriptor", "ttl.before_descriptor"):
+            assert site in KNOWN_SITES
+
+    def test_metrics_count_fired_faults(self):
+        metrics = MetricsRegistry()
+        registry = FailpointRegistry()
+        registry.attach_metrics(metrics)
+        registry.set("disk.read", "eio", count=2)
+        for _ in range(2):
+            with pytest.raises(InjectedIOError):
+                registry.fire("disk.read")
+        assert metrics.snapshot()["counters"]["fault.injected"] == 2
+
+
+class TestFromEnv:
+    def test_basic_clause(self):
+        registry = FailpointRegistry.from_env("disk.write=crash")
+        with pytest.raises(CrashPoint):
+            registry.fire("disk.write")
+
+    def test_full_grammar(self):
+        registry = FailpointRegistry.from_env(
+            "disk.write=torn@1*2:0.25; flush.before_descriptor=eio*-1")
+        fp = registry._sites["disk.write"]
+        assert (fp.action, fp.skip, fp.count, fp.arg) == ("torn", 1, 2, 0.25)
+        fp = registry._sites["flush.before_descriptor"]
+        assert (fp.action, fp.count) == ("eio", -1)
+
+    def test_bad_clause_rejected(self):
+        with pytest.raises(ValueError):
+            FailpointRegistry.from_env("no-equals-sign")
+        with pytest.raises(ValueError):
+            FailpointRegistry.from_env("disk.write=bogus")
+
+
+class TestFaultyVFS:
+    def test_crash_before_write_persists_nothing(self):
+        disk = FaultyVFS()
+        disk.failpoints.set("disk.write", "crash")
+        with pytest.raises(CrashPoint):
+            disk.write_file("a", b"payload")
+        assert not disk.exists("a")
+
+    def test_torn_write_persists_prefix_then_crashes(self):
+        disk = FaultyVFS()
+        disk.failpoints.set("disk.write", "torn", arg=0.5)
+        with pytest.raises(CrashPoint):
+            disk.write_file("a", b"0123456789")
+        assert disk.storage.read_all("a") == b"01234"
+
+    def test_bitflip_corrupts_silently(self):
+        disk = FaultyVFS()
+        disk.failpoints.set("disk.write", "bitflip", arg=0.0)
+        disk.write_file("a", b"\x00\x00\x00\x00")
+        assert disk.storage.read_all("a") == b"\x01\x00\x00\x00"
+
+    def test_eio_and_enospc_raise_typed_errors(self):
+        disk = FaultyVFS()
+        disk.failpoints.set("disk.write", "eio")
+        with pytest.raises(InjectedIOError):
+            disk.write_file("a", b"x")
+        disk.failpoints.set("disk.write", "enospc")
+        with pytest.raises(DiskFullError):
+            disk.write_file("b", b"x")
+        assert not disk.exists("a") and not disk.exists("b")
+
+    def test_read_rename_delete_sites(self):
+        disk = FaultyVFS()
+        disk.write_file("a", b"x")
+        disk.failpoints.set("disk.read", "eio")
+        with pytest.raises(InjectedIOError):
+            disk.read("a", 0, 1)
+        disk.failpoints.set("disk.rename", "crash")
+        with pytest.raises(CrashPoint):
+            disk.rename("a", "b")
+        assert disk.exists("a")  # crash fired before the rename
+        disk.failpoints.set("disk.delete", "eio")
+        with pytest.raises(InjectedIOError):
+            disk.delete("a")
+        assert disk.exists("a")
+
+    def test_crashpoint_escapes_except_exception(self):
+        try:
+            raise CrashPoint("boom")
+        except Exception:  # noqa: BLE001 - the point of the test
+            pytest.fail("CrashPoint must not be caught by except Exception")
+        except BaseException:
+            pass
+
+
+class TestClassify:
+    def test_classification(self):
+        assert classify_storage_error(DiskFullError("x")) == "enospc"
+        assert classify_storage_error(InjectedIOError("x")) == "eio"
+        assert classify_storage_error(ValueError("x")) is None
+        real = OSError(28, "No space left on device")
+        assert classify_storage_error(real) == "enospc"
