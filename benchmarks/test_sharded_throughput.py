@@ -1,0 +1,191 @@
+"""Scale-out benchmark: sharded + pipelined vs thread-per-connection.
+
+The ISSUE-6 redesign's load-bearing claim: 1000 simulated client
+sessions pushing small insert batches get >= 2x the rows/s from a
+4-shard router behind the asyncio pipelined front end than from the
+classic single-engine thread-per-connection server.
+
+Both sides run the identical logical workload (1000 sessions x 2
+requests x 8 rows).  The baseline multiplexes 4 sessions per real
+connection - 250 real connections, each a server-side OS thread,
+which is *generous* to the baseline (1000 real connections would
+spawn 1000 server threads) - and pays one round trip per request.
+The sharded side drives 4 connections whose v2 clients pipeline the
+same requests back to back, and the router fans the rows out to 4
+engine workers.
+
+Latency is recorded per session (wall time from a session's first
+request to its last response); the pipelined side charges every
+session in a drain group the full group wall time, an over-estimate,
+so its p99 is an upper bound.  Results land in EXPERIMENTS.md.
+"""
+
+import threading
+import time
+
+from repro.bench.harness import print_figure
+from repro.core import Column, ColumnType, LittleTable, Schema
+from repro.net import (
+    AsyncLittleTableServer,
+    ClientConfig,
+    LittleTableClient,
+    LittleTableServer,
+    ShardRouter,
+)
+from repro.util.clock import MICROS_PER_DAY, VirtualClock
+
+BASE = 20_000 * MICROS_PER_DAY
+N_SESSIONS = 1000
+REQUESTS_PER_SESSION = 2
+ROWS_PER_REQUEST = 8
+BASELINE_CONNECTIONS = 250          # 4 sessions per connection
+PIPELINE_CONNECTIONS = 4            # deep pipelines instead of threads
+PIPELINE_GROUP = 32                 # sessions drained per batch
+SHARDS = 4
+MIN_SPEEDUP = 2.0
+TOTAL_ROWS = N_SESSIONS * REQUESTS_PER_SESSION * ROWS_PER_REQUEST
+
+
+def usage_schema():
+    return Schema(
+        [Column("device", ColumnType.INT64),
+         Column("ts", ColumnType.TIMESTAMP),
+         Column("bytes", ColumnType.INT64)],
+        key=["device", "ts"],
+    )
+
+
+def session_requests(session_id):
+    """The insert batches one simulated client session submits."""
+    return [
+        [{"device": session_id,
+          "ts": BASE + session_id
+          + 1_000_000 * (r * ROWS_PER_REQUEST + i),
+          "bytes": i}
+         for i in range(ROWS_PER_REQUEST)]
+        for r in range(REQUESTS_PER_SESSION)
+    ]
+
+
+def p99(latencies):
+    ordered = sorted(latencies)
+    return ordered[max(0, int(0.99 * len(ordered)) - 1)]
+
+
+def run_threaded_baseline(address):
+    """1000 sessions over 250 connections, one round trip each."""
+    latencies, lock = [], threading.Lock()
+    per_connection = N_SESSIONS // BASELINE_CONNECTIONS
+
+    def connection_worker(first_session):
+        host, port = address
+        client = LittleTableClient(host, port)
+        mine = []
+        for session in range(first_session,
+                             first_session + per_connection):
+            started = time.perf_counter()
+            for batch in session_requests(session):
+                client.insert("usage", batch)
+            mine.append(time.perf_counter() - started)
+        client.close()
+        with lock:
+            latencies.extend(mine)
+
+    threads = [
+        threading.Thread(target=connection_worker,
+                         args=(i * per_connection,))
+        for i in range(BASELINE_CONNECTIONS)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return time.perf_counter() - started, latencies
+
+
+def run_pipelined(address):
+    """The same 1000 sessions over 4 deeply pipelined connections."""
+    sessions = list(range(N_SESSIONS))
+    latencies, lock = [], threading.Lock()
+
+    def connection_worker(my_sessions):
+        host, port = address
+        client = LittleTableClient(
+            host, port, config=ClientConfig(pipeline_depth=512))
+        assert client.pipelined, "v2 negotiation failed"
+        mine = []
+        for at in range(0, len(my_sessions), PIPELINE_GROUP):
+            group = my_sessions[at:at + PIPELINE_GROUP]
+            started = time.perf_counter()
+            with client.pipeline() as batch:
+                replies = [
+                    batch.insert_dicts("usage", request)
+                    for session in group
+                    for request in session_requests(session)
+                ]
+            for reply in replies:
+                reply.result()
+            elapsed = time.perf_counter() - started
+            mine.extend([elapsed] * len(group))
+        client.close()
+        with lock:
+            latencies.extend(mine)
+
+    chunks = [sessions[i::PIPELINE_CONNECTIONS]
+              for i in range(PIPELINE_CONNECTIONS)]
+    threads = [threading.Thread(target=connection_worker, args=(chunk,))
+               for chunk in chunks]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return time.perf_counter() - started, latencies
+
+
+def _measure():
+    db = LittleTable(clock=VirtualClock(start=BASE))
+    db.create_table("usage", usage_schema())
+    with LittleTableServer(db) as server:
+        threaded_wall, threaded_lat = run_threaded_baseline(
+            server.address)
+    db.close()
+
+    router = ShardRouter(shards=SHARDS, clock=VirtualClock(start=BASE))
+    router.create_table("usage", usage_schema())
+    with AsyncLittleTableServer(router) as server:
+        pipelined_wall, pipelined_lat = run_pipelined(server.address)
+    routed = router.metrics.snapshot()["counters"].get(
+        "shard.rows_routed", 0)
+    router.close()
+    assert routed == TOTAL_ROWS, "router did not see every row"
+
+    return {
+        "threaded_rows_s": TOTAL_ROWS / threaded_wall,
+        "threaded_p99_ms": p99(threaded_lat) * 1000.0,
+        "pipelined_rows_s": TOTAL_ROWS / pipelined_wall,
+        "pipelined_p99_ms": p99(pipelined_lat) * 1000.0,
+        "speedup": threaded_wall / pipelined_wall,
+    }
+
+
+def test_sharded_pipelined_throughput(benchmark):
+    result = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    benchmark.extra_info.update(result)
+    print_figure(
+        "Scale-out: 1000 sessions, insert rows/s (threaded -> sharded)",
+        ["front end", "rows/s", "session p99 (ms)"],
+        [
+            ["thread-per-connection, 1 engine",
+             f"{result['threaded_rows_s']:,.0f}",
+             f"{result['threaded_p99_ms']:.1f}"],
+            [f"async pipelined, {SHARDS} shards",
+             f"{result['pipelined_rows_s']:,.0f}",
+             f"{result['pipelined_p99_ms']:.1f}"],
+            ["speedup", f"{result['speedup']:.2f}x", ""],
+        ],
+    )
+    assert result["speedup"] >= MIN_SPEEDUP, (
+        f"sharded+pipelined must be >= {MIN_SPEEDUP}x the threaded "
+        f"baseline, got {result['speedup']:.2f}x")

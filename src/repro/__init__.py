@@ -14,6 +14,8 @@ Subpackages:
 * ``repro.util`` - clocks, PRNG, skip list, HLL, Bloom filters, stats.
 """
 
+from typing import Any, Optional, Tuple, Union
+
 from .core import (
     Column,
     ColumnType,
@@ -29,9 +31,68 @@ from .obs import MetricsRegistry, Tracer
 
 __version__ = "1.0.0"
 
+
+def connect(address: Union[str, Tuple[str, int]], *,
+            config: Optional[Any] = None) -> "Any":
+    """Connect to a LittleTable server; returns a database facade.
+
+    The single entry point of the client API::
+
+        import repro
+
+        with repro.connect("127.0.0.1:7421") as db:
+            db.insert("usage", rows)
+            result = db.query("usage", Query(...))
+
+    ``address`` is ``"host:port"`` (host defaults to ``127.0.0.1``
+    when omitted, as in ``":7421"``) or a ``(host, port)`` tuple -
+    e.g. ``server.address`` straight from a
+    :class:`~repro.net.server.LittleTableServer` or
+    :class:`~repro.net.async_server.AsyncLittleTableServer`.
+    ``config`` is a :class:`~repro.net.client.ClientConfig` for
+    timeouts, retries, batching, and pipelining.
+
+    The returned :class:`~repro.net.remote.RemoteDatabase` has the
+    same ``insert``/``query``/``latest``/``stats``/``health`` facade
+    and context-manager semantics as an in-process
+    :class:`LittleTable`, so application code runs unchanged against
+    a local engine, one server, or a sharded deployment.
+    """
+    from .net.client import LittleTableClient
+    from .net.remote import RemoteDatabase
+
+    if isinstance(address, str):
+        host, sep, port_text = address.rpartition(":")
+        if not sep:
+            raise ValueError(
+                f"address must be 'host:port' or (host, port), "
+                f"got {address!r}")
+        host = host or "127.0.0.1"
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise ValueError(f"invalid port in address {address!r}")
+    else:
+        host, port = address[0], int(address[1])
+    client = LittleTableClient(host, port, config=config)
+    return RemoteDatabase(client)
+
+
+def __getattr__(name: str) -> Any:
+    # ClientConfig lives in repro.net but belongs to the top-level
+    # vocabulary next to connect(); import it lazily so importing
+    # repro never drags the network stack in.
+    if name == "ClientConfig":
+        from .net.client import ClientConfig
+
+        return ClientConfig
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "Column",
     "ColumnType",
+    "ClientConfig",
     "EngineConfig",
     "KeyRange",
     "LittleTable",
@@ -44,5 +105,6 @@ __all__ = [
     "SimulatedDisk",
     "MetricsRegistry",
     "Tracer",
+    "connect",
     "__version__",
 ]

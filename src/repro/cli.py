@@ -327,6 +327,83 @@ def fsck_main(argv: list) -> int:
         return 1
 
 
+def serve_main(argv: list, *, stop_event=None, on_ready=None) -> int:
+    """The ``serve`` subcommand: run a LittleTable server.
+
+    Default front end is the asyncio pipelined server over a
+    :class:`~repro.net.shard.ShardRouter` (``--shards N``; N=1 still
+    routes, through a single worker).  ``--legacy`` selects the
+    thread-per-connection front end over a single engine - the v1
+    deployment shape - and rejects ``--shards`` > 1.
+
+    ``stop_event``/``on_ready`` are test hooks: ``on_ready(server)``
+    fires once the socket is bound, and the command exits when
+    ``stop_event`` is set (instead of only on Ctrl-C).
+    """
+    parser = argparse.ArgumentParser(
+        prog="littletable serve",
+        description="serve a database over the wire protocol")
+    parser.add_argument("--data", metavar="DIR", default=None,
+                        help="data directory (default: in-memory); "
+                             "sharded servers use DIR/shard-NN")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=7421,
+                        help="bind port (default: 7421; 0 = ephemeral)")
+    parser.add_argument("--shards", type=int, default=4, metavar="N",
+                        help="engine workers to partition tables "
+                             "across (default: 4)")
+    parser.add_argument("--legacy", action="store_true",
+                        help="thread-per-connection front end, single "
+                             "engine (protocol still negotiates v2)")
+    parser.add_argument("--maintenance", action="store_true",
+                        help="run the background maintenance scheduler")
+    args = parser.parse_args(argv)
+    if args.shards < 1:
+        print("error: --shards must be >= 1", file=sys.stderr)
+        return 2
+    from .core.maintenance import MaintenancePolicy
+
+    policy = MaintenancePolicy() if args.maintenance else None
+    if args.legacy:
+        if args.shards != parser.get_default("shards") and args.shards != 1:
+            print("error: --legacy serves a single engine; "
+                  "drop --shards", file=sys.stderr)
+            return 2
+        from .net.server import LittleTableServer
+
+        db = open_database(args.data)
+        server = LittleTableServer(db, host=args.host, port=args.port,
+                                   policy=policy)
+    else:
+        from .net.async_server import AsyncLittleTableServer
+        from .net.shard import ShardRouter
+
+        db = ShardRouter(shards=args.shards, data_dir=args.data)
+        server = AsyncLittleTableServer(db, host=args.host,
+                                        port=args.port, policy=policy)
+    import threading
+
+    if stop_event is None:
+        stop_event = threading.Event()
+    try:
+        with server:
+            host, port = server.address
+            shape = ("legacy threaded, 1 engine" if args.legacy
+                     else f"async pipelined, {args.shards} shard(s)")
+            print(f"serving on {host}:{port} ({shape}); Ctrl-C to stop",
+                  flush=True)
+            if on_ready is not None:
+                on_ready(server)
+            while not stop_event.wait(timeout=0.5):
+                pass
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)
+    finally:
+        db.close()
+    return 0
+
+
 def main(argv: Optional[list] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -334,10 +411,12 @@ def main(argv: Optional[list] = None) -> int:
         return stats_main(argv[1:])
     if argv and argv[0] == "fsck":
         return fsck_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="littletable",
         description="SQL shell for the LittleTable reproduction "
-                    "(subcommands: stats, fsck)")
+                    "(subcommands: stats, fsck, serve)")
     parser.add_argument("--data", metavar="DIR", default=None,
                         help="data directory (default: in-memory)")
     parser.add_argument("-e", "--execute", metavar="SQL", action="append",

@@ -23,6 +23,7 @@ from .errors import (
     ReadOnlyModeError,
     SchemaError,
     ServerError,
+    ShardDegradedError,
     TableExistsError,
     ValidationError,
 )
@@ -67,6 +68,7 @@ __all__ = [
     "QueryError",
     "SchemaError",
     "ServerError",
+    "ShardDegradedError",
     "TableExistsError",
     "ValidationError",
     "MergePlan",

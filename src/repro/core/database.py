@@ -115,6 +115,23 @@ class LittleTable:
             self.disk.failpoints.attach_metrics(self.metrics)
         self._open_existing_tables()
 
+    @classmethod
+    def open(cls, data_dir: Optional[str], **kwargs: Any) -> "LittleTable":
+        """Open (or create) a persistent engine over ``data_dir``.
+
+        The canonical way to get a file-backed instance — the CLI, the
+        servers, and the shard router all open engines through here.
+        ``data_dir=None`` returns an in-memory engine; any
+        :class:`LittleTable` constructor keyword passes through, so a
+        shard router can hand every worker the same clock, metrics
+        registry, and config.
+        """
+        if data_dir is None:
+            return cls(**kwargs)
+        from ..disk.storage import FileStorage
+
+        return cls(disk=SimulatedDisk(FileStorage(data_dir)), **kwargs)
+
     def _open_existing_tables(self) -> None:
         for name in TableDescriptor.list_tables(self.disk):
             descriptor = TableDescriptor.load(self.disk, name)
@@ -355,6 +372,24 @@ class LittleTable:
                 self.enter_read_only(
                     f"{self._io_failure_streak} consecutive I/O errors;"
                     f" last: {exc}")
+
+    def stats(self) -> Dict[str, Any]:
+        """Full metrics snapshot: counters, gauges, histograms.
+
+        Part of the unified facade - ``repro.connect(...)`` returns a
+        :class:`~repro.net.remote.RemoteDatabase` whose ``stats()``
+        answers with exactly this shape, so monitoring code runs
+        unchanged in process and over the wire.
+        """
+        return self.metrics.snapshot()
+
+    def health(self) -> Dict[str, Any]:
+        """Degradation state (alias of :meth:`health_summary`).
+
+        Named for facade parity with the remote adapter's
+        ``health()``.
+        """
+        return self.health_summary()
 
     def health_summary(self) -> Dict[str, Any]:
         """Degradation state + fault counters, JSON-safe.

@@ -58,4 +58,20 @@ class ProtocolViolationError(LittleTableError):
 
 class ServerError(LittleTableError):
     """The server hit an unexpected internal failure handling a
-    request.  The connection stays up; the command did not happen."""
+    request.  The connection stays up; the command did not happen.
+
+    When the failure came back over the wire with an error code the
+    client does not recognize, the original code string is preserved
+    on :attr:`code` (never silently discarded)."""
+
+    #: The wire error code as the server sent it, when this error
+    #: crossed the network with a code the client could not map to a
+    #: local exception class.  None for locally-raised ServerErrors.
+    code = None
+
+
+class ShardDegradedError(LittleTableError):
+    """The shard worker owning the requested keys has crashed or hit
+    unrecoverable storage errors.  The router stays up: keys on other
+    shards keep serving, and this shard's tables are degraded until
+    the operator revives the worker (``ShardRouter.revive_shard``)."""

@@ -1,9 +1,33 @@
-"""TCP client/server protocol (the paper's adaptor <-> server link)."""
+"""TCP client/server protocol (the paper's adaptor <-> server link).
 
-from .client import LittleTableClient
-from .protocol import ConnectionLost, ProtocolError
+Two interchangeable server fronts serve the same dispatcher: the
+thread-per-connection :class:`LittleTableServer` (protocol v1 + v2)
+and the asyncio :class:`AsyncLittleTableServer`, which multiplexes
+pipelined v2 requests.  :class:`ShardRouter` partitions tables across
+N engines behind the same database facade, so either front scales out
+without a protocol change.
+"""
+
+from .async_server import AsyncLittleTableServer
+from .client import ClientConfig, LittleTableClient, Pipeline, PendingReply
+from .protocol import PROTOCOL_VERSION, ConnectionLost, ProtocolError
 from .remote import RemoteDatabase, RemoteTable
-from .server import LittleTableServer
+from .server import LittleTableServer, RequestDispatcher
+from .shard import ShardRouter, ShardedTable
 
-__all__ = ["LittleTableClient", "LittleTableServer", "ConnectionLost",
-           "ProtocolError", "RemoteDatabase", "RemoteTable"]
+__all__ = [
+    "AsyncLittleTableServer",
+    "ClientConfig",
+    "ConnectionLost",
+    "LittleTableClient",
+    "LittleTableServer",
+    "PendingReply",
+    "Pipeline",
+    "ProtocolError",
+    "PROTOCOL_VERSION",
+    "RemoteDatabase",
+    "RemoteTable",
+    "RequestDispatcher",
+    "ShardRouter",
+    "ShardedTable",
+]

@@ -21,73 +21,166 @@ Plays the role of the paper's SQLite-side adaptor (§3.1, §3.5):
 
 from __future__ import annotations
 
+import dataclasses
+import itertools
 import random
 import socket
 import time
+import warnings
+from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..core import errors as _errors
 from ..core.errors import (
     LittleTableError,
     NoSuchTableError,
-    ProtocolViolationError,
     ServerError,
 )
 from ..core.schema import Schema
 from .protocol import (
+    FEATURE_PIPELINE,
+    PROTOCOL_VERSION,
     ConnectionLost,
     decode_row,
+    encode_frame,
     encode_key,
     encode_row,
     recv_message,
     send_message,
 )
 
-# Server-side failures surface as the same LittleTableError subclasses
-# an in-process user would see: the error code on the wire is the
-# exception class name, mapped back here.  Unknown codes degrade to
-# the base class rather than leaking protocol-layer exceptions.
-_ERROR_TYPES: Dict[str, type] = {
+# Local exception classes addressable by wire error code (the code is
+# the class name).  Codes outside this map raise ServerError with the
+# original code preserved on ``.code`` - never silently degraded.
+_LOCAL_ERROR_TYPES: Dict[str, type] = {
     name: cls
     for name, cls in vars(_errors).items()
     if isinstance(cls, type) and issubclass(cls, LittleTableError)
 }
-# Codes emitted by pre-redesign servers.
-_ERROR_TYPES.setdefault("ProtocolError", ProtocolViolationError)
-_ERROR_TYPES.setdefault("InternalError", ServerError)
+
+
+def _error_from_response(response: Dict[str, Any]) -> LittleTableError:
+    """Map a wire error response to the exception to raise.
+
+    Known codes (negotiated in HELLO; in practice the names of the
+    :mod:`repro.core.errors` classes) become their local class.  An
+    unknown code - a newer server's error type, or a pre-HELLO
+    server's legacy spelling - raises :class:`ServerError` carrying
+    the original code string on ``.code`` so nothing is lost.
+    """
+    code = response.get("error", "")
+    message = response.get("message", "server error")
+    cls = _LOCAL_ERROR_TYPES.get(code)
+    if cls is not None:
+        return cls(message)
+    error = ServerError(f"{code}: {message}" if code else message)
+    error.code = code or None
+    return error
+
+
+@dataclass
+class ClientConfig:
+    """Connection behaviour, in one place.
+
+    Replaces the eight loose :class:`LittleTableClient` constructor
+    keywords (the same consolidation :class:`~repro.core.maintenance
+    .MaintenancePolicy` made for ``maintenance_interval_s``).
+
+    * ``insert_batch_rows`` - buffered-insert flush threshold (§3.1);
+    * ``connect_timeout_s`` - bound on connection establishment;
+    * ``request_timeout_s`` - bound on each round trip (None = wait
+      forever, the historic behaviour);
+    * ``max_retries`` / ``retry_backoff_s`` / ``retry_backoff_max_s``
+      / ``auto_reconnect`` - the idempotent-only retry loop: broken
+      idempotent requests resend through a fresh connection with
+      jittered exponential backoff; writes never auto-retry (§4.1);
+    * ``negotiate`` - send the v2 HELLO on connect (disable to force
+      v1 sequential mode against any server);
+    * ``pipeline_depth`` - max in-flight requests a
+      :meth:`LittleTableClient.pipeline` batch keeps before draining.
+    """
+
+    insert_batch_rows: int = 512
+    connect_timeout_s: float = 10.0
+    request_timeout_s: Optional[float] = None
+    max_retries: int = 3
+    retry_backoff_s: float = 0.05
+    retry_backoff_max_s: float = 2.0
+    auto_reconnect: bool = True
+    negotiate: bool = True
+    pipeline_depth: int = 128
+
+    def validate(self) -> None:
+        if self.insert_batch_rows < 1:
+            raise ValueError("insert_batch_rows must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be >= 1")
+
+
+#: Constructor keywords accepted for backward compatibility; each maps
+#: onto the ClientConfig field of the same name.
+_LEGACY_CLIENT_KWARGS = (
+    "insert_batch_rows", "connect_timeout_s", "request_timeout_s",
+    "max_retries", "retry_backoff_s", "retry_backoff_max_s",
+    "auto_reconnect",
+)
 
 
 class LittleTableClient:
     """A connection to a LittleTable server."""
 
-    def __init__(self, host: str, port: int, insert_batch_rows: int = 512,
-                 connect_timeout_s: float = 10.0,
-                 request_timeout_s: Optional[float] = None,
-                 max_retries: int = 3,
-                 retry_backoff_s: float = 0.05,
-                 retry_backoff_max_s: float = 2.0,
-                 auto_reconnect: bool = True):
+    def __init__(self, host: str, port: int,
+                 config: Optional[ClientConfig] = None,
+                 **legacy_kwargs: Any):
         """Connect to a server.
 
-        ``connect_timeout_s`` bounds connection establishment (the old
-        hardwired 10 s, now a knob); ``request_timeout_s`` bounds each
-        request/response round trip (None = wait forever, the historic
-        behaviour).  A timed-out or broken idempotent request is
-        retried up to ``max_retries`` times through a fresh connection,
-        sleeping ``retry_backoff_s * 2**attempt`` (capped at
-        ``retry_backoff_max_s``, jittered to half) between attempts;
-        ``auto_reconnect=False`` disables retries entirely, surfacing
-        every break as :class:`~repro.net.protocol.ConnectionLost`.
+        Behaviour knobs travel in ``config`` (a
+        :class:`ClientConfig`).  The pre-redesign loose keywords
+        (``insert_batch_rows=...``, ``connect_timeout_s=...``, ...)
+        still work - including ``insert_batch_rows`` passed as the
+        third positional argument - but raise a
+        :class:`DeprecationWarning` and fold into the config.
         """
+        if isinstance(config, int):
+            # Old third positional argument: insert_batch_rows.
+            legacy_kwargs.setdefault("insert_batch_rows", config)
+            config = None
+        if legacy_kwargs:
+            unknown = set(legacy_kwargs) - set(_LEGACY_CLIENT_KWARGS)
+            if unknown:
+                raise TypeError(
+                    f"unknown client arguments: {sorted(unknown)}")
+            warnings.warn(
+                "loose LittleTableClient keywords are deprecated; pass "
+                "config=ClientConfig(...) instead",
+                DeprecationWarning, stacklevel=2)
+            config = dataclasses.replace(
+                config if config is not None else ClientConfig(),
+                **legacy_kwargs)
+        if config is None:
+            config = ClientConfig()
+        config.validate()
+        self.config = config
         self._address = (host, port)
         self._sock: Optional[socket.socket] = None
-        self.insert_batch_rows = insert_batch_rows
-        self.connect_timeout_s = connect_timeout_s
-        self.request_timeout_s = request_timeout_s
-        self.max_retries = max_retries
-        self.retry_backoff_s = retry_backoff_s
-        self.retry_backoff_max_s = retry_backoff_max_s
-        self.auto_reconnect = auto_reconnect
+        # Mirrored as plain attributes: the historic public surface,
+        # and still mutable per-instance (tests tune retries live).
+        self.insert_batch_rows = config.insert_batch_rows
+        self.connect_timeout_s = config.connect_timeout_s
+        self.request_timeout_s = config.request_timeout_s
+        self.max_retries = config.max_retries
+        self.retry_backoff_s = config.retry_backoff_s
+        self.retry_backoff_max_s = config.retry_backoff_max_s
+        self.auto_reconnect = config.auto_reconnect
+        # Negotiated state (filled by the HELLO handshake; v1 values
+        # until/unless a v2 server answers).
+        self.server_version = 1
+        self.server_features: Tuple[str, ...] = ()
+        self.server_shards = 1
+        self._server_error_codes: Optional[frozenset] = None
+        self._request_ids = itertools.count(1)
         # Injectable for deterministic tests (resilience suite swaps
         # these to count sleeps instead of waiting them out).
         self._sleep = time.sleep
@@ -103,7 +196,9 @@ class LittleTableClient:
     # ------------------------------------------------------- connection
 
     def connect(self) -> None:
-        """(Re)establish the persistent connection."""
+        """(Re)establish the persistent connection (and re-negotiate:
+        the server may have been upgraded or downgraded between
+        reconnects)."""
         self.close()
         sock = socket.create_connection(self._address,
                                         timeout=self.connect_timeout_s)
@@ -114,6 +209,40 @@ class LittleTableClient:
         self._sock = sock
         # The server may have restarted with different tables.
         self.invalidate_schema_cache()
+        self._handshake()
+
+    def _handshake(self) -> None:
+        """The v2 HELLO: negotiate version, features, error codes.
+
+        A v1 server answers with an unknown-command error; the client
+        then simply stays in v1 sequential mode (no ids, no
+        pipelining) - the fallback the protocol docstring promises.
+        """
+        self.server_version = 1
+        self.server_features = ()
+        self.server_shards = 1
+        self._server_error_codes = None
+        if not self.config.negotiate:
+            return
+        send_message(self._sock, {
+            "cmd": "hello", "version": PROTOCOL_VERSION,
+            "features": [FEATURE_PIPELINE],
+        })
+        response = recv_message(self._sock)
+        if not response.get("ok"):
+            return  # pre-v2 server: unknown command, speak v1
+        self.server_version = int(response.get("version", 1))
+        self.server_features = tuple(response.get("features", ()))
+        codes = response.get("error_codes")
+        self._server_error_codes = (
+            frozenset(codes) if codes is not None else None)
+        self.server_shards = int(response.get("shards", 1))
+
+    @property
+    def pipelined(self) -> bool:
+        """True when the server negotiated pipelined requests."""
+        return (self.server_version >= 2
+                and FEATURE_PIPELINE in self.server_features)
 
     def close(self) -> None:
         if self._sock is not None:
@@ -177,9 +306,7 @@ class LittleTableClient:
             raise ConnectionLost(str(exc)) from exc
         if response.get("ok"):
             return response
-        error_type = _ERROR_TYPES.get(response.get("error", ""),
-                                      LittleTableError)
-        raise error_type(response.get("message", "server error"))
+        raise _error_from_response(response)
 
     def _backoff(self, attempt: int) -> None:
         delay = min(self.retry_backoff_max_s,
@@ -190,6 +317,26 @@ class LittleTableClient:
         """Round-trip liveness check."""
         return bool(self._call({"cmd": "ping"},
                                idempotent=True).get("pong"))
+
+    # ------------------------------------------------------- pipelining
+
+    def pipeline(self, depth: Optional[int] = None) -> "Pipeline":
+        """A batch of pipelined requests over this connection.
+
+        Against a v2 server, enqueued requests are written back to
+        back without waiting for responses (up to ``depth`` in
+        flight, then the batch drains), and responses - which may
+        arrive out of order - are matched by request id.  Against a
+        v1 server the same code runs sequentially, one round trip per
+        request: the fallback promised by the HELLO negotiation.
+
+            with client.pipeline() as batch:
+                replies = [batch.insert("t", rows) for rows in chunks]
+            inserted = sum(r.result() for r in replies)
+        """
+        return Pipeline(self,
+                        depth if depth is not None
+                        else self.config.pipeline_depth)
 
     # ------------------------------------------------------ observability
 
@@ -387,3 +534,182 @@ class LittleTableClient:
         if table not in cache:
             raise NoSuchTableError(f"no such table: {table!r}")
         return cache[table]
+
+
+class PendingReply:
+    """A response slot for one pipelined request."""
+
+    __slots__ = ("request_id", "_response", "_error", "_decode", "_done")
+
+    def __init__(self, request_id: Optional[int],
+                 decode: Optional[Any] = None):
+        self.request_id = request_id
+        self._response: Optional[Dict[str, Any]] = None
+        self._error: Optional[BaseException] = None
+        self._decode = decode
+        self._done = False
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def _resolve(self, response: Dict[str, Any]) -> None:
+        self._response = response
+        self._done = True
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._done = True
+
+    def result(self) -> Any:
+        """The decoded response; raises what the request raised.
+
+        Draining happens in :meth:`Pipeline.drain` (or on pipeline
+        exit); calling ``result()`` earlier on an un-drained reply is
+        an error rather than an implicit flush.
+        """
+        if not self._done:
+            raise RuntimeError(
+                "pipelined reply not drained yet (call Pipeline.drain "
+                "or exit the pipeline block first)")
+        if self._error is not None:
+            raise self._error
+        if self._decode is not None:
+            return self._decode(self._response)
+        return self._response
+
+
+class Pipeline:
+    """Many in-flight requests over one connection (protocol v2).
+
+    Writes are *not* auto-retried here for the same §4.1 reason as in
+    :meth:`LittleTableClient._call`: a batch may be half-applied when
+    the connection breaks, so every outstanding reply fails with
+    :class:`ConnectionLost` and recovery belongs to the application.
+    Per-request server errors (validation, duplicate keys...) resolve
+    only their own reply - the rest of the batch stands.
+    """
+
+    def __init__(self, client: LittleTableClient, depth: int):
+        self._client = client
+        self._depth = max(1, depth)
+        self._frames: List[bytes] = []
+        self._awaiting: Dict[int, PendingReply] = {}
+        # Sequential fallback (v1 server): each call() is one round
+        # trip through the ordinary request path.
+        self._sequential = not client.pipelined
+
+    # ------------------------------------------------------------ core
+
+    def call(self, message: Dict[str, Any],
+             idempotent: bool = False,
+             decode: Optional[Any] = None) -> PendingReply:
+        """Enqueue one raw protocol request."""
+        if self._sequential:
+            reply = PendingReply(None, decode)
+            try:
+                reply._resolve(self._client._call(dict(message),
+                                                  idempotent=idempotent))
+            except (LittleTableError, ConnectionLost) as exc:
+                reply._fail(exc)
+            return reply
+        request_id = next(self._client._request_ids)
+        tagged = dict(message)
+        tagged["id"] = request_id
+        reply = PendingReply(request_id, decode)
+        self._awaiting[request_id] = reply
+        self._frames.append(encode_frame(tagged))
+        if len(self._awaiting) >= self._depth:
+            self.drain()
+        return reply
+
+    def drain(self) -> None:
+        """Send everything buffered and collect every response."""
+        if self._sequential or not self._awaiting:
+            return
+        sock = self._client._sock
+        if sock is None:
+            self._fail_all(ConnectionLost("not connected"))
+            raise ConnectionLost("not connected")
+        try:
+            if self._frames:
+                data = b"".join(self._frames)
+                self._frames = []
+                sock.sendall(data)
+            while self._awaiting:
+                response = recv_message(sock)
+                request_id = response.get("id")
+                reply = self._awaiting.pop(request_id, None)
+                if reply is None:
+                    # A response we never asked for: framing is gone.
+                    raise ConnectionLost(
+                        f"unmatched response id {request_id!r}")
+                if response.get("ok"):
+                    reply._resolve(response)
+                else:
+                    reply._fail(_error_from_response(response))
+        except (ConnectionLost, OSError) as exc:
+            self._client.close()
+            lost = exc if isinstance(exc, ConnectionLost) \
+                else ConnectionLost(str(exc))
+            self._fail_all(lost)
+            raise lost from (None if lost is exc else exc)
+
+    def _fail_all(self, error: BaseException) -> None:
+        for reply in self._awaiting.values():
+            reply._fail(error)
+        self._awaiting.clear()
+        self._frames = []
+
+    def __enter__(self) -> "Pipeline":
+        return self
+
+    def __exit__(self, exc_type, *exc_info) -> None:
+        # Don't mask an in-flight exception with a drain failure; but
+        # a clean exit must deliver every response.
+        if exc_type is None:
+            self.drain()
+
+    # ------------------------------------------------- typed commands
+
+    def ping(self) -> PendingReply:
+        return self.call({"cmd": "ping"}, idempotent=True,
+                         decode=lambda r: bool(r.get("pong")))
+
+    def insert(self, table: str,
+               rows: Sequence[Tuple[Any, ...]]) -> PendingReply:
+        """Positional-tuple batch insert; resolves to rows inserted."""
+        encoded = [encode_row(row) for row in rows]
+        return self.call({"cmd": "insert", "table": table,
+                          "rows": encoded},
+                         decode=lambda r: r["inserted"])
+
+    def insert_dicts(self, table: str,
+                     rows: Sequence[Dict[str, Any]]) -> PendingReply:
+        columns = sorted({name for row in rows for name in row})
+        encoded = [encode_row([row.get(c) for c in columns])
+                   for row in rows]
+        return self.call({"cmd": "insert", "table": table,
+                          "rows": encoded, "columns": columns,
+                          "dicts": True},
+                         decode=lambda r: r["inserted"])
+
+    def query_page(self, table: str, **bounds: Any) -> PendingReply:
+        """One query command (no continuation); resolves to
+        ``(rows, more_available)``."""
+        request = {"cmd": "query", "table": table}
+        request.update(bounds)
+        return self.call(
+            request, idempotent=True,
+            decode=lambda r: ([decode_row(row) for row in r["rows"]],
+                              bool(r.get("more_available"))))
+
+    def latest(self, table: str, prefix: Sequence[Any],
+               max_lookback_micros: Optional[int] = None) -> PendingReply:
+        return self.call(
+            {"cmd": "latest", "table": table,
+             "prefix": encode_key(tuple(prefix)),
+             "max_lookback_micros": max_lookback_micros},
+            idempotent=True,
+            decode=lambda r: (None if r.get("row") is None
+                              else decode_row(r["row"])))

@@ -10,6 +10,21 @@ to detect server crashes" (§3.1).
 This module defines the framing and message encoding: each frame is a
 4-byte big-endian length followed by a UTF-8 JSON document.  Blob
 values are wrapped as ``{"$b": <base64>}`` so rows survive JSON.
+
+Protocol versions:
+
+* **v1** (the original wire format): strict request/response — the
+  client sends one command frame and reads one response frame.
+* **v2** adds an optional HELLO handshake and per-message request
+  ids.  A client opens with ``{"cmd": "hello", "version": 2}``; a v2
+  server answers with its version, feature list, and the error codes
+  it may emit.  Any request may then carry an ``"id"`` field, which
+  the server echoes in the matching response, allowing many requests
+  to be in flight on one connection (responses may arrive out of
+  order).  Both sides stay interoperable with v1 peers: a v1 server
+  rejects HELLO with an unknown-command error (the client falls back
+  to sequential mode), and a v1 client simply never sends HELLO or
+  ids (the server answers in order, as before).
 """
 
 from __future__ import annotations
@@ -22,6 +37,18 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 MAX_FRAME_BYTES = 64 * 1024 * 1024
 _LENGTH = struct.Struct(">I")
+
+#: Highest protocol version this build speaks.
+PROTOCOL_VERSION = 2
+
+#: Feature flags advertised in the HELLO exchange.  ``pipeline``
+#: means the peer accepts multiple in-flight requests tagged with
+#: ``id`` fields and may answer them out of order.
+FEATURE_PIPELINE = "pipeline"
+#: The server's HELLO response enumerates the error codes it emits,
+#: so clients map codes to local exception types by negotiation
+#: instead of by guessing.
+FEATURE_ERROR_CODES = "error_codes"
 
 
 class ProtocolError(Exception):
@@ -66,12 +93,28 @@ def decode_key(key: Optional[Sequence[Any]]) -> Optional[Tuple[Any, ...]]:
 
 # ---------------------------------------------------------------- frames
 
-def send_message(sock: socket.socket, message: Dict[str, Any]) -> None:
-    """Serialize and send one frame."""
+def encode_frame(message: Dict[str, Any]) -> bytes:
+    """Serialize one message to its on-the-wire frame bytes."""
     payload = json.dumps(message).encode("utf-8")
     if len(payload) > MAX_FRAME_BYTES:
         raise ProtocolError(f"frame too large: {len(payload)} bytes")
-    sock.sendall(_LENGTH.pack(len(payload)) + payload)
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> Dict[str, Any]:
+    """Parse one frame payload (the bytes after the length header)."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"bad frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("frame payload must be a JSON object")
+    return message
+
+
+def send_message(sock: socket.socket, message: Dict[str, Any]) -> None:
+    """Serialize and send one frame."""
+    sock.sendall(encode_frame(message))
 
 
 def recv_message(sock: socket.socket) -> Dict[str, Any]:
@@ -80,14 +123,7 @@ def recv_message(sock: socket.socket) -> Dict[str, Any]:
     (length,) = _LENGTH.unpack(header)
     if length > MAX_FRAME_BYTES:
         raise ProtocolError(f"frame too large: {length} bytes")
-    payload = _recv_exact(sock, length)
-    try:
-        message = json.loads(payload.decode("utf-8"))
-    except (ValueError, UnicodeDecodeError) as exc:
-        raise ProtocolError(f"bad frame: {exc}") from exc
-    if not isinstance(message, dict):
-        raise ProtocolError("frame payload must be a JSON object")
-    return message
+    return decode_payload(_recv_exact(sock, length))
 
 
 def _recv_exact(sock: socket.socket, length: int) -> bytes:

@@ -22,9 +22,32 @@ import base64
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.errors import NoSuchTableError
-from ..core.row import DESCENDING, Query
+from ..core.row import DESCENDING, Query, QueryStats
 from ..core.schema import Column, Schema
+from ..core.table import QueryResult
 from .client import LittleTableClient
+from .protocol import decode_row, encode_key
+
+
+def _query_request(table: str, query: Query) -> Dict[str, Any]:
+    """One query command's wire request (shared by query and scan)."""
+    key_range = query.key_range
+    time_range = query.time_range
+    request: Dict[str, Any] = {
+        "cmd": "query", "table": table,
+        "key_min": encode_key(key_range.min_prefix),
+        "key_max": encode_key(key_range.max_prefix),
+        "key_min_inclusive": key_range.min_inclusive,
+        "key_max_inclusive": key_range.max_inclusive,
+        "ts_min": time_range.min_ts,
+        "ts_min_inclusive": time_range.min_inclusive,
+        "ts_max": time_range.max_ts,
+        "ts_max_inclusive": time_range.max_inclusive,
+        "descending": query.direction == DESCENDING,
+    }
+    if query.limit is not None:
+        request["limit"] = query.limit
+    return request
 
 
 class RemoteTable:
@@ -56,6 +79,16 @@ class RemoteTable:
         return self.insert([schema.row_to_dict(row) for row in rows])
 
     # ---------------------------------------------------------- queries
+
+    def query(self, query: Query) -> "QueryResult":
+        """One query command, one round trip (``Table.query`` parity).
+
+        Unlike :meth:`scan`, this does *not* continue past the
+        server's row limit - exactly like the in-process
+        ``Table.query``, it reports ``more_available`` and leaves the
+        continuation to the caller.
+        """
+        return self._database._query_once(self.name, query)
 
     def scan(self, query: Query) -> Iterator[Tuple[Any, ...]]:
         """Stream a bounding-box query over the wire.
@@ -190,3 +223,66 @@ class RemoteDatabase:
     def drop_table(self, name: str) -> None:
         self.client.drop_table(name)
         self.invalidate()
+
+    # -------------------------------------------------------- operations
+    #
+    # Exact signatures of the in-process facade
+    # (``LittleTable.insert/query/latest/stats/health`` + context
+    # manager), so application code written against a local engine
+    # runs unchanged over the wire - in front of one engine or a
+    # shard router alike.
+
+    def insert(self, table_name: str, rows: Sequence[Dict[str, Any]]) -> int:
+        """Insert dict rows into a table (``LittleTable.insert``)."""
+        return self.client.insert(table_name, rows)
+
+    def query(self, table_name: str,
+              query: Optional[Query] = None) -> QueryResult:
+        """One query command against a table (``LittleTable.query``).
+
+        A single round trip: the server's row limit applies and
+        ``more_available`` is reported, exactly as in process.  Use
+        ``table(name).scan(query)`` for transparent continuation.
+        """
+        return self._query_once(table_name,
+                                query if query is not None else Query())
+
+    def _query_once(self, table_name: str, query: Query) -> QueryResult:
+        response = self.client._call(
+            _query_request(table_name, query), idempotent=True)
+        rows = [decode_row(row) for row in response["rows"]]
+        return QueryResult(
+            rows=rows,
+            more_available=bool(response.get("more_available")),
+            stats=QueryStats(rows_scanned=response.get("rows_scanned", 0),
+                             rows_returned=len(rows)),
+        )
+
+    def latest(self, table_name: str, prefix: Sequence[Any],
+               max_lookback_micros: Optional[int] = None
+               ) -> Optional[Tuple[Any, ...]]:
+        """Latest row whose key starts with ``prefix`` (§3.4.5)."""
+        return self.client.latest(table_name, prefix,
+                                  max_lookback_micros=max_lookback_micros)
+
+    # ------------------------------------------------------ observability
+
+    def stats(self) -> Dict[str, Any]:
+        """The server's metrics snapshot (``LittleTable.stats``)."""
+        return self.client.stats()
+
+    def health(self) -> Dict[str, Any]:
+        """The server's degradation state (``LittleTable.health``)."""
+        return self.client.health()
+
+    # --------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Close the underlying connection (idempotent)."""
+        self.client.close()
+
+    def __enter__(self) -> "RemoteDatabase":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

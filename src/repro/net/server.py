@@ -35,6 +35,7 @@ _WRITE_COMMANDS = frozenset(
     {"insert", "create_table", "drop_table", "alter", "bulk_delete",
      "flush"})
 
+from ..core import errors as _errors
 from ..core.database import LittleTable
 from ..core.errors import LittleTableError
 from ..core.maintenance import MaintenancePolicy, MaintenanceReport
@@ -42,6 +43,16 @@ from ..core.row import ASCENDING, DESCENDING, KeyRange, Query, TimeRange
 from ..core.scheduler import MaintenanceScheduler
 from ..core.schema import Schema
 from . import protocol
+
+
+def known_error_codes() -> list:
+    """Error codes this server may put on the wire: the names of every
+    :class:`LittleTableError` subclass, plus the generic ServerError.
+    Sent in the HELLO response so clients map codes by negotiation."""
+    return sorted(
+        name for name, cls in vars(_errors).items()
+        if isinstance(cls, type) and issubclass(cls, LittleTableError)
+    )
 
 
 class _Handler(socketserver.BaseRequestHandler):
@@ -106,9 +117,10 @@ class LittleTableServer:
         # Server-side observability lives in the database's registry,
         # so one STATS snapshot covers engine and network together.
         self.metrics = db.metrics
-        self._m_requests = self.metrics.counter("server.requests")
-        self._m_errors = self.metrics.counter("server.errors")
         self._m_connections = self.metrics.gauge("server.active_connections")
+        # All command handling is delegated to the shared dispatcher
+        # (the asyncio front end reuses the same one).
+        self.dispatcher = RequestDispatcher(db)
 
     def run_maintenance(self) -> MaintenanceReport:
         """One synchronous maintenance pass over every table.
@@ -200,39 +212,97 @@ class LittleTableServer:
     # --------------------------------------------------------- dispatch
 
     def dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        """Handle one request message (also usable without TCP).
+        """Handle one request message (also usable without TCP)."""
+        return self.dispatcher.dispatch(request)
 
-        Never raises: engine errors and malformed requests come back
-        as error responses, keeping the server up (a bad client must
-        not look like a server crash to the other clients).
-        """
+
+class RequestDispatcher:
+    """Maps protocol commands onto a database-shaped object.
+
+    Shared by the thread-per-connection :class:`LittleTableServer` and
+    the asyncio :class:`~repro.net.async_server.AsyncLittleTableServer`;
+    ``db`` may be a single :class:`~repro.core.database.LittleTable`
+    engine or a :class:`~repro.net.shard.ShardRouter` spanning many —
+    both expose the same catalog/insert/query facade.
+
+    Never raises: engine errors and malformed requests come back as
+    error responses, keeping the server up (a bad client must not look
+    like a server crash to the other clients).
+    """
+
+    def __init__(self, db: Any):
+        self.db = db
+        self.metrics = db.metrics
+        self._m_requests = self.metrics.counter("server.requests")
+        self._m_errors = self.metrics.counter("server.errors")
+
+    def dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
         command = request.get("cmd")
         handler = getattr(self, f"_cmd_{command}", None)
         self._m_requests.inc()
+        request_id = request.get("id")
         if handler is None:
             self._m_errors.inc()
-            return protocol.error_response(
-                "ProtocolViolationError", f"unknown command {command!r}")
+            return self._tag(protocol.error_response(
+                "ProtocolViolationError", f"unknown command {command!r}"),
+                request_id)
         if command in _WRITE_COMMANDS and self.db.read_only:
             self._m_errors.inc()
             self.metrics.counter("fault.read_only_rejections").inc()
-            return protocol.error_response(
+            return self._tag(protocol.error_response(
                 "ReadOnlyModeError",
-                f"server is read-only: {self.db.read_only_reason}")
+                f"server is read-only: {self.db.read_only_reason}"),
+                request_id)
         started = time.perf_counter()
         try:
             response = handler(request)
         except LittleTableError as exc:
             self._m_errors.inc()
-            return protocol.error_response(type(exc).__name__, str(exc))
+            return self._tag(protocol.error_response(
+                type(exc).__name__, str(exc)), request_id)
         except Exception as exc:  # defensive: keep the server up
             self._m_errors.inc()
-            return protocol.error_response("ServerError", str(exc))
+            return self._tag(protocol.error_response(
+                "ServerError", str(exc)), request_id)
         # Latency is recorded after the handler so a STATS snapshot
         # never includes the request that carried it.
         self.metrics.histogram(f"server.cmd.{command}.latency_us").observe(
             (time.perf_counter() - started) * 1e6)
+        return self._tag(response, request_id)
+
+    @staticmethod
+    def _tag(response: Dict[str, Any],
+             request_id: Optional[Any]) -> Dict[str, Any]:
+        """Echo the v2 request id so pipelined clients can match the
+        response; v1 requests carry no id and get none back."""
+        if request_id is not None:
+            response["id"] = request_id
         return response
+
+    def _cmd_hello(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """The v2 handshake: negotiate version, features, error codes.
+
+        The agreed version is the minimum of both sides' maxima, so a
+        future v3 client still lands on 2 here; servers predating v2
+        never reach this handler (their dispatch rejects the unknown
+        command, which v2 clients treat as "speak v1").
+        """
+        client_version = request.get("version", 1)
+        if not isinstance(client_version, int) or client_version < 1:
+            raise _errors.ProtocolViolationError(
+                f"bad hello version {client_version!r}")
+        version = min(client_version, protocol.PROTOCOL_VERSION)
+        features = []
+        if version >= 2:
+            features = [protocol.FEATURE_PIPELINE,
+                        protocol.FEATURE_ERROR_CODES]
+        return protocol.ok_response(
+            version=version,
+            features=features,
+            error_codes=known_error_codes(),
+            shards=getattr(self.db, "shard_count", 1),
+            server="littletable",
+        )
 
     def _cmd_ping(self, request: Dict[str, Any]) -> Dict[str, Any]:
         return protocol.ok_response(pong=True)
@@ -307,7 +377,7 @@ class LittleTableServer:
 
     def _cmd_maintenance(self, request: Dict[str, Any]) -> Dict[str, Any]:
         """One synchronous maintenance pass over every table."""
-        return protocol.ok_response(work=self.run_maintenance().as_dict())
+        return protocol.ok_response(work=self.db.maintenance().as_dict())
 
     def _cmd_stats(self, request: Dict[str, Any]) -> Dict[str, Any]:
         """The observability surface: one registry snapshot.

@@ -1,0 +1,717 @@
+"""Scale-out: a shard router over N LittleTable engine workers.
+
+The paper's deployment funnels "hundreds of thousands of devices"
+through adaptors into a single server (§3.1); one engine behind one
+thread-per-connection accept loop is the scaling wall.  The
+:class:`ShardRouter` breaks it by partitioning every table's rows
+across N independent engines and presenting the same database facade
+the network dispatcher already speaks, so both the threaded and the
+asyncio servers serve a router without knowing it.
+
+Routing is deterministic per row key:
+
+* Tables whose primary key has leading columns before ``ts`` route by
+  a stable hash (CRC32) of those leading values - every row of one
+  device lands on one shard, so ``latest(prefix)`` and fully-pinned
+  prefix queries touch a single worker.
+* Tables keyed by bare ``ts`` route by the four-hour grid underlying
+  the engine's time-period bins (§3.4.2): ``ts // 4h  mod  N``.  The
+  grid is epoch-aligned and independent of "now", so routing never
+  shifts as periods roll over.
+
+Queries outside a single shard scatter to every live worker and merge
+through a k-way ordered merge on the schema's key tuples (the same
+plain tuple comparison the codec's decode_range uses), preserving the
+server row limit's ``more_available`` continuation contract across
+shard boundaries: merged rows are only emitted up to the smallest
+last-key any truncated shard reached, so a client resuming past the
+last returned key never skips rows another shard still holds.
+
+Failure isolation: a worker that crashes (failpoint
+:class:`~repro.disk.faults.CrashPoint`, torn I/O, unexpected internal
+errors) is marked down.  Requests touching its keys raise
+:class:`~repro.core.errors.ShardDegradedError`; keys on the surviving
+workers - and the router itself - keep serving.
+"""
+
+from __future__ import annotations
+
+import heapq
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.config import EngineConfig
+from ..core.database import LittleTable
+from ..core.errors import LittleTableError, ShardDegradedError
+from ..core.maintenance import MaintenancePolicy, MaintenanceReport
+from ..core.periods import FOUR_HOURS
+from ..core.row import DESCENDING, Query, QueryStats
+from ..core.schema import Schema
+from ..core.table import QueryResult
+from ..obs.metrics import MetricsRegistry
+from ..util.clock import Clock
+
+
+def shard_of(leading: Tuple[Any, ...], ts: Optional[int],
+             shard_count: int) -> int:
+    """The shard owning a key: hash of the leading key columns, or
+    the epoch-aligned four-hour time bin for bare-``ts`` keys.
+
+    ``repr`` of the canonical stored value types (int/float/str/bytes)
+    is deterministic across processes, so the CRC is a stable routing
+    hash with no dependence on Python's randomized ``hash()``.
+    """
+    if shard_count == 1:
+        return 0
+    if leading:
+        digest = zlib.crc32(repr(leading).encode("utf-8"))
+        return digest % shard_count
+    if ts is None:
+        return 0
+    return (ts // FOUR_HOURS) % shard_count
+
+
+def merge_sorted_runs(runs: Sequence[Sequence[Tuple[Any, ...]]],
+                      key: Callable[[Tuple[Any, ...]], Tuple[Any, ...]],
+                      descending: bool = False
+                      ) -> Iterator[Tuple[Any, ...]]:
+    """K-way merge of per-shard sorted runs into one ordered stream.
+
+    Plain tuple comparison on the schema's key tuples - the same
+    ordering the codec's ``decode_range`` binary-searches with.  Keys
+    are globally unique (each full key routes to exactly one shard),
+    so ties cannot occur between runs.
+    """
+    if descending:
+        heap = [(_Reversed(key(run[0])), index, 0)
+                for index, run in enumerate(runs) if run]
+    else:
+        heap = [(key(run[0]), index, 0) for index, run in enumerate(runs)
+                if run]
+    heapq.heapify(heap)
+    while heap:
+        _k, run_index, position = heapq.heappop(heap)
+        run = runs[run_index]
+        yield run[position]
+        position += 1
+        if position < len(run):
+            next_key = key(run[position])
+            if descending:
+                heapq.heappush(
+                    heap, (_Reversed(next_key), run_index, position))
+            else:
+                heapq.heappush(heap, (next_key, run_index, position))
+
+
+class _Reversed:
+    """Inverts comparison so heapq pops the greatest key first
+    (string key columns rule out arithmetic negation)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        return other.value < self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Reversed) and other.value == self.value
+
+
+class ShardedTable:
+    """Table facade spanning one logical table's N physical shards.
+
+    Implements the slice of the :class:`~repro.core.table.Table` API
+    the network dispatcher and the SQL executor use; rows fan out on
+    write and merge back ordered on read.
+    """
+
+    def __init__(self, router: "ShardRouter", name: str):
+        self._router = router
+        self.name = name
+
+    # ------------------------------------------------------- structure
+
+    @property
+    def schema(self) -> Schema:
+        return self._router._any_live_table(self.name).schema
+
+    @property
+    def ttl_micros(self) -> Optional[int]:
+        return self._router._any_live_table(self.name).ttl_micros
+
+    # ---------------------------------------------------------- writes
+
+    def insert(self, rows: Sequence[Dict[str, Any]]) -> int:
+        return self._router._insert(self.name, rows, dicts=True)
+
+    def insert_tuples(self, rows: Sequence[Tuple[Any, ...]]) -> int:
+        return self._router._insert(self.name, rows, dicts=False)
+
+    # --------------------------------------------------------- queries
+
+    def query(self, query: Query) -> QueryResult:
+        return self._router._query(self.name, query)
+
+    def scan(self, query: Query) -> Iterator[Tuple[Any, ...]]:
+        """Unbounded ordered stream (SQL executor path): repeated
+        query commands continued past each truncation, like the
+        client adaptor does (§3.5)."""
+        return self._router._scan(self.name, query)
+
+    def latest(self, prefix: Sequence[Any],
+               max_lookback_micros: Optional[int] = None
+               ) -> Optional[Tuple[Any, ...]]:
+        return self._router._latest(
+            self.name, prefix, max_lookback_micros=max_lookback_micros)
+
+    # ----------------------------------------------- admin & lifecycle
+
+    def flush_all(self) -> List[Any]:
+        written: List[Any] = []
+        for result in self._router._fanout_table(self.name,
+                                                 lambda t: t.flush_all()):
+            written.extend(result)
+        return written
+
+    def flush_before(self, ts: int) -> List[Any]:
+        written: List[Any] = []
+        for result in self._router._fanout_table(
+                self.name, lambda t: t.flush_before(ts)):
+            written.extend(result)
+        return written
+
+    def bulk_delete(self, prefix: Sequence[Any]) -> int:
+        prefix = tuple(prefix)
+        schema = self.schema
+        leading_width = schema.key_width - 1
+        if leading_width and len(prefix) >= leading_width:
+            shard = self._router._shard_for_leading(
+                prefix[:leading_width])
+            return self._router._run(
+                shard,
+                lambda db: db.table(self.name).bulk_delete(prefix))
+        return sum(self._router._fanout_table(
+            self.name, lambda t: t.bulk_delete(prefix)))
+
+    def append_column(self, column: Any) -> None:
+        self._router._fanout_table(
+            self.name, lambda t: t.append_column(column))
+
+    def widen_column(self, name: str) -> None:
+        self._router._fanout_table(
+            self.name, lambda t: t.widen_column(name))
+
+    def set_ttl(self, ttl_micros: Optional[int]) -> None:
+        self._router._fanout_table(
+            self.name, lambda t: t.set_ttl(ttl_micros))
+
+    def stats_summary(self) -> Dict[str, Any]:
+        """Shard-merged shape summary: integer counts sum, the rest
+        come from shard 0's survivors."""
+        summaries = self._router._fanout_table(
+            self.name, lambda t: t.stats_summary())
+        merged: Dict[str, Any] = dict(summaries[0])
+        for summary in summaries[1:]:
+            for field, value in summary.items():
+                if field in ("name", "ttl_micros", "schema_version"):
+                    continue
+                if isinstance(value, (int, float)) and not isinstance(
+                        value, bool):
+                    base = merged.get(field) or 0
+                    merged[field] = base + value
+        merged["shards"] = len(summaries)
+        return merged
+
+
+class ShardRouter:
+    """N engine workers behind one database facade.
+
+    Duck-types the :class:`~repro.core.database.LittleTable` facade
+    (catalog, insert/query/latest, maintenance, health), so the
+    network dispatcher, the SQL session, and ``repro.connect()``
+    callers cannot tell one engine from many.
+    """
+
+    def __init__(self, shards: int = 4,
+                 data_dir: Optional[str] = None,
+                 config: Optional[EngineConfig] = None,
+                 clock: Optional[Clock] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 maintenance_policy: Optional[MaintenancePolicy] = None,
+                 engines: Optional[Sequence[LittleTable]] = None):
+        """Open ``shards`` workers, either in memory or over
+        ``data_dir/shard-NN`` subdirectories (gnitz-style: one
+        manifest root, one subtree per shard).  Pass ``engines`` to
+        adopt pre-built workers (tests, custom disks); they should
+        share a clock and metrics registry for coherent routing and
+        one STATS surface.
+        """
+        if engines is not None:
+            if not engines:
+                raise ValueError("engines must be non-empty")
+            self.engines = list(engines)
+            self.metrics = metrics if metrics is not None \
+                else self.engines[0].metrics
+        else:
+            if shards < 1:
+                raise ValueError("shards must be >= 1")
+            self.metrics = metrics if metrics is not None \
+                else MetricsRegistry()
+            self.engines = []
+            for index in range(shards):
+                subdir = None if data_dir is None else \
+                    f"{data_dir}/shard-{index:02d}"
+                self.engines.append(LittleTable.open(
+                    subdir, config=config, clock=clock,
+                    metrics=self.metrics,
+                    maintenance_policy=maintenance_policy))
+        self.clock = self.engines[0].clock
+        self.config = self.engines[0].config
+        # Worker crash state: shard index -> reason string.  Sticky
+        # until revive_shard; guarded only by the GIL (reads are
+        # racy-but-monotonic, which is fine for routing decisions).
+        self._down: Dict[int, str] = {}
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(2, len(self.engines)),
+            thread_name_prefix="shard")
+        self._m_scatter = self.metrics.counter("shard.scatter_queries")
+        self._m_single = self.metrics.counter("shard.single_shard_queries")
+        self._m_degraded = self.metrics.gauge("shard.degraded")
+        self._m_crashes = self.metrics.counter("shard.worker_crashes")
+        self._m_routed = self.metrics.counter("shard.rows_routed")
+
+    # ------------------------------------------------------------ shape
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.engines)
+
+    @property
+    def degraded_shards(self) -> Dict[int, str]:
+        """Downed workers: shard index -> crash reason."""
+        return dict(self._down)
+
+    def revive_shard(self, index: int) -> None:
+        """Reopen a downed worker's engine over the same disk (the
+        operator's restart).  Unflushed rows it held are lost, exactly
+        like a process crash of that worker (§4.1)."""
+        engine = self.engines[index]
+        self.engines[index] = LittleTable(
+            disk=engine.disk, config=engine.config, clock=engine.clock,
+            cold_disk=engine.cold_disk, metrics=self.metrics,
+            maintenance_policy=engine.maintenance_policy)
+        self._down.pop(index, None)
+        self._m_degraded.set(len(self._down))
+
+    # --------------------------------------------------------- routing
+
+    def _shard_for_leading(self, leading: Tuple[Any, ...]) -> int:
+        return shard_of(leading, None, len(self.engines))
+
+    def _route_row(self, schema: Schema, leading_indexes: List[int],
+                   ts_index: int, row: Tuple[Any, ...]) -> int:
+        if leading_indexes:
+            leading = tuple(row[i] for i in leading_indexes)
+            return shard_of(leading, None, len(self.engines))
+        ts = row[ts_index] if ts_index < len(row) else None
+        if ts is None:
+            ts = self.clock.now()
+        return shard_of((), ts, len(self.engines))
+
+    def _run(self, index: int, fn: Callable[[LittleTable], Any]) -> Any:
+        """Run one operation on one worker, with crash isolation.
+
+        Engine errors (validation, duplicate keys, read-only mode...)
+        pass through: they are the worker answering, not dying.
+        Anything else - failpoint CrashPoints, torn I/O, internal
+        bugs - marks the worker down and surfaces as
+        :class:`ShardDegradedError` so the router keeps serving the
+        surviving shards.
+        """
+        reason = self._down.get(index)
+        if reason is not None:
+            raise ShardDegradedError(
+                f"shard {index} is down: {reason}")
+        try:
+            return fn(self.engines[index])
+        except LittleTableError:
+            raise
+        except BaseException as exc:
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self._down[index] = f"{type(exc).__name__}: {exc}"
+            self._m_crashes.inc()
+            self._m_degraded.set(len(self._down))
+            raise ShardDegradedError(
+                f"shard {index} worker crashed: "
+                f"{type(exc).__name__}: {exc}") from exc
+
+    def _live_indexes(self) -> List[int]:
+        return [i for i in range(len(self.engines)) if i not in self._down]
+
+    def _fanout(self, fn: Callable[[LittleTable], Any],
+                indexes: Optional[List[int]] = None) -> List[Any]:
+        """Run ``fn`` on every live worker in parallel; results in
+        shard order.  Any worker crash degrades that shard and the
+        whole operation raises ShardDegradedError."""
+        if indexes is None:
+            indexes = self._live_indexes()
+        if self._down:
+            down = ", ".join(f"{i} ({r})" for i, r in
+                             sorted(self._down.items()))
+            raise ShardDegradedError(
+                f"operation spans all shards but some are down: {down}")
+        if len(indexes) == 1:
+            return [self._run(indexes[0], fn)]
+        futures = [
+            self._pool.submit(self._run, index, fn) for index in indexes
+        ]
+        results = []
+        errors: List[BaseException] = []
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BaseException as exc:
+                errors.append(exc)
+        if errors:
+            raise errors[0]
+        return results
+
+    def _fanout_table(self, name: str,
+                      fn: Callable[[Any], Any]) -> List[Any]:
+        return self._fanout(lambda db: fn(db.table(name)))
+
+    def _any_live_table(self, name: str):
+        for index in self._live_indexes():
+            return self.engines[index].table(name)
+        raise ShardDegradedError("all shards are down")
+
+    # ---------------------------------------------------------- catalog
+
+    def table_names(self) -> List[str]:
+        for index in self._live_indexes():
+            return self.engines[index].table_names()
+        raise ShardDegradedError("all shards are down")
+
+    def has_table(self, name: str) -> bool:
+        for index in self._live_indexes():
+            return self.engines[index].has_table(name)
+        raise ShardDegradedError("all shards are down")
+
+    def table(self, name: str) -> ShardedTable:
+        self._any_live_table(name)  # NoSuchTableError when absent
+        return ShardedTable(self, name)
+
+    def create_table(self, name: str, schema: Schema,
+                     ttl_micros: Optional[int] = None) -> ShardedTable:
+        """DDL fans out to every worker (the catalog is replicated;
+        only row data is partitioned)."""
+        self._fanout(lambda db: db.create_table(
+            name, schema, ttl_micros=ttl_micros))
+        return ShardedTable(self, name)
+
+    def drop_table(self, name: str) -> None:
+        self._fanout(lambda db: db.drop_table(name))
+
+    # ------------------------------------------------------- operations
+
+    def insert(self, table_name: str,
+               rows: Sequence[Dict[str, Any]]) -> int:
+        return self._insert(table_name, rows, dicts=True)
+
+    def _insert(self, table_name: str, rows: Sequence[Any],
+                dicts: bool) -> int:
+        """Partition a batch by routing key and insert shard-locally.
+
+        Validation and uniqueness stay with the owning worker; the
+        router only reads the raw leading values (or ts) to route.
+        """
+        if not rows:
+            return 0
+        schema = self._any_live_table(table_name).schema
+        leading_names = list(schema.key[:-1])
+        by_shard: Dict[int, List[Any]] = {}
+        if dicts:
+            for row in rows:
+                if leading_names:
+                    leading = tuple(row.get(name)
+                                    for name in leading_names)
+                    index = shard_of(leading, None, len(self.engines))
+                else:
+                    ts = row.get("ts")
+                    index = shard_of(
+                        (), ts if ts is not None else self.clock.now(),
+                        len(self.engines))
+                by_shard.setdefault(index, []).append(row)
+        else:
+            leading_indexes = [schema.column_index(name)
+                               for name in leading_names]
+            ts_index = schema.ts_index
+            for row in rows:
+                index = self._route_row(schema, leading_indexes,
+                                        ts_index, tuple(row))
+                by_shard.setdefault(index, []).append(tuple(row))
+        self._m_routed.inc(len(rows))
+
+        def insert_on(index: int) -> int:
+            batch = by_shard[index]
+            if dicts:
+                return self._run(
+                    index, lambda db: db.table(table_name).insert(batch))
+            return self._run(
+                index,
+                lambda db: db.table(table_name).insert_tuples(batch))
+
+        indexes = sorted(by_shard)
+        if len(indexes) == 1:
+            return insert_on(indexes[0])
+        futures = [(self._pool.submit(insert_on, index))
+                   for index in indexes]
+        inserted = 0
+        errors: List[BaseException] = []
+        for future in futures:
+            try:
+                inserted += future.result()
+            except BaseException as exc:
+                errors.append(exc)
+        if errors:
+            raise errors[0]
+        return inserted
+
+    def _pinned_shard(self, schema: Schema, query: Query) -> Optional[int]:
+        """The single shard a query is confined to, or None.
+
+        A query pins to one shard when its key range fixes every
+        leading key column to one value (prefix semantics make that
+        ``min_prefix == max_prefix`` covering the leading columns,
+        both sides inclusive).
+        """
+        leading_width = schema.key_width - 1
+        if leading_width == 0:
+            return None
+        kr = query.key_range
+        if (kr.min_prefix is None or kr.max_prefix is None
+                or not kr.min_inclusive or not kr.max_inclusive):
+            return None
+        if len(kr.min_prefix) < leading_width \
+                or len(kr.max_prefix) < leading_width:
+            return None
+        leading = tuple(kr.min_prefix[:leading_width])
+        if leading != tuple(kr.max_prefix[:leading_width]):
+            return None
+        return self._shard_for_leading(leading)
+
+    def query(self, table_name: str,
+              query: Optional[Query] = None) -> QueryResult:
+        return self._query(table_name,
+                           query if query is not None else Query())
+
+    def _query(self, table_name: str, query: Query) -> QueryResult:
+        schema = self._any_live_table(table_name).schema
+        pinned = self._pinned_shard(schema, query)
+        if pinned is not None:
+            self._m_single.inc()
+            return self._run(
+                pinned, lambda db: db.table(table_name).query(query))
+        self._m_scatter.inc()
+        results = self._fanout_table(table_name,
+                                     lambda t: t.query(query))
+        return self._merge_results(schema, query, results)
+
+    def _merge_results(self, schema: Schema, query: Query,
+                       results: List[QueryResult]) -> QueryResult:
+        """Scatter-gather merge preserving the §3.5 continuation
+        contract across shard boundaries."""
+        descending = query.direction == DESCENDING
+        stats = QueryStats()
+        for result in results:
+            stats.rows_scanned += result.stats.rows_scanned
+            stats.tablets_opened += result.stats.tablets_opened
+            stats.tablets_pruned += result.stats.tablets_pruned
+        # A truncated shard only vouches for rows up to its own last
+        # key; beyond the *smallest* such frontier (largest, for
+        # descending scans) another shard's unseen rows could
+        # interleave, so the merged stream must stop there.
+        boundary = None
+        any_truncated = False
+        for result in results:
+            if result.more_available and result.rows:
+                any_truncated = True
+                last_key = schema.key_of(result.rows[-1])
+                if boundary is None:
+                    boundary = last_key
+                elif descending:
+                    boundary = max(boundary, last_key)
+                else:
+                    boundary = min(boundary, last_key)
+        limit = self.config.server_row_limit
+        if query.limit is not None:
+            limit = min(limit, query.limit)
+        rows: List[Tuple[Any, ...]] = []
+        more_available = any_truncated
+        for row in merge_sorted_runs([r.rows for r in results],
+                                     schema.key_of, descending):
+            if boundary is not None:
+                key = schema.key_of(row)
+                past = key > boundary if not descending \
+                    else key < boundary
+                if past:
+                    break
+            if len(rows) >= limit:
+                # Engine parity: a query stopped by the *client's* own
+                # limit is complete, not truncated (Table.query only
+                # flags more_available when the server row limit cut
+                # the scan).  Here another merged row did arrive, so
+                # flag it only when the server bound is the tighter one.
+                if query.limit is None or query.limit > limit:
+                    more_available = True
+                break
+            rows.append(row)
+        stats.rows_returned = len(rows)
+        return QueryResult(rows, more_available, stats)
+
+    def _scan(self, table_name: str,
+              query: Query) -> Iterator[Tuple[Any, ...]]:
+        """Stream a query to exhaustion by continuing past each
+        truncation - the adaptor's §3.5 loop, run router-side for the
+        SQL executor."""
+        schema = self._any_live_table(table_name).schema
+        descending = query.direction == DESCENDING
+        remaining = query.limit
+        current = query
+        while True:
+            result = self._query(table_name, current)
+            for row in result.rows:
+                yield row
+            if remaining is not None:
+                remaining -= len(result.rows)
+                if remaining <= 0:
+                    return
+            if not result.more_available or not result.rows:
+                return
+            last_key = schema.key_of(result.rows[-1])
+            kr = current.key_range
+            if descending:
+                kr = type(kr)(min_prefix=kr.min_prefix,
+                              min_inclusive=kr.min_inclusive,
+                              max_prefix=last_key, max_inclusive=False)
+            else:
+                kr = type(kr)(min_prefix=last_key, min_inclusive=False,
+                              max_prefix=kr.max_prefix,
+                              max_inclusive=kr.max_inclusive)
+            current = Query(kr, current.time_range, current.direction,
+                            remaining)
+
+    def latest(self, table_name: str, prefix: Sequence[Any],
+               max_lookback_micros: Optional[int] = None):
+        return self._latest(table_name, prefix,
+                            max_lookback_micros=max_lookback_micros)
+
+    def _latest(self, table_name: str, prefix: Sequence[Any],
+                max_lookback_micros: Optional[int] = None):
+        prefix = tuple(prefix)
+        schema = self._any_live_table(table_name).schema
+        leading_width = schema.key_width - 1
+        if leading_width and len(prefix) >= leading_width:
+            shard = self._shard_for_leading(prefix[:leading_width])
+            self._m_single.inc()
+            return self._run(
+                shard, lambda db: db.table(table_name).latest(
+                    prefix, max_lookback_micros=max_lookback_micros))
+        self._m_scatter.inc()
+        candidates = self._fanout_table(
+            table_name, lambda t: t.latest(
+                prefix, max_lookback_micros=max_lookback_micros))
+        best = None
+        for row in candidates:
+            if row is None:
+                continue
+            if best is None or schema.ts_of(row) > schema.ts_of(best):
+                best = row
+        return best
+
+    # ------------------------------------------------------ maintenance
+
+    def maintenance(self) -> MaintenanceReport:
+        """One maintenance pass across every live worker.  Downed
+        workers are skipped (their tables are degraded, not the
+        router); per-table reports merge by summing."""
+        report = MaintenanceReport()
+        for index in self._live_indexes():
+            try:
+                report.merge_from(
+                    self._run(index, lambda db: db.maintenance()))
+            except ShardDegradedError:
+                continue
+        return report
+
+    def maintenance_until_quiet(self, max_rounds: int = 1000) -> int:
+        for round_index in range(max_rounds):
+            if self.maintenance().is_quiet:
+                return round_index
+        return max_rounds
+
+    def flush_all(self) -> None:
+        for index in self._live_indexes():
+            self._run(index, lambda db: db.flush_all())
+
+    def close(self) -> None:
+        """Clean shutdown of every live worker, then the pool."""
+        for index in self._live_indexes():
+            try:
+                self._run(index, lambda db: db.close())
+            except ShardDegradedError:
+                continue
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ----------------------------------------------------------- health
+
+    @property
+    def read_only(self) -> bool:
+        """The router refuses writes only when *every* live worker is
+        read-only; a single degraded disk degrades its own keys."""
+        live = self._live_indexes()
+        return bool(live) and all(
+            self.engines[i].read_only for i in live)
+
+    @property
+    def read_only_reason(self) -> Optional[str]:
+        reasons = [self.engines[i].read_only_reason
+                   for i in self._live_indexes()
+                   if self.engines[i].read_only_reason]
+        return "; ".join(reasons) if reasons else None
+
+    def stats(self) -> Dict[str, Any]:
+        """Metrics snapshot - all workers share one registry, so this
+        is already the whole-cluster view (facade parity with
+        ``LittleTable.stats`` and ``RemoteDatabase.stats``)."""
+        return self.metrics.snapshot()
+
+    def health(self) -> Dict[str, Any]:
+        """Alias of :meth:`health_summary` (facade parity)."""
+        return self.health_summary()
+
+    def health_summary(self) -> Dict[str, Any]:
+        """One health view across all workers: the merged engine
+        summary plus shard topology and degradation."""
+        live = self._live_indexes()
+        base: Dict[str, Any]
+        if live:
+            base = self.engines[live[0]].health_summary()
+        else:
+            base = {}
+        base["read_only"] = self.read_only
+        base["read_only_reason"] = self.read_only_reason
+        base["shards"] = len(self.engines)
+        base["degraded_shards"] = {
+            str(i): reason for i, reason in sorted(self._down.items())}
+        return base

@@ -1,0 +1,247 @@
+"""The unified client API: repro.connect, ClientConfig, facade parity.
+
+Parity is the point of the redesign, so the central test runs ONE
+workload function against three deployments - in-process engine,
+threaded single-engine server, async sharded server - and asserts the
+facade behaves identically (same rows, same shapes, same context-
+manager semantics).
+"""
+
+import warnings
+
+import pytest
+
+import repro
+from repro import ClientConfig, connect
+from repro.core import (
+    Column,
+    ColumnType,
+    EngineConfig,
+    LittleTable,
+    Query,
+    Schema,
+)
+from repro.net import (
+    AsyncLittleTableServer,
+    LittleTableClient,
+    LittleTableServer,
+    ShardRouter,
+)
+from repro.util.clock import MICROS_PER_DAY, VirtualClock
+
+BASE = 10_000 * MICROS_PER_DAY
+
+
+def usage_schema():
+    return Schema(
+        [Column("device", ColumnType.STRING),
+         Column("ts", ColumnType.TIMESTAMP),
+         Column("bytes", ColumnType.INT64)],
+        key=["device", "ts"],
+    )
+
+
+SAMPLE = [
+    {"device": f"dev-{d:02d}", "ts": BASE + s * 1_000_000,
+     "bytes": d * 10 + s}
+    for d in range(8)
+    for s in range(6)
+]
+
+
+def run_workload(db):
+    """The facade surface every deployment must serve identically."""
+    db.create_table("usage", usage_schema())
+    assert db.insert("usage", SAMPLE) == len(SAMPLE)
+
+    result = db.query("usage", Query(limit=1000))
+    assert len(result.rows) == len(SAMPLE)
+    assert not result.more_available
+    keys = [r[:2] for r in result.rows]
+    assert keys == sorted(keys)
+
+    # A client-imposed limit is a complete result, not a truncation
+    # (engine semantics: more_available means the SERVER limit cut
+    # the scan) - and every deployment must agree on that.
+    page = db.query("usage", Query(limit=10))
+    assert len(page.rows) == 10 and not page.more_available
+
+    table_page = db.table("usage").query(Query(limit=10))
+    assert [r[:2] for r in table_page.rows] == [r[:2] for r in page.rows]
+
+    latest = db.latest("usage", ("dev-03",))
+    assert latest[2] == 35
+
+    snapshot = db.stats()
+    assert set(snapshot) >= {"counters", "gauges", "histograms"}
+    health = db.health()
+    assert health["read_only"] is False
+    return [r[:2] for r in result.rows]
+
+
+class TestFacadeParity:
+    def test_in_process(self):
+        with LittleTable(clock=VirtualClock(start=BASE)) as db:
+            run_workload(db)
+
+    def test_threaded_single_server(self):
+        db = LittleTable(clock=VirtualClock(start=BASE))
+        with LittleTableServer(db) as server:
+            with connect(server.address) as remote:
+                assert run_workload(remote) is not None
+        db.close()
+
+    def test_async_sharded_server(self):
+        router = ShardRouter(shards=3, clock=VirtualClock(start=BASE))
+        with AsyncLittleTableServer(router) as server:
+            with connect(server.address) as remote:
+                assert run_workload(remote) is not None
+        router.close()
+
+    def test_all_three_agree_row_for_row(self):
+        results = []
+        with LittleTable(clock=VirtualClock(start=BASE)) as db:
+            results.append(run_workload(db))
+        db = LittleTable(clock=VirtualClock(start=BASE))
+        with LittleTableServer(db) as server:
+            with connect(server.address) as remote:
+                results.append(run_workload(remote))
+        db.close()
+        router = ShardRouter(shards=4, clock=VirtualClock(start=BASE))
+        with AsyncLittleTableServer(router) as server:
+            with connect(server.address) as remote:
+                results.append(run_workload(remote))
+        router.close()
+        assert results[0] == results[1] == results[2]
+
+
+class TestConnectAddresses:
+    @pytest.fixture
+    def server(self):
+        db = LittleTable(clock=VirtualClock(start=BASE))
+        with LittleTableServer(db) as running:
+            yield running
+        db.close()
+
+    def test_host_port_string(self, server):
+        host, port = server.address
+        with connect(f"{host}:{port}") as db:
+            assert db.client.ping()
+
+    def test_port_only_string_defaults_localhost(self, server):
+        _host, port = server.address
+        with connect(f":{port}") as db:
+            assert db.client.ping()
+
+    def test_tuple_address(self, server):
+        with connect(server.address) as db:
+            assert db.client.ping()
+
+    def test_config_passes_through(self, server):
+        config = ClientConfig(insert_batch_rows=7, pipeline_depth=3)
+        with connect(server.address, config=config) as db:
+            assert db.client.config.insert_batch_rows == 7
+            assert db.client.config.pipeline_depth == 3
+
+    def test_bad_addresses_rejected(self):
+        with pytest.raises(ValueError):
+            connect("no-port-here")
+        with pytest.raises(ValueError):
+            connect("host:not-a-number")
+
+    def test_close_is_idempotent(self, server):
+        db = connect(server.address)
+        db.close()
+        db.close()
+
+    def test_clientconfig_reexported_at_top_level(self):
+        assert repro.ClientConfig is ClientConfig
+
+
+class TestClientConfigShim:
+    @pytest.fixture
+    def server(self):
+        db = LittleTable(clock=VirtualClock(start=BASE))
+        with LittleTableServer(db) as running:
+            yield running
+        db.close()
+
+    def test_legacy_kwargs_warn_and_map(self, server):
+        host, port = server.address
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            client = LittleTableClient(host, port,
+                                       insert_batch_rows=99,
+                                       max_retries=5,
+                                       auto_reconnect=False)
+        assert any(issubclass(w.category, DeprecationWarning)
+                   for w in caught)
+        assert client.config.insert_batch_rows == 99
+        assert client.config.max_retries == 5
+        assert client.config.auto_reconnect is False
+        client.close()
+
+    def test_legacy_positional_batch_size(self, server):
+        host, port = server.address
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            client = LittleTableClient(host, port, 256)
+        assert any(issubclass(w.category, DeprecationWarning)
+                   for w in caught)
+        assert client.config.insert_batch_rows == 256
+        client.close()
+
+    def test_modern_config_does_not_warn(self, server):
+        host, port = server.address
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("error", DeprecationWarning)
+            client = LittleTableClient(
+                host, port, config=ClientConfig(insert_batch_rows=64))
+        assert client.config.insert_batch_rows == 64
+        assert not caught
+        client.close()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LittleTableClient("127.0.0.1", 1,
+                              config=ClientConfig(insert_batch_rows=0))
+        with pytest.raises(ValueError):
+            LittleTableClient("127.0.0.1", 1,
+                              config=ClientConfig(pipeline_depth=0))
+
+    def test_unknown_kwarg_rejected(self):
+        with pytest.raises(TypeError):
+            LittleTableClient("127.0.0.1", 1, not_a_setting=True)
+
+
+class TestServeCli:
+    def test_serve_subcommand_round_trip(self):
+        import threading
+
+        from repro.cli import serve_main
+
+        stop = threading.Event()
+        seen = {}
+
+        def on_ready(server):
+            def probe():
+                try:
+                    with connect(server.address) as db:
+                        db.create_table("usage", usage_schema())
+                        db.insert("usage", SAMPLE[:6])
+                        seen["rows"] = len(db.query("usage").rows)
+                        seen["shards"] = db.client.server_shards
+                finally:
+                    stop.set()
+
+            threading.Thread(target=probe, daemon=True).start()
+
+        rc = serve_main(["--port", "0", "--shards", "2"],
+                        stop_event=stop, on_ready=on_ready)
+        assert rc == 0
+        assert seen == {"rows": 6, "shards": 2}
+
+    def test_serve_rejects_bad_shards(self):
+        from repro.cli import serve_main
+
+        assert serve_main(["--shards", "0", "--port", "0"]) == 2

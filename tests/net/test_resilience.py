@@ -18,7 +18,8 @@ from repro.core import (
     Schema,
 )
 from repro.disk import DiskFullError, FaultyVFS
-from repro.net import ConnectionLost, LittleTableClient, LittleTableServer
+from repro.net import (ClientConfig, ConnectionLost, LittleTableClient,
+                       LittleTableServer)
 from repro.util.clock import MICROS_PER_DAY, VirtualClock
 
 BASE = 10_000 * MICROS_PER_DAY
@@ -42,7 +43,8 @@ def fast_client(server, **overrides):
     """A client whose backoff sleeps are recorded, not slept."""
     host, port = server.address
     overrides.setdefault("retry_backoff_s", 0.001)
-    client = LittleTableClient(host, port, **overrides)
+    client = LittleTableClient(host, port,
+                               config=ClientConfig(**overrides))
     client.sleeps = []
     client._sleep = client.sleeps.append
     return client
