@@ -353,11 +353,12 @@ def _gen_encode_rows_v2(schema: Schema, K: int) -> str:
     return "\n".join(src)
 
 
-def _gen_decode_block_v2(schema: Schema) -> str:
+def _gen_decode_block_v2(schema: Schema, columns: bool = False) -> str:
     ncols = len(schema.columns)
     key_set = set(schema.key_indexes)
+    name = "decode_block_columns" if columns else "decode_block"
     src = [
-        "def decode_block(buf):",
+        f"def {name}(buf):",
         "    try:",
         "        if buf[0] != 2:",
         "            raise _corrupt('bad v2 block format byte %d'"
@@ -474,9 +475,19 @@ def _gen_decode_block_v2(schema: Schema) -> str:
     src += [
         "        if _p != len(buf):",
         "            raise _corrupt('trailing bytes after last column')",
-        f"        _rows = list(zip({cols}))",
-        f"        _keys = list(zip({keys}))",
-        "        return _rows, _keys",
+    ]
+    if columns:
+        # The vectorized read path wants the column segments themselves:
+        # no per-row tuple materialization, just the decoded value lists
+        # in schema column order.
+        src.append(f"        return [{cols}]")
+    else:
+        src += [
+            f"        _rows = list(zip({cols}))",
+            f"        _keys = list(zip({keys}))",
+            "        return _rows, _keys",
+        ]
+    src += [
         "    except (IndexError, _StructError, UnicodeDecodeError) as _exc:",
         "        raise _corrupt('corrupt v2 block: %s' % (_exc,))",
     ]
@@ -492,7 +503,8 @@ class _CompiledOps:
     """
 
     __slots__ = ("schema", "validate_and_size", "size_of", "key_of",
-                 "encode_row_v1", "encode_rows", "decode_block")
+                 "encode_row_v1", "encode_rows", "decode_block",
+                 "decode_block_columns")
 
     def __init__(self, schema: Schema):
         self.schema = schema
@@ -516,6 +528,7 @@ class _CompiledOps:
             _gen_encode_row_v1(schema),
             _gen_encode_rows_v2(schema, RESTART_INTERVAL),
             _gen_decode_block_v2(schema),
+            _gen_decode_block_v2(schema, columns=True),
         ])
         exec(compile(source, f"<codec:{schema!r}>", "exec"), namespace)
         self.validate_and_size = namespace["validate_and_size"]
@@ -524,6 +537,7 @@ class _CompiledOps:
         self.encode_row_v1 = namespace["encode_row_v1"]
         self.encode_rows = namespace["encode_rows"]
         self.decode_block = namespace["decode_block"]
+        self.decode_block_columns = namespace["decode_block_columns"]
 
 
 def compiled_ops(schema: Schema) -> _CompiledOps:
@@ -770,6 +784,22 @@ class SchemaCodec:
         self._m_rows_decoded.inc(len(rows))
         self._m_blocks_decoded.inc()
         return rows, keys
+
+    def decode_block_columns(self, buf: bytes) -> List[List[Any]]:
+        """Decode a whole v2 block body into per-column value lists.
+
+        The vectorized aggregate path consumes columns directly; no row
+        tuples are materialized.  Returns one list per schema column, in
+        schema order (DOUBLE columns come back as tuples from
+        ``struct.unpack``; slicing and indexing work the same).
+        """
+        started = time.perf_counter_ns()
+        columns = self.ops.decode_block_columns(buf)
+        self._m_decode_ns.inc(time.perf_counter_ns() - started)
+        if columns:
+            self._m_rows_decoded.inc(len(columns[0]))
+        self._m_blocks_decoded.inc()
+        return columns
 
     def decode_range(self, buf: bytes,
                      lo_key: Optional[Tuple[Any, ...]] = None,

@@ -61,14 +61,18 @@ class CachedBlock:
 
     ``keys`` is filled by the first scan that needs it, so the key
     extraction cost is also paid at most once per cached block.
+    ``columns`` is the column-major transpose, filled by the first
+    vectorized aggregate that hits a warm block; it shares the same
+    value objects as ``rows``, so only the container overhead is new.
     """
 
-    __slots__ = ("rows", "keys", "nbytes")
+    __slots__ = ("rows", "keys", "columns", "nbytes")
 
     def __init__(self, rows: List[Tuple[Any, ...]], nbytes: int,
                  keys: Optional[List[Tuple[Any, ...]]] = None):
         self.rows = rows
         self.keys = keys
+        self.columns = None
         self.nbytes = nbytes
 
 

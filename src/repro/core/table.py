@@ -75,6 +75,9 @@ from .readcache import (LatestRowCache, ReadCache, TabletPruneIndex,
 from .row import ASCENDING, DESCENDING, KeyRange, Query, QueryStats, TimeRange
 from .schema import Column, Schema
 from .tablet import TabletMeta, TabletReader, TabletSink, TabletWriter
+from .vector import (AggregatePartials, AggregateSpec, accumulate,
+                     accumulate_rows, key_bounds, residual_filter,
+                     resolve_time_bounds, time_filter)
 
 
 @dataclass
@@ -203,6 +206,16 @@ class Table:
         self._m_rows_scanned = m.counter("query.rows_scanned")
         self._m_rows_returned = m.counter("query.rows_returned")
         self._m_tablets_pruned = m.counter("query.tablets_pruned")
+        self._m_push_queries = m.counter("query.pushdown.queries")
+        self._m_push_blocks = m.counter("query.pushdown.blocks_columnar")
+        self._m_push_blocks_fallback = m.counter(
+            "query.pushdown.blocks_fallback")
+        self._m_push_rows_columnar = m.counter(
+            "query.pushdown.rows_columnar")
+        self._m_push_rows_fallback = m.counter(
+            "query.pushdown.rows_fallback")
+        self._m_push_rows_filtered = m.counter(
+            "query.pushdown.rows_kernel_filtered")
         self._m_generation_bumps = m.counter("readcache.generation")
         self._m_backpressure = m.counter("insert.backpressure_stalls")
         self._h_backpressure_wait = m.histogram("insert.backpressure_wait_us")
@@ -1551,6 +1564,148 @@ class Table:
             return iter(())
         return execute_query(sources, self.schema, query, now,
                              self.descriptor.ttl_micros, stats)
+
+    # ------------------------------------------ vectorized aggregation
+
+    def prune_preview(self, time_range: TimeRange, key_range: KeyRange
+                      ) -> Tuple[int, int]:
+        """``(tablets that would open, total on disk)`` for a bounding
+        box - the same zone-map + time-interval pruning every scan and
+        aggregate pushdown applies, exposed for ``EXPLAIN``.  Metadata
+        only: no tablet is opened and no counters advance.
+        """
+        with self.lock:
+            generation = self.descriptor.generation
+            tablets = self.descriptor.tablets
+        selected, _pruned = self._prune_index.select_snapshot(
+            generation, tablets, time_range, key_range)
+        return len(selected), len(tablets)
+
+    def aggregate_partials(self, spec: AggregateSpec) -> AggregatePartials:
+        """Vectorized partial aggregation over this table's sources.
+
+        The pushed-down counterpart of :meth:`_execute` for aggregate
+        queries: the same snapshot/epoch discipline and the same
+        zone-map + time-interval tablet pruning, but v2 tablets are
+        consumed column-major - whole decoded columns flow through the
+        predicate and accumulation kernels with no per-row tuple
+        materialization.  v1 tablets, old-schema tablets, and memtables
+        fall back to row-at-a-time accumulation.  Primary keys are
+        unique across sources (§3.4.4), so per-source partials combine
+        by simple merge; the executor (or the shard router) finalizes.
+
+        Query accounting matches the row path: ``rows_scanned`` counts
+        rows inside the key bounds, ``rows_returned`` those alive after
+        the time/TTL filter, and pruned tablets advance the same
+        ``query.tablets_pruned`` counter plain selects use.
+        """
+        now = self.clock.now()
+        ttl = self.descriptor.ttl_micros
+        cutoff = None if ttl is None else now - ttl
+        tlo, thi = resolve_time_bounds(spec.time_range, cutoff)
+        stats = QueryStats()
+        partials = AggregatePartials()
+        groups = partials.groups
+        ts_index = self.schema.ts_index
+        generation, tablets, memtables = self._read_state()
+        selected, pruned = self._prune_index.select_snapshot(
+            generation, tablets, spec.time_range, spec.key_range)
+        if pruned:
+            stats.tablets_pruned += pruned
+            self._m_tablets_pruned.inc(pruned)
+        epoch = self._begin_read()
+        try:
+            for meta in selected:
+                stats.tablets_opened += 1
+                try:
+                    self._aggregate_tablet(meta, spec, groups, stats,
+                                           tlo, thi, ts_index)
+                except (CorruptTabletError, StorageError) as exc:
+                    if self.config.quarantine_on_corruption:
+                        self.quarantine_tablet(
+                            meta, f"{type(exc).__name__}: {exc}")
+                    raise
+            for memtable in memtables:
+                if not spec.time_range.overlaps(memtable.min_ts,
+                                                memtable.max_ts):
+                    continue
+                rows = self._memtable_rows_translated(memtable,
+                                                      spec.key_range)
+                scanned, returned, aggregated = accumulate_rows(
+                    groups, spec, ts_index, rows, tlo, thi)
+                stats.rows_scanned += scanned
+                stats.rows_returned += returned
+                self._m_push_rows_fallback.inc(scanned)
+                self._m_push_rows_filtered.inc(scanned - aggregated)
+        finally:
+            self._end_read(epoch)
+        self._absorb_stats(stats)
+        self.counters.queries += 1
+        self._m_queries.inc()
+        self._m_push_queries.inc()
+        return partials
+
+    def _aggregate_tablet(self, meta: TabletMeta, spec: AggregateSpec,
+                          groups: Dict[Any, List[List[Any]]],
+                          stats: QueryStats, tlo: Optional[int],
+                          thi: Optional[int], ts_index: int) -> None:
+        """Fold one tablet into the partial group states.
+
+        v2 same-schema tablets take the columnar path: interior blocks
+        proven fully inside the key bounds by the block index's last
+        keys never materialize row keys at all; only the edge blocks
+        binary-search their key lists for the exact trim.
+        """
+        reader = self._reader(meta)
+        reader.ensure_loaded()
+        if (reader.block_format != BLOCK_FORMAT_V2
+                or reader.schema.version != self.schema.version):
+            # v1 blocks decode row-major, and old-schema tablets need
+            # per-row translation: row-at-a-time fallback for both.
+            rows = self._tablet_rows_translated(meta, spec.key_range)
+            scanned, returned, aggregated = accumulate_rows(
+                groups, spec, ts_index, rows, tlo, thi)
+            stats.rows_scanned += scanned
+            stats.rows_returned += returned
+            self._m_push_blocks_fallback.inc(reader.block_count)
+            self._m_push_rows_fallback.inc(scanned)
+            self._m_push_rows_filtered.inc(scanned - aggregated)
+            return
+        if reader.block_count == 0:
+            return
+        key_range = spec.key_range
+        first = reader.first_block_for(key_range)
+        last = reader.last_block_for(key_range)
+        last_keys = reader.last_keys
+        no_min = key_range.min_prefix is None
+        no_max = key_range.max_prefix is None
+        for index in range(first, last + 1):
+            full_min = no_min or (
+                index > 0
+                and not key_range.before_range(last_keys[index - 1]))
+            full_max = no_max or not key_range.after_range(last_keys[index])
+            need_keys = not (full_min and full_max)
+            columns, keys, count = reader.scan_block_columns(
+                index, need_keys=need_keys)
+            if need_keys:
+                lo, hi = key_bounds(keys, key_range)
+            else:
+                lo, hi = 0, count
+            if lo >= hi:
+                continue
+            in_bounds = hi - lo
+            stats.rows_scanned += in_bounds
+            sel = time_filter(columns[ts_index], lo, hi, tlo, thi)
+            returned = in_bounds if sel is None else len(sel)
+            stats.rows_returned += returned
+            if spec.residuals:
+                sel = residual_filter(columns, spec.residuals, sel, lo, hi)
+            aggregated = in_bounds if sel is None else len(sel)
+            self._m_push_blocks.inc()
+            self._m_push_rows_columnar.inc(in_bounds)
+            self._m_push_rows_filtered.inc(in_bounds - aggregated)
+            if aggregated:
+                accumulate(groups, spec, columns, ts_index, sel, lo, hi)
 
     # ------------------------------------------- latest row for a prefix
 

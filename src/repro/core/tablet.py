@@ -898,6 +898,58 @@ class TabletReader:
             cached.keys = [key_of(row) for row in cached.rows]
         return cached.rows, cached.keys
 
+    @property
+    def last_keys(self) -> List[Tuple[Any, ...]]:
+        """Each block's last key (the block index's search structure).
+
+        The vectorized scan uses these to prove a block lies entirely
+        inside the key bounds (so it can skip materializing keys):
+        every key of block ``i`` is > ``last_keys[i-1]`` and <=
+        ``last_keys[i]``, and the range predicates are monotone.
+        """
+        self.ensure_loaded()
+        return self._last_keys
+
+    def scan_block_columns(self, index: int, need_keys: bool = True
+                           ) -> Tuple[List[List[Any]],
+                                      Optional[List[Tuple[Any, ...]]], int]:
+        """Block ``index`` as per-column value lists (vectorized path).
+
+        Returns ``(columns, keys, row_count)``; ``keys`` is None when
+        ``need_keys`` is false (interior blocks proven fully in range
+        never pay for key materialization).  A warm cache entry is
+        transposed once and the column view is kept on the entry;
+        a cold read decodes columns straight from the v2 block body
+        and deliberately does not populate the row cache - one-off
+        rollup scans should not evict hot row blocks.
+        """
+        self.ensure_loaded()
+        entry = self._entries[index]
+        cached = self._cache.get_block(self._cache_uid, index)
+        if cached is not None:
+            columns = cached.columns
+            if columns is None:
+                columns = cached.columns = list(zip(*cached.rows))
+            if not need_keys:
+                return columns, None, len(cached.rows)
+            if cached.keys is None:
+                key_of = self.schema.key_of
+                cached.keys = [key_of(row) for row in cached.rows]
+            return columns, cached.keys, len(cached.rows)
+        payload = self.read_block_payload(index)
+        raw = decompress(self._codec, payload)
+        columns = self._schema_codec.decode_block_columns(raw)
+        count = len(columns[0]) if columns else 0
+        if count != entry.row_count:
+            raise CorruptTabletError(
+                f"{self.filename}: block {index} row count mismatch")
+        self._count_decoded(count, len(raw))
+        keys = None
+        if need_keys:
+            key_indexes = self.schema.key_indexes
+            keys = list(zip(*(columns[i] for i in key_indexes)))
+        return columns, keys, count
+
     def probe_key(self, key: Tuple[Any, ...]) -> bool:
         """Does this tablet hold exactly ``key``?  (Duplicate checks.)
 

@@ -155,6 +155,37 @@ def codec_summary(snapshot: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
+def pushdown_summary(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """The vectorized-query corner of a snapshot.
+
+    How much aggregate work ran columnar inside the scan
+    (``core/table.py:aggregate_partials``) versus fell back to rows:
+    pushed queries, blocks consumed column-major vs row-at-a-time,
+    rows entering the kernels on each path, rows the predicate kernels
+    short-circuited before aggregation, and whole queries the planner
+    kept on the row path (remote tables, descending scans).
+    """
+    counters = snapshot.get("counters", {})
+    rows_columnar = counters.get("query.pushdown.rows_columnar", 0)
+    rows_fallback = counters.get("query.pushdown.rows_fallback", 0)
+    total_rows = rows_columnar + rows_fallback
+    return {
+        "queries": counters.get("query.pushdown.queries", 0),
+        "fallback_queries": counters.get(
+            "query.pushdown.fallback_queries", 0),
+        "blocks_columnar": counters.get(
+            "query.pushdown.blocks_columnar", 0),
+        "blocks_fallback": counters.get(
+            "query.pushdown.blocks_fallback", 0),
+        "rows_columnar": rows_columnar,
+        "rows_fallback": rows_fallback,
+        "rows_kernel_filtered": counters.get(
+            "query.pushdown.rows_kernel_filtered", 0),
+        "columnar_row_fraction": (
+            rows_columnar / total_rows if total_rows else None),
+    }
+
+
 def maintenance_summary(snapshot: Dict[str, Any]) -> Dict[str, Any]:
     """The background-maintenance corner of a snapshot.
 
@@ -274,6 +305,22 @@ def render_metrics_page(page: Dict[str, Any]) -> str:
     lines.append(
         f"backpressure: stalls={stalls['stalls']}, "
         f"wait_p99={us(stalls['wait_p99_us'])}")
+    push = pushdown_summary(page.get("metrics", {}))
+    lines.append("")
+    lines.append("== query pushdown ==")
+    lines.append(
+        f"queries: pushed={push['queries']}, "
+        f"fallback={push['fallback_queries']}")
+    lines.append(
+        f"blocks: columnar={push['blocks_columnar']}, "
+        f"fallback={push['blocks_fallback']}")
+    share = push["columnar_row_fraction"]
+    lines.append(
+        f"rows: columnar={push['rows_columnar']}, "
+        f"fallback={push['rows_fallback']}, "
+        f"kernel_filtered={push['rows_kernel_filtered']}, "
+        + ("columnar_share=n/a" if share is None
+           else f"columnar_share={share:.3f}"))
     fault = fault_summary(page.get("metrics", {}))
     lines.append("")
     lines.append("== fault tolerance ==")

@@ -46,9 +46,10 @@ from ..core.database import LittleTable
 from ..core.errors import LittleTableError, ShardDegradedError
 from ..core.maintenance import MaintenancePolicy, MaintenanceReport
 from ..core.periods import FOUR_HOURS
-from ..core.row import DESCENDING, Query, QueryStats
+from ..core.row import DESCENDING, KeyRange, Query, QueryStats, TimeRange
 from ..core.schema import Schema
 from ..core.table import QueryResult
+from ..core.vector import AggregatePartials, AggregateSpec
 from ..obs.metrics import MetricsRegistry
 from ..util.clock import Clock
 
@@ -166,6 +167,44 @@ class ShardedTable:
                ) -> Optional[Tuple[Any, ...]]:
         return self._router._latest(
             self.name, prefix, max_lookback_micros=max_lookback_micros)
+
+    def aggregate_partials(self, spec: AggregateSpec) -> AggregatePartials:
+        """Scatter-gather partial aggregation (vectorized pushdown).
+
+        Each shard folds its own tablets and memtables into partial
+        group states locally; only those states cross the gather and
+        merge - never raw rows.  Keys place deterministically on one
+        shard, so no group is double counted.  Pinned-prefix queries
+        skip the fan-out entirely, like point queries do.
+        """
+        router = self._router
+        pinned = router._pinned_shard(
+            self.schema, Query(spec.key_range, spec.time_range))
+        if pinned is not None:
+            router._m_single.inc()
+            return router._run(
+                pinned,
+                lambda db: db.table(self.name).aggregate_partials(spec))
+        router._m_scatter.inc()
+        merged = AggregatePartials()
+        for partials in router._fanout_table(
+                self.name, lambda t: t.aggregate_partials(spec)):
+            merged.merge(partials)
+        return merged
+
+    def prune_preview(self, time_range: TimeRange, key_range: KeyRange
+                      ) -> Tuple[int, int]:
+        """Summed (would-open, total) tablet counts across shards."""
+        previews = self._router._fanout_table(
+            self.name,
+            lambda t: t.prune_preview(time_range, key_range))
+        return (sum(selected for selected, _total in previews),
+                sum(total for _selected, total in previews))
+
+    @property
+    def unflushed_memtable_count(self) -> int:
+        return sum(self._router._fanout_table(
+            self.name, lambda t: t.unflushed_memtable_count))
 
     # ----------------------------------------------- admin & lifecycle
 

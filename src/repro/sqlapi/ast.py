@@ -42,13 +42,26 @@ class SelectItem:
     alias: Optional[str] = None
 
 
+@dataclass(frozen=True)
+class TimeBucket:
+    """TIME_BUCKET(ts, width_micros): a rollup grouping dimension.
+
+    Appears in the select list and in GROUP BY; rows fall into the
+    bucket starting at ``ts - ts % width``.
+    """
+
+    width: int
+    alias: Optional[str] = None
+
+
 @dataclass
 class Select:
     table: str
-    items: List[Any]  # SelectItem | Aggregate; empty means SELECT *
+    items: List[Any]  # SelectItem | Aggregate | TimeBucket; empty = SELECT *
     star: bool = False
     where: List[Comparison] = field(default_factory=list)
     group_by: List[str] = field(default_factory=list)
+    group_bucket: Optional[int] = None  # TIME_BUCKET width in GROUP BY
     order_desc: bool = False
     has_order_by: bool = False
     limit: Optional[int] = None

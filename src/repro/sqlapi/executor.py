@@ -15,11 +15,13 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 from ..core.database import LittleTable
 from ..core.row import ASCENDING, DESCENDING, Query
 from ..core.schema import Column, ColumnType, Schema
+from ..core.vector import empty_slot, finalize_value
 from ..util.clock import MICROS_PER_SECOND
 from . import ast
 from .lexer import SqlError
 from .parser import parse
-from .planner import Plan, evaluate_residuals, plan_where
+from .planner import (Plan, evaluate_residuals, plan_pushdown,
+                      plan_where)
 
 _TYPES = {
     "int32": ColumnType.INT32,
@@ -50,10 +52,22 @@ class SqlResult:
 
 
 class SqlSession:
-    """Executes SQL statements against a LittleTable instance."""
+    """Executes SQL statements against a LittleTable instance.
 
-    def __init__(self, db: LittleTable):
+    ``vectorized`` controls aggregate pushdown: when True (the
+    default), eligible aggregate queries run column-at-a-time inside
+    the tablet scan; when False every query takes the row-at-a-time
+    path (the oracle the differential tests and benchmarks compare
+    against).
+    """
+
+    def __init__(self, db: LittleTable, vectorized: bool = True):
         self.db = db
+        self.vectorized = vectorized
+        metrics = getattr(db, "metrics", None)
+        self._m_push_fallback = (
+            metrics.counter("query.pushdown.fallback_queries")
+            if metrics is not None else None)
 
     def execute(self, sql: str) -> SqlResult:
         """Parse and execute one statement."""
@@ -129,15 +143,16 @@ class SqlSession:
         else:
             lines.append(("time bounds",
                           f"{tr.min_ts} .. {tr.max_ts}"))
-        tablets = getattr(table, "on_disk_tablets", None)
-        if tablets is not None:
-            overlapping = sum(
-                1 for meta in tablets
-                if tr.overlaps(meta.min_ts, meta.max_ts)
-            )
-            lines.append(("tablets", f"{overlapping} of "
-                          f"{len(tablets)} on disk "
-                          f"(+ {table.unflushed_memtable_count} in memory)"))
+        preview = getattr(table, "prune_preview", None)
+        if preview is not None:
+            # The same zone-map + time-interval pruning the scan will
+            # apply (plain selects and aggregate pushdown alike), so
+            # EXPLAIN shows the true open-vs-prune split.
+            selected, total = preview(tr, kr)
+            lines.append(("tablets", f"{selected} of "
+                          f"{total} on disk "
+                          f"(+ {table.unflushed_memtable_count} in memory, "
+                          f"{total - selected} pruned)"))
         else:
             # Remote adapter: tablet metadata stays server-side.
             lines.append(("tablets", "server-side (remote session)"))
@@ -149,13 +164,27 @@ class SqlSession:
             lines.append(("residual filters", "none"))
         aggregates = [i for i in statement.items
                       if isinstance(i, ast.Aggregate)]
-        if aggregates or statement.group_by:
+        if (aggregates or statement.group_by
+                or statement.group_bucket is not None):
             key_without_ts = [n for n in schema.key if n != "ts"]
-            streaming = (statement.group_by
+            streaming = (statement.group_bucket is None
+                         and statement.group_by
                          == key_without_ts[:len(statement.group_by)])
             lines.append(("aggregation",
                           "streaming (group = key prefix)" if streaming
                           else "hashed (group not a key prefix)"))
+            decision = plan_pushdown(
+                schema, statement, plan, aggregates,
+                supports_partials=hasattr(table, "aggregate_partials"))
+            if not self.vectorized:
+                lines.append(("pushdown",
+                              "off (session vectorized=False)"))
+            elif decision.pushed:
+                lines.append(("pushdown",
+                              "vectorized (partial aggregation in scan)"))
+            else:
+                lines.append(("pushdown",
+                              f"row fallback: {decision.reason}"))
         return SqlResult(["property", "value"], lines)
 
     def _delete(self, statement: ast.Delete) -> SqlResult:
@@ -233,9 +262,13 @@ class SqlSession:
             if not schema.has_column(name):
                 raise SqlError(f"no such column: {name!r}")
 
-        if aggregates or statement.group_by:
+        if (aggregates or statement.group_by
+                or statement.group_bucket is not None):
             return self._select_aggregate(statement, table, plan,
                                           aggregates, plain)
+        if any(isinstance(i, ast.TimeBucket) for i in statement.items):
+            raise SqlError(
+                "TIME_BUCKET requires GROUP BY TIME_BUCKET and aggregates")
         return self._select_plain(statement, table, plan, plain)
 
     def _rows(self, table, statement: ast.Select, plan: Plan,
@@ -269,39 +302,139 @@ class SqlSession:
     def _select_aggregate(self, statement: ast.Select, table, plan: Plan,
                           aggregates: List[ast.Aggregate],
                           plain: List[ast.SelectItem]) -> SqlResult:
-        schema = table.schema
         group_by = list(statement.group_by)
+        bucket = statement.group_bucket
+        buckets = [i for i in statement.items
+                   if isinstance(i, ast.TimeBucket)]
         for item in plain:
             if item.column not in group_by:
                 raise SqlError(
                     f"column {item.column!r} must appear in GROUP BY"
                 )
-        if not aggregates and group_by:
+        for item in buckets:
+            if bucket is None or item.width != bucket:
+                raise SqlError(
+                    "TIME_BUCKET in the select list must match the "
+                    "GROUP BY TIME_BUCKET width")
+        if not aggregates and (group_by or bucket is not None):
             raise SqlError("GROUP BY without aggregates is not supported")
+
+        decision = plan_pushdown(
+            table.schema, statement, plan, aggregates,
+            supports_partials=hasattr(table, "aggregate_partials"))
+        if self.vectorized and decision.pushed:
+            return self._select_aggregate_pushdown(
+                statement, table, decision.spec, aggregates, plain, buckets)
+        if self.vectorized and self._m_push_fallback is not None:
+            self._m_push_fallback.inc()
+        return self._select_aggregate_rows(statement, table, plan,
+                                           aggregates, plain, buckets)
+
+    def _aggregate_output(self, statement: ast.Select,
+                          aggregates: List[ast.Aggregate],
+                          plain: List[ast.SelectItem],
+                          buckets: List[ast.TimeBucket]
+                          ) -> Tuple[List[str], bool]:
+        """Output column names, and whether the grouping columns are
+        emitted implicitly (bare GROUP BY with nothing plain selected).
+        """
+        group_by = list(statement.group_by)
+        bucket = statement.group_bucket
+        output_names = (
+            [item.alias or item.column for item in plain]
+            + [item.alias or "time_bucket" for item in buckets]
+            + [agg.alias or _aggregate_name(agg) for agg in aggregates]
+        )
+        bare = (not plain and not buckets
+                and (bool(group_by) or bucket is not None))
+        if bare:
+            # Bare GROUP BY: emit the grouping columns for usability.
+            prefix_names = list(group_by)
+            if bucket is not None:
+                prefix_names.append("time_bucket")
+            output_names = prefix_names + output_names
+        return output_names, bare
+
+    def _select_aggregate_pushdown(self, statement: ast.Select, table,
+                                   spec, aggregates: List[ast.Aggregate],
+                                   plain: List[ast.SelectItem],
+                                   buckets: List[ast.TimeBucket]
+                                   ) -> SqlResult:
+        """The vectorized path: merge per-tablet (or per-shard) partial
+        aggregates and finalize.  Group labels sort ascending, which is
+        exactly the order the row path emits (streaming groups arrive
+        in key order; hashed groups are sorted before emission)."""
+        group_by = list(statement.group_by)
+        bucket = statement.group_bucket
+        output_names, bare = self._aggregate_output(
+            statement, aggregates, plain, buckets)
+        dims = spec.group_dims
+        # Positions into the group label for each emitted prefix value.
+        if bare:
+            prefix_positions = list(range(dims))
+        else:
+            prefix_positions = [group_by.index(item.column)
+                                for item in plain]
+            prefix_positions += [len(group_by)] * len(buckets)
+
+        partials = table.aggregate_partials(spec)
+        groups = partials.groups
+        funcs = [func for func, _index in spec.aggregates]
+        rows_out: List[Tuple[Any, ...]] = []
+        for label in (sorted(groups) if dims else list(groups)):
+            slots = groups[label]
+            if dims:
+                label_tuple = (label,) if dims == 1 else label
+                prefix = tuple(label_tuple[p] for p in prefix_positions)
+            else:
+                prefix = ()
+            rows_out.append(prefix + tuple(
+                finalize_value(func, slot)
+                for func, slot in zip(funcs, slots)))
+        if not dims and not rows_out:
+            # Aggregates over an empty table still return one row.
+            rows_out.append(tuple(
+                finalize_value(func, empty_slot()) for func in funcs))
+        if statement.limit is not None:
+            rows_out = rows_out[:statement.limit]
+        return SqlResult(output_names, rows_out)
+
+    def _select_aggregate_rows(self, statement: ast.Select, table,
+                               plan: Plan,
+                               aggregates: List[ast.Aggregate],
+                               plain: List[ast.SelectItem],
+                               buckets: List[ast.TimeBucket]) -> SqlResult:
+        """The row-at-a-time path: the oracle the vectorized engine is
+        differentially tested against, and the fallback for remote
+        tables and descending scans."""
+        schema = table.schema
+        group_by = list(statement.group_by)
+        bucket = statement.group_bucket
+        ts_index = schema.ts_index
 
         group_indexes = [schema.column_index(name) for name in group_by]
         # Rows arrive sorted by primary key; if the GROUP BY columns are
         # a prefix of the key, groups are contiguous and we can stream
         # (the §3.1 "perform the aggregation without resorting" path).
+        # A time bucket breaks that contiguity, so it always hashes.
         key_without_ts = [name for name in schema.key if name != "ts"]
-        streaming = group_by == key_without_ts[:len(group_by)]
+        streaming = (bucket is None
+                     and group_by == key_without_ts[:len(group_by)])
 
-        output_names = (
-            [item.alias or item.column for item in plain]
-            + [agg.alias or _aggregate_name(agg) for agg in aggregates]
-        )
-        # Columns to emit per group, in select-list order: we emit the
-        # plain items (all group columns) then aggregate values.
+        output_names, bare = self._aggregate_output(
+            statement, aggregates, plain, buckets)
         plain_indexes = [schema.column_index(item.column) for item in plain]
-        if not plain and group_by:
-            # Bare GROUP BY: emit the grouping columns for usability.
-            output_names = group_by + output_names
+        if bare:
             plain_indexes = group_indexes
+        # How many copies of the bucket value each output row carries.
+        bucket_copies = len(buckets) + (
+            1 if (bare and bucket is not None) else 0)
 
         rows_out: List[Tuple[Any, ...]] = []
 
-        def finish_group(group_row, accumulators):
+        def finish_group(group_row, bucket_value, accumulators):
             prefix = tuple(group_row[i] for i in plain_indexes)
+            prefix += (bucket_value,) * bucket_copies
             rows_out.append(prefix + tuple(a.result() for a in accumulators))
 
         if streaming:
@@ -312,7 +445,7 @@ class SqlSession:
                 group_key = tuple(row[i] for i in group_indexes)
                 if group_key != current_key:
                     if current_key is not None:
-                        finish_group(current_row, accumulators)
+                        finish_group(current_row, None, accumulators)
                         if (statement.limit is not None
                                 and len(rows_out) >= statement.limit):
                             return SqlResult(output_names, rows_out)
@@ -323,12 +456,15 @@ class SqlSession:
                 for accumulator in accumulators:
                     accumulator.add(row)
             if current_key is not None:
-                finish_group(current_row, accumulators)
+                finish_group(current_row, None, accumulators)
         else:
             groups: Dict[Tuple[Any, ...], Tuple[Any, List[_Accumulator]]] = {}
             order: List[Tuple[Any, ...]] = []
             for row in self._rows(table, statement, plan, push_limit=False):
                 group_key = tuple(row[i] for i in group_indexes)
+                if bucket is not None:
+                    ts = row[ts_index]
+                    group_key += (ts - ts % bucket,)
                 if group_key not in groups:
                     groups[group_key] = (
                         row, [_Accumulator(agg, schema) for agg in aggregates]
@@ -336,11 +472,13 @@ class SqlSession:
                     order.append(group_key)
                 for accumulator in groups[group_key][1]:
                     accumulator.add(row)
-            for group_key in sorted(order) if group_by else order:
+            grouped = bool(group_by) or bucket is not None
+            for group_key in sorted(order) if grouped else order:
                 group_row, accumulators = groups[group_key]
-                finish_group(group_row, accumulators)
+                bucket_value = group_key[-1] if bucket is not None else None
+                finish_group(group_row, bucket_value, accumulators)
 
-        if not group_by and not rows_out:
+        if not group_by and bucket is None and not rows_out:
             # Aggregates over an empty table still return one row.
             rows_out.append(tuple(
                 _Accumulator(agg, schema).result() for agg in aggregates))

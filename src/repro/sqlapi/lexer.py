@@ -38,7 +38,7 @@ KEYWORDS = {
     "NULL", "COUNT", "SUM", "AVG", "MIN", "MAX", "INT32", "INT64",
     "INTEGER", "DOUBLE", "TIMESTAMP", "STRING", "TEXT", "BLOB", "TO",
     "WIDEN", "LATEST", "TABLES", "SHOW", "DESCRIBE", "TRUE", "FALSE",
-    "DELETE", "FLUSH", "BEFORE", "EXPLAIN",
+    "DELETE", "FLUSH", "BEFORE", "EXPLAIN", "TIME_BUCKET",
 }
 
 _OPERATORS = ("<=", ">=", "!=", "<>", "=", "<", ">")

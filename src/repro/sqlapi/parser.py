@@ -210,9 +210,16 @@ class _Parser:
             select.where = self._conjunction()
         if self._accept_keyword("GROUP"):
             self._expect_keyword("BY")
-            select.group_by.append(self._column_name())
-            while self._accept_punct(","):
-                select.group_by.append(self._column_name())
+            while True:
+                if self._peek().matches_keyword("TIME_BUCKET"):
+                    if select.group_bucket is not None:
+                        raise SqlError(
+                            "GROUP BY allows at most one TIME_BUCKET")
+                    select.group_bucket = self._time_bucket()
+                else:
+                    select.group_by.append(self._column_name())
+                if not self._accept_punct(","):
+                    break
         if self._accept_keyword("ORDER"):
             self._expect_keyword("BY")
             self._expect_keyword("KEY")
@@ -231,6 +238,9 @@ class _Parser:
 
     def _select_item(self):
         token = self._peek()
+        if token.matches_keyword("TIME_BUCKET"):
+            width = self._time_bucket()
+            return ast.TimeBucket(width, self._alias())
         if token.matches_keyword(*_AGGREGATES):
             func = self._advance().value
             self._expect_punct("(")
@@ -250,6 +260,24 @@ class _Parser:
         if self._accept_keyword("AS"):
             return self._identifier()
         return None
+
+    def _time_bucket(self) -> int:
+        """``TIME_BUCKET(ts, width)`` - width in integer microseconds."""
+        self._expect_keyword("TIME_BUCKET")
+        self._expect_punct("(")
+        column = self._column_name()
+        if column != "ts":
+            raise SqlError(
+                f"TIME_BUCKET groups the ts column, not {column!r}")
+        self._expect_punct(",")
+        width = self._literal()
+        if not isinstance(width, int) or isinstance(width, bool) \
+                or width <= 0:
+            raise SqlError(
+                "TIME_BUCKET width must be a positive integer "
+                "(microseconds)")
+        self._expect_punct(")")
+        return width
 
     def _conjunction(self) -> List[ast.Comparison]:
         comparisons = [*self._predicate()]

@@ -23,6 +23,8 @@ from typing import Any, List, Optional, Sequence, Tuple
 
 from ..core.row import KeyRange, TimeRange
 from ..core.schema import ColumnType, Schema
+from ..core.vector import AggregateSpec
+from . import ast
 from .ast import Comparison
 from .lexer import SqlError
 
@@ -87,6 +89,59 @@ def evaluate_residuals(residuals: Sequence[Comparison], schema: Schema,
         if not _evaluate(comparison.op, row[index], comparison.value):
             return False
     return True
+
+
+@dataclass(frozen=True)
+class PushdownDecision:
+    """Whether an aggregate SELECT runs vectorized inside the scan.
+
+    ``spec`` is the pushed plan fragment when eligible; otherwise
+    ``reason`` says why the executor keeps the row-at-a-time path
+    (surfaced verbatim by ``EXPLAIN``).
+    """
+
+    spec: Optional[AggregateSpec]
+    reason: Optional[str] = None
+
+    @property
+    def pushed(self) -> bool:
+        return self.spec is not None
+
+
+def plan_pushdown(schema: Schema, statement: "ast.Select", plan: Plan,
+                  aggregates: Sequence["ast.Aggregate"],
+                  supports_partials: bool) -> PushdownDecision:
+    """Decide aggregate pushdown and build the :class:`AggregateSpec`.
+
+    Every aggregate function and grouping shape the SQL subset parses
+    is vectorizable; what disqualifies a query is the execution
+    surface: a remote table has no partial-aggregation API (the spec
+    cannot cross the v1 wire protocol), and ``ORDER BY KEY DESC``
+    asks for the cursor's row order, which partial aggregation does
+    not preserve.
+    """
+    if not aggregates:
+        return PushdownDecision(None, "no aggregates to push")
+    if not supports_partials:
+        return PushdownDecision(
+            None, "table has no partial-aggregation API (remote session)")
+    if statement.order_desc:
+        return PushdownDecision(
+            None, "ORDER BY KEY DESC requires the row cursor")
+    group_indexes = tuple(schema.column_index(name)
+                          for name in statement.group_by)
+    aggs = tuple(
+        (agg.func, None if agg.column == "*"
+         else schema.column_index(agg.column))
+        for agg in aggregates)
+    residuals = tuple(
+        (schema.column_index(c.column), c.op, c.value)
+        for c in plan.residuals)
+    spec = AggregateSpec(
+        key_range=plan.key_range, time_range=plan.time_range,
+        group_indexes=group_indexes, bucket_width=statement.group_bucket,
+        aggregates=aggs, residuals=residuals)
+    return PushdownDecision(spec)
 
 
 def plan_where(schema: Schema, comparisons: Sequence[Comparison]) -> Plan:
