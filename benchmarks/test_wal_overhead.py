@@ -1,0 +1,107 @@
+"""WAL overhead: insert throughput, ``none`` tier vs ``wal`` tier.
+
+The durability dial is only usable if the logged tier stays within a
+modest tax of the paper-faithful default.  This benchmark inserts the
+same batched workload under both tiers and gates the slowdown at 25%
+(the PR 8 acceptance criterion); group commit should amortize the log
+appends across each batch.
+
+Results land in ``BENCH_wal_overhead.json`` at the repo root (written
+before the gate asserts, so a regression still leaves the numbers).
+"""
+
+import json
+import pathlib
+import time
+
+from repro.core import (
+    Column,
+    ColumnType,
+    DurabilityPolicy,
+    EngineConfig,
+    LittleTable,
+    Schema,
+)
+from repro.disk import SimulatedDisk
+from repro.util.clock import MICROS_PER_DAY, VirtualClock
+
+BASE = 10_000 * MICROS_PER_DAY
+ROWS = 30_000
+BATCH = 200
+ROUNDS = 5
+MAX_OVERHEAD = 0.25  # wal tier may cost at most 25% of none-tier rows/s
+
+
+def usage_schema() -> Schema:
+    return Schema(
+        [
+            Column("network", ColumnType.INT64),
+            Column("device", ColumnType.INT64),
+            Column("ts", ColumnType.TIMESTAMP),
+            Column("bytes", ColumnType.INT64),
+            Column("rate", ColumnType.DOUBLE),
+        ],
+        key=["network", "device", "ts"],
+    )
+
+
+def build_batches():
+    return [
+        [{"network": 1, "device": (start + offset) % 97,
+          "ts": BASE + start + offset, "bytes": offset, "rate": 0.5}
+         for offset in range(BATCH)]
+        for start in range(0, ROWS, BATCH)
+    ]
+
+
+def measure_once(tier: str, batches) -> float:
+    """Insert throughput (rows/s) for one run of one tier."""
+    db = LittleTable(
+        disk=SimulatedDisk(),
+        clock=VirtualClock(start=BASE),
+        # Big flush threshold: measure the insert path, not flush.
+        config=EngineConfig(flush_size_bytes=1 << 30,
+                            max_merged_tablet_bytes=1 << 30),
+        durability=DurabilityPolicy(tier=tier))
+    db.create_table("usage", usage_schema())
+    table = db.table("usage")
+    begin = time.perf_counter()
+    for batch in batches:
+        table.insert(batch)
+    elapsed = time.perf_counter() - begin
+    db.close()
+    return ROWS / elapsed
+
+
+def test_wal_overhead_under_gate():
+    batches = build_batches()
+    measure_once("none", batches)  # warmup: JIT-free but cache-warm
+    # Interleave the tiers so machine-load drift during the run hits
+    # both the same way instead of skewing the ratio.
+    none_rows_s = wal_rows_s = 0.0
+    for _ in range(ROUNDS):
+        none_rows_s = max(none_rows_s, measure_once("none", batches))
+        wal_rows_s = max(wal_rows_s, measure_once("wal", batches))
+    overhead = 1.0 - wal_rows_s / none_rows_s
+    print(f"\nnone: {none_rows_s:,.0f} rows/s  wal: {wal_rows_s:,.0f} "
+          f"rows/s  overhead: {overhead * 100:.1f}% "
+          f"(gate {MAX_OVERHEAD * 100:.0f}%)")
+
+    entry = {
+        "benchmark": "wal_overhead",
+        "unit": "rows_per_second",
+        "rows": ROWS,
+        "batch": BATCH,
+        "rounds": ROUNDS,
+        "none_rows_per_s": round(none_rows_s, 1),
+        "wal_rows_per_s": round(wal_rows_s, 1),
+        "overhead_fraction": round(overhead, 4),
+        "gate": MAX_OVERHEAD,
+    }
+    out = pathlib.Path(__file__).resolve().parent.parent / \
+        "BENCH_wal_overhead.json"
+    out.write_text(json.dumps(entry, indent=2, sort_keys=True) + "\n")
+
+    assert wal_rows_s >= (1.0 - MAX_OVERHEAD) * none_rows_s, (
+        f"wal tier costs {overhead * 100:.1f}% of insert throughput "
+        f"(gate {MAX_OVERHEAD * 100:.0f}%)")

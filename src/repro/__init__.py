@@ -19,6 +19,7 @@ from typing import Any, Optional, Tuple, Union
 from .core import (
     Column,
     ColumnType,
+    DurabilityPolicy,
     EngineConfig,
     KeyRange,
     LittleTable,
@@ -78,6 +79,36 @@ def connect(address: Union[str, Tuple[str, int]], *,
     return RemoteDatabase(client)
 
 
+def restore(src: Union[str, Any], data_dir: Optional[str] = None,
+            **open_kwargs: Any) -> LittleTable:
+    """Open a database restored from a point-in-time snapshot.
+
+    ``src`` is a snapshot directory written by ``db.snapshot(dest)``
+    (or any :class:`~repro.disk.storage.Storage` over one).  With
+    ``data_dir`` the snapshot's tables are copied into a persistent
+    database at that path; without it they land in a fresh in-memory
+    database.  Extra keyword arguments (``config=``, ``durability=``)
+    pass through to :class:`LittleTable`::
+
+        db = repro.restore("/backups/2026-08-08", data_dir="/var/lib/lt")
+
+    Raises :class:`~repro.core.errors.SnapshotError` when the
+    snapshot manifest is missing/corrupt or a table already exists in
+    the destination.
+    """
+    if data_dir is None:
+        db = LittleTable(**open_kwargs)
+    else:
+        db = LittleTable(disk=SimulatedDisk(FileStorage(data_dir)),
+                         **open_kwargs)
+    try:
+        db.restore(src)
+    except BaseException:
+        db.close()
+        raise
+    return db
+
+
 def __getattr__(name: str) -> Any:
     # ClientConfig lives in repro.net but belongs to the top-level
     # vocabulary next to connect(); import it lazily so importing
@@ -93,6 +124,7 @@ __all__ = [
     "Column",
     "ColumnType",
     "ClientConfig",
+    "DurabilityPolicy",
     "EngineConfig",
     "KeyRange",
     "LittleTable",
@@ -106,5 +138,6 @@ __all__ = [
     "MetricsRegistry",
     "Tracer",
     "connect",
+    "restore",
     "__version__",
 ]

@@ -204,11 +204,32 @@ class Shell:
         return True
 
 
-def open_database(data_dir: Optional[str]) -> LittleTable:
+def open_database(data_dir: Optional[str],
+                  durability=None) -> LittleTable:
     """A persistent database over ``data_dir``, or in-memory."""
+    kwargs = {} if durability is None else {"durability": durability}
     if data_dir is None:
-        return LittleTable()
-    return LittleTable(disk=SimulatedDisk(FileStorage(data_dir)))
+        return LittleTable(**kwargs)
+    return LittleTable(disk=SimulatedDisk(FileStorage(data_dir)), **kwargs)
+
+
+def _parse_durability(args) -> Optional["object"]:
+    """Fold the serve durability flags into one policy (or None)."""
+    if (args.durability is None and args.group_commit_ms is None
+            and args.wal_segment_bytes is None):
+        return None
+    from .core.durability import DurabilityPolicy
+
+    fields = {}
+    if args.durability is not None:
+        fields["tier"] = args.durability
+    if args.group_commit_ms is not None:
+        fields["group_commit_ms"] = args.group_commit_ms
+    if args.wal_segment_bytes is not None:
+        fields["wal_segment_bytes"] = args.wal_segment_bytes
+    policy = DurabilityPolicy(**fields)
+    policy.validate()
+    return policy
 
 
 def stats_main(argv: list) -> int:
@@ -309,7 +330,9 @@ def fsck_main(argv: list) -> int:
         for temp in scrub.temps_removed:
             print(f"scrub: removed stale descriptor temp {temp}")
         for orphan in scrub.orphans_removed:
-            print(f"scrub: removed orphan tablet {orphan}")
+            print(f"scrub: removed orphan file {orphan}")
+        for moved in scrub.quarantined:
+            print(f"scrub: quarantined {moved}")
         for issue in scrub.issues:
             print(f"scrub: {issue}")
         findings = check_database(db)
@@ -337,6 +360,14 @@ def serve_main(argv: list, *, stop_event=None, on_ready=None) -> int:
     thread-per-connection front end over a single engine - the v1
     deployment shape - and rejects ``--shards`` > 1.
 
+    ``--durability TIER`` (with ``--group-commit-ms`` and
+    ``--wal-segment-bytes``) sets the served engines' default
+    :class:`~repro.core.durability.DurabilityPolicy`.  ``--follow
+    HOST:PORT`` runs a warm standby instead: a single read-only
+    engine that streams sealed WAL segments and tablet manifests from
+    the primary at that address, serves ``query``/``latest``/``stats``
+    locally, and reports replication lag through ``wal_status``.
+
     ``stop_event``/``on_ready`` are test hooks: ``on_ready(server)``
     fires once the socket is bound, and the command exits when
     ``stop_event`` is set (instead of only on Ctrl-C).
@@ -359,13 +390,39 @@ def serve_main(argv: list, *, stop_event=None, on_ready=None) -> int:
                              "engine (protocol still negotiates v2)")
     parser.add_argument("--maintenance", action="store_true",
                         help="run the background maintenance scheduler")
+    parser.add_argument("--durability", default=None,
+                        choices=["none", "wal", "replicated"],
+                        help="default durability tier for new tables "
+                             "(default: none, the paper's prefix "
+                             "durability)")
+    parser.add_argument("--group-commit-ms", type=float, default=None,
+                        metavar="MS",
+                        help="WAL group-commit fsync interval")
+    parser.add_argument("--wal-segment-bytes", type=int, default=None,
+                        metavar="BYTES",
+                        help="WAL segment size before sealing")
+    parser.add_argument("--follow", metavar="HOST:PORT", default=None,
+                        help="run as a warm standby replicating from "
+                             "a primary (read-only, single engine)")
     args = parser.parse_args(argv)
     if args.shards < 1:
         print("error: --shards must be >= 1", file=sys.stderr)
         return 2
+    try:
+        durability = _parse_durability(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     from .core.maintenance import MaintenancePolicy
 
     policy = MaintenancePolicy() if args.maintenance else None
+    if args.follow is not None:
+        if args.shards != parser.get_default("shards") and args.shards != 1:
+            print("error: --follow runs a single-engine standby; "
+                  "drop --shards", file=sys.stderr)
+            return 2
+        return _serve_follower(args, stop_event=stop_event,
+                               on_ready=on_ready)
     if args.legacy:
         if args.shards != parser.get_default("shards") and args.shards != 1:
             print("error: --legacy serves a single engine; "
@@ -373,14 +430,15 @@ def serve_main(argv: list, *, stop_event=None, on_ready=None) -> int:
             return 2
         from .net.server import LittleTableServer
 
-        db = open_database(args.data)
+        db = open_database(args.data, durability=durability)
         server = LittleTableServer(db, host=args.host, port=args.port,
                                    policy=policy)
     else:
         from .net.async_server import AsyncLittleTableServer
         from .net.shard import ShardRouter
 
-        db = ShardRouter(shards=args.shards, data_dir=args.data)
+        db = ShardRouter(shards=args.shards, data_dir=args.data,
+                         durability=durability)
         server = AsyncLittleTableServer(db, host=args.host,
                                         port=args.port, policy=policy)
     import threading
@@ -401,6 +459,42 @@ def serve_main(argv: list, *, stop_event=None, on_ready=None) -> int:
     except KeyboardInterrupt:
         print("shutting down", flush=True)
     finally:
+        db.close()
+    return 0
+
+
+def _serve_follower(args, *, stop_event=None, on_ready=None) -> int:
+    """``serve --follow``: a warm standby next to a read-only server."""
+    primary_host, _sep, primary_port = args.follow.rpartition(":")
+    if not primary_port.isdigit():
+        print(f"error: --follow wants HOST:PORT, got {args.follow!r}",
+              file=sys.stderr)
+        return 2
+    import threading
+
+    from .net.replica import Follower
+    from .net.server import LittleTableServer
+
+    db = open_database(args.data)
+    follower = Follower(db, primary_host or "127.0.0.1",
+                        int(primary_port))
+    server = LittleTableServer(db, host=args.host, port=args.port)
+    if stop_event is None:
+        stop_event = threading.Event()
+    try:
+        follower.start()
+        with server:
+            host, port = server.address
+            print(f"standby on {host}:{port} following {args.follow} "
+                  f"(read-only); Ctrl-C to stop", flush=True)
+            if on_ready is not None:
+                on_ready(server)
+            while not stop_event.wait(timeout=0.5):
+                pass
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)
+    finally:
+        follower.stop()
         db.close()
     return 0
 

@@ -12,6 +12,7 @@ from .check import (Issue, LockOrderChecker, LockOrderError, check_database,
 from .config import EngineConfig
 from .database import LittleTable
 from .descriptor import TableDescriptor
+from .durability import DEFAULT_DURABILITY, DurabilityPolicy
 from .errors import (
     ChecksumError,
     CorruptTabletError,
@@ -21,9 +22,11 @@ from .errors import (
     ProtocolViolationError,
     QueryError,
     ReadOnlyModeError,
+    ReplicaDivergedError,
     SchemaError,
     ServerError,
     ShardDegradedError,
+    SnapshotError,
     TableExistsError,
     ValidationError,
 )
@@ -34,6 +37,8 @@ from .periods import Period, PeriodLevel, period_for
 from .scheduler import MaintenanceScheduler
 from .readcache import LatestRowCache, ReadCache, TabletPruneIndex
 from .recovery import ScrubReport, startup_scrub
+from .snapshot import create_snapshot, load_manifest, restore_into
+from .wal import WalRecord, WalReplayReport, WriteAheadLog
 from .row import ASCENDING, DESCENDING, KeyRange, Query, QueryStats, TimeRange
 from .schema import Column, ColumnType, Schema
 from .table import QueryResult, Table
@@ -58,10 +63,20 @@ __all__ = [
     "EngineConfig",
     "LittleTable",
     "TableDescriptor",
+    "DEFAULT_DURABILITY",
+    "DurabilityPolicy",
+    "WalRecord",
+    "WalReplayReport",
+    "WriteAheadLog",
+    "create_snapshot",
+    "load_manifest",
+    "restore_into",
     "ChecksumError",
     "CorruptTabletError",
     "DuplicateKeyError",
     "ReadOnlyModeError",
+    "ReplicaDivergedError",
+    "SnapshotError",
     "LittleTableError",
     "NoSuchTableError",
     "ProtocolViolationError",

@@ -9,7 +9,9 @@ benchmarks, the Dashboard applications) can use it directly.
 
 from __future__ import annotations
 
+import dataclasses
 import os
+import warnings
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..disk.faults import FailpointRegistry, classify_storage_error
@@ -20,6 +22,7 @@ from ..obs.trace import Tracer
 from ..util.clock import Clock, SystemClock
 from .config import DEFAULT_CONFIG, EngineConfig
 from .descriptor import TableDescriptor
+from .durability import DurabilityPolicy
 from .errors import NoSuchTableError, ReadOnlyModeError, TableExistsError
 from .maintenance import MaintenancePolicy, MaintenanceReport
 from .readcache import ReadCache
@@ -36,6 +39,12 @@ FAILPOINTS_ENV = "LITTLETABLE_FAILPOINTS"
 # Consecutive storage-layer I/O errors (EIO) before the engine
 # degrades to read-only; a single ENOSPC degrades immediately.
 EIO_READ_ONLY_THRESHOLD = 3
+
+# Loose durability-adjacent constructor kwargs that fold into
+# DurabilityPolicy (mirroring the ClientConfig consolidation).  They
+# keep working behind DeprecationWarning shims; everything else in
+# ``**legacy`` is a genuine typo and raises TypeError.
+_LEGACY_DURABILITY_KWARGS = ("startup_scrub", "checksums")
 
 
 class LittleTable:
@@ -58,13 +67,41 @@ class LittleTable:
                  cold_disk: Optional[SimulatedDisk] = None,
                  metrics: Optional[MetricsRegistry] = None,
                  tracer: Optional[Tracer] = None,
-                 maintenance_policy: Optional[MaintenancePolicy] = None):
+                 maintenance_policy: Optional[MaintenancePolicy] = None,
+                 durability: Optional[DurabilityPolicy] = None,
+                 **legacy: Any):
         self.disk = disk if disk is not None else SimulatedDisk()
         # Optional write-once archive tier for old tablets (§6's
         # LHAM-style extension); see Table.migrate_to_cold.
         self.cold_disk = cold_disk
         self.config = config if config is not None else EngineConfig()
+        # Database-default durability policy; per-table overrides come
+        # from create_table / the persisted descriptor.  The loose
+        # scrub/checksum kwargs fold in here as deprecated shims.
+        policy = durability if durability is not None else DurabilityPolicy()
+        if legacy:
+            unknown = sorted(set(legacy) - set(_LEGACY_DURABILITY_KWARGS))
+            if unknown:
+                raise TypeError(
+                    "LittleTable() got unexpected keyword arguments: "
+                    + ", ".join(unknown))
+            warnings.warn(
+                "LittleTable(%s) is deprecated; set the field on "
+                "DurabilityPolicy and pass durability=" %
+                ", ".join(f"{k}=..." for k in sorted(legacy)),
+                DeprecationWarning, stacklevel=2)
+            policy = dataclasses.replace(policy, **legacy)
+        policy.validate()
+        self.durability = policy
+        overrides = {name: getattr(policy, name)
+                     for name in _LEGACY_DURABILITY_KWARGS
+                     if getattr(policy, name) is not None}
+        if overrides:
+            self.config = dataclasses.replace(self.config, **overrides)
         self.config.validate()
+        # Set by a warm standby's Follower (repro.net.replica) so lag
+        # shows up in wal_status()/health_summary(); None on a primary.
+        self.replication = None
         self.clock = clock if clock is not None else SystemClock()
         # One registry/tracer for the whole instance: tables, tablet
         # readers, the disks, and the network server all record here,
@@ -135,12 +172,20 @@ class LittleTable:
     def _open_existing_tables(self) -> None:
         for name in TableDescriptor.list_tables(self.disk):
             descriptor = TableDescriptor.load(self.disk, name)
+            # Per-table policy layers over the database default; the
+            # persisted tier wins so WAL-covered tables replay even
+            # when the engine opens with a plain default policy.
+            effective = self.durability.merged_with(
+                DurabilityPolicy.from_dict(descriptor.durability))
             table = Table(self.disk, descriptor, self.config,
                           self.clock, cold_disk=self.cold_disk,
                           metrics=self.metrics,
                           tracer=self.tracer,
-                          read_cache=self.read_cache)
+                          read_cache=self.read_cache,
+                          durability=effective)
             table._fault_listener = self._note_storage_failure
+            if table.wal is not None:
+                table.replay_wal()
             self._tables[name] = table
 
     # ----------------------------------------------------------- catalog
@@ -160,19 +205,36 @@ class LittleTable:
         return name in self._tables
 
     def create_table(self, name: str, schema: Schema,
-                     ttl_micros: Optional[int] = None) -> Table:
-        """Create a new, empty table."""
+                     ttl_micros: Optional[int] = None,
+                     durability: Optional[DurabilityPolicy] = None) -> Table:
+        """Create a new, empty table.
+
+        ``durability`` layers over the database default; the effective
+        policy's table-level fields persist in the descriptor so the
+        table keeps its tier across re-opens.
+        """
         if name in self._tables:
             raise TableExistsError(f"table exists: {name!r}")
         if "/" in name or not name:
             raise ValueError(f"bad table name: {name!r}")
         self._check_writable()
+        effective = self.durability.merged_with(durability)
+        effective.validate()
         descriptor = TableDescriptor(name=name, schema=schema,
                                      ttl_micros=ttl_micros)
+        # Persist only the table-level fields (engine-level knobs like
+        # follow_addr / scrub overrides don't belong to one table); a
+        # none-tier policy persists nothing, keeping the descriptor
+        # byte-identical to pre-durability engines.
+        table_fields = ("tier", "group_commit_ms", "wal_segment_bytes")
+        persisted = {key: value for key, value in effective.to_dict().items()
+                     if key in table_fields}
+        descriptor.durability = persisted or None
         descriptor.save(self.disk)
         table = Table(self.disk, descriptor, self.config, self.clock,
                       cold_disk=self.cold_disk, metrics=self.metrics,
-                      tracer=self.tracer, read_cache=self.read_cache)
+                      tracer=self.tracer, read_cache=self.read_cache,
+                      durability=effective)
         table._fault_listener = self._note_storage_failure
         self._tables[name] = table
         return table
@@ -198,6 +260,8 @@ class LittleTable:
         # Deferred deletes carry their target disk explicitly (a
         # migrated tablet's hot copy must not route by its new tier).
         table._dispose(pending)
+        if table.wal is not None:
+            table.wal.delete_files()
         if self.disk.exists(table.descriptor.path()):
             self.disk.delete(table.descriptor.path())
 
@@ -398,6 +462,28 @@ class LittleTable:
         can see a degraded server without a separate endpoint.
         """
         counters = self.metrics.snapshot()["counters"]
+        wal_segments = 0
+        wal_bytes = 0
+        buffered = 0
+        tiers: Dict[str, str] = {}
+        for name in self.table_names():
+            table = self._tables[name]
+            tiers[name] = table.durability.tier
+            if table.wal is not None:
+                status = table.wal.status()
+                wal_segments += status["segment_count"]
+                wal_bytes += status["wal_bytes"]
+                buffered += status["buffered_records"]
+        durability: Dict[str, Any] = {
+            "default_tier": self.durability.tier,
+            "tiers": tiers,
+            "wal_segments": wal_segments,
+            "wal_bytes": wal_bytes,
+            "buffered_records": buffered,
+            "rows_replayed": counters.get("wal.rows_replayed", 0),
+        }
+        if self.replication is not None:
+            durability["replication"] = self.replication.status()
         return {
             "read_only": self.read_only,
             "read_only_reason": self._read_only_reason,
@@ -407,7 +493,52 @@ class LittleTable:
             "quarantined_tablets": counters.get(
                 "storage.quarantined_tablets", 0),
             "scrub": self.last_scrub.as_dict(),
+            "durability": durability,
         }
+
+    def wal_status(self) -> Dict[str, Any]:
+        """Per-table WAL state: LSNs, segments, buffered records.
+
+        Part of the unified admin surface - the remote adapter's
+        ``wal_status()`` answers with exactly this shape over the
+        wire.  Tables on the ``none`` tier report just their tier.
+        """
+        status: Dict[str, Any] = {
+            "default_tier": self.durability.tier,
+            "tables": {name: self._tables[name].wal_status()
+                       for name in self.table_names()},
+        }
+        if self.replication is not None:
+            status["replication"] = self.replication.status()
+        return status
+
+    # ---------------------------------------------- snapshot & restore
+
+    def snapshot(self, dest: str) -> Dict[str, Any]:
+        """Capture a consistent point-in-time snapshot into ``dest``.
+
+        O(1) stop-the-world: per table, the COW tablet list and
+        descriptor are captured under the table lock; sealed tablets
+        are then hard-linked (or byte-copied) off-lock, and unflushed
+        memtable rows are written as sidecar tablets, so the snapshot
+        is a self-contained, fsck-clean LittleTable data directory.
+        Raises :class:`~repro.core.errors.SnapshotError` if ``dest``
+        is non-empty; the live database is never modified.
+        """
+        from .snapshot import create_snapshot
+
+        return create_snapshot(self, dest)
+
+    def restore(self, src: str) -> Dict[str, Any]:
+        """Install tables from a snapshot into this (empty) database.
+
+        Raises :class:`~repro.core.errors.SnapshotError` when the
+        manifest is missing/corrupt or any table already exists; a
+        failed restore installs nothing.
+        """
+        from .snapshot import restore_into
+
+        return restore_into(self, src)
 
     # ------------------------------------------------- crash & archival
 
@@ -422,7 +553,8 @@ class LittleTable:
         self.stop_maintenance()
         return LittleTable(disk=self.disk, config=self.config,
                            clock=self.clock, cold_disk=self.cold_disk,
-                           maintenance_policy=self.maintenance_policy)
+                           maintenance_policy=self.maintenance_policy,
+                           durability=self.durability)
 
     def archive_to(self, spare: Storage) -> int:
         """Copy all files to a spare's storage, rsync-style (§3.5).

@@ -38,6 +38,11 @@ class TableDescriptor:
     next_tablet_id: int = 1
     # Monotone counter bumped on every save, used to name temp files.
     generation: int = 0
+    # The table's DurabilityPolicy as a dict (durability.py), or None.
+    # Only present when the policy differs from the paper-faithful
+    # default, so ``none``-tier descriptors are byte-identical to
+    # those written before durability tiers existed.
+    durability: Optional[dict] = None
 
     def directory(self) -> str:
         return f"tables/{self.name}"
@@ -67,6 +72,8 @@ class TableDescriptor:
             "tablets": [t.to_dict() for t in self.tablets],
             "next_tablet_id": self.next_tablet_id,
         }
+        if self.durability:
+            payload["durability"] = self.durability
         body = json.dumps(payload, sort_keys=True)
         payload["checksum"] = crc32c(body.encode("utf-8"))
         return json.dumps(payload, sort_keys=True)
@@ -86,6 +93,7 @@ class TableDescriptor:
                 ttl_micros=data.get("ttl_micros"),
                 tablets=[TabletMeta.from_dict(t) for t in data["tablets"]],
                 next_tablet_id=data["next_tablet_id"],
+                durability=data.get("durability"),
             )
         except (KeyError, ValueError, TypeError) as exc:
             raise CorruptTabletError(f"bad descriptor: {exc}") from exc

@@ -1,0 +1,128 @@
+"""Durability tiers: the policy object behind the WAL and replication.
+
+The paper ships exactly one durability story - *prefix durability*
+(§3): inserts are acknowledged from memory, a crash may lose the most
+recent writes, and the atomic descriptor rename guarantees the
+surviving prefix is never corrupt.  This module turns that constant
+into a dial.  A :class:`DurabilityPolicy` selects one of three tiers:
+
+* ``none`` - the paper-faithful default.  No WAL file is ever created;
+  behavior is byte-identical to an engine without this module.
+* ``wal`` - every acknowledged insert is first appended to a
+  segmented, CRC32C-framed, LSN-stamped write-ahead log
+  (:mod:`repro.core.wal`) with group commit; replay at open restores
+  rows a crash would otherwise lose.
+* ``replicated`` - ``wal`` plus eligibility for warm-standby
+  streaming: sealed segments and tablet manifests are served to a
+  read-only follower (:mod:`repro.net.replica`).
+
+One policy object travels the whole stack: ``LittleTable(durability=)``
+sets the database default, ``create_table(durability=)`` overrides per
+table (persisted in the table descriptor), ``ClientConfig.durability``
+carries it over the wire, and ``ltdb serve --durability`` sets it for
+a server.  The loose durability-adjacent :class:`EngineConfig` knobs
+(``startup_scrub``, ``checksums``) fold in here as optional overrides,
+mirroring the ClientConfig consolidation: ``None`` means "inherit the
+engine config"; the legacy keyword arguments on ``LittleTable`` keep
+working behind ``DeprecationWarning`` shims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, Optional
+
+#: Valid values for :attr:`DurabilityPolicy.tier`.
+TIERS = ("none", "wal", "replicated")
+
+_MIB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class DurabilityPolicy:
+    """How hard a table tries not to lose acknowledged writes.
+
+    Frozen: hand the same instance to as many tables, databases, and
+    clients as you like.  Use :func:`dataclasses.replace` to derive
+    variants.
+    """
+
+    #: One of :data:`TIERS`.  ``none`` keeps the paper's prefix
+    #: durability and guarantees no WAL file is ever created.
+    tier: str = "none"
+    #: Group-commit window: an acknowledged insert waits at most this
+    #: long for the leader's batched append before its own fsync.
+    #: 0 disables batching (every insert appends immediately).
+    group_commit_ms: float = 2.0
+    #: Roll the active WAL segment once it exceeds this size; sealed
+    #: segments are what replication streams and recycling reclaims.
+    wal_segment_bytes: int = 4 * _MIB
+    #: ``host:port`` of a primary to follow (replica side only); set
+    #: by ``ltdb serve --follow``.  None for a primary.
+    follow_addr: Optional[str] = None
+    #: Folded-in legacy knobs.  ``None`` inherits the corresponding
+    #: :class:`~repro.core.config.EngineConfig` field; a bool
+    #: overrides it.
+    startup_scrub: Optional[bool] = field(default=None)
+    checksums: Optional[bool] = field(default=None)
+
+    def validate(self) -> None:
+        """Raise ValueError on nonsensical settings."""
+        if self.tier not in TIERS:
+            raise ValueError(
+                f"unknown durability tier {self.tier!r} (want one of {TIERS})")
+        if self.group_commit_ms < 0:
+            raise ValueError("group_commit_ms must be >= 0")
+        if self.wal_segment_bytes <= 0:
+            raise ValueError("wal_segment_bytes must be positive")
+        if self.follow_addr is not None:
+            host, sep, port = str(self.follow_addr).rpartition(":")
+            if not sep or not port.isdigit():
+                raise ValueError(
+                    f"follow_addr must be 'host:port', got {self.follow_addr!r}")
+
+    @property
+    def wal_enabled(self) -> bool:
+        """True when inserts must hit the log before acknowledgment."""
+        return self.tier in ("wal", "replicated")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe dict for descriptors and the wire protocol.
+
+        Only non-default fields are emitted, so a ``none``-tier policy
+        serializes to ``{}`` and descriptors written before this
+        module existed round-trip unchanged.
+        """
+        out: Dict[str, Any] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if value != spec.default:
+                out[spec.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Optional[Dict[str, Any]]) -> "DurabilityPolicy":
+        """Inverse of :meth:`to_dict`; unknown keys are ignored so old
+        engines can open descriptors written by newer ones."""
+        if not data:
+            return cls()
+        known = {spec.name for spec in fields(cls)}
+        policy = cls(**{key: value for key, value in data.items()
+                        if key in known})
+        policy.validate()
+        return policy
+
+    def merged_with(self, override: Optional["DurabilityPolicy"]
+                    ) -> "DurabilityPolicy":
+        """This policy with *override*'s non-default fields applied -
+        how a per-table policy layers over the database default."""
+        if override is None:
+            return self
+        changes = {spec.name: getattr(override, spec.name)
+                   for spec in fields(override)
+                   if getattr(override, spec.name) != spec.default}
+        return replace(self, **changes) if changes else self
+
+
+#: The paper-faithful default shared by every entry point.
+DEFAULT_DURABILITY = DurabilityPolicy()

@@ -70,6 +70,20 @@ class ServerError(LittleTableError):
     code = None
 
 
+class SnapshotError(LittleTableError):
+    """A point-in-time snapshot or restore failed: the destination is
+    not empty, the source is not a valid snapshot, or its manifest
+    fails verification.  The live database is never modified by a
+    failed snapshot; a failed ``restore`` installs no tables."""
+
+
+class ReplicaDivergedError(LittleTableError):
+    """A warm standby detected that it can no longer converge with its
+    primary: the primary's LSNs regressed (it was restored or
+    replaced), or streamed records contradict already-applied state.
+    The follower stops applying; re-seed it from a fresh snapshot."""
+
+
 class ShardDegradedError(LittleTableError):
     """The shard worker owning the requested keys has crashed or hit
     unrecoverable storage errors.  The router stays up: keys on other

@@ -55,6 +55,20 @@ class MemTable:
         self.read_only = False
         self._ops = compiled_ops(schema)
         self._max_key: Optional[Tuple[Any, ...]] = None
+        # WAL bookkeeping (durability tiers): the LSN range of the log
+        # records whose rows live here.  None until the first logged
+        # batch touches this memtable; flushing every memtable at or
+        # below an LSN lets the table advance the WAL low-water mark
+        # past it and recycle covered segments.
+        self.min_wal_lsn: Optional[int] = None
+        self.max_wal_lsn: Optional[int] = None
+
+    def note_wal_lsn(self, lsn: int) -> None:
+        """Record that log record ``lsn`` put rows into this memtable."""
+        if self.min_wal_lsn is None or lsn < self.min_wal_lsn:
+            self.min_wal_lsn = lsn
+        if self.max_wal_lsn is None or lsn > self.max_wal_lsn:
+            self.max_wal_lsn = lsn
 
     def __len__(self) -> int:
         return len(self.rows)

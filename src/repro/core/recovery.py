@@ -48,7 +48,9 @@ from ..disk.vfs import SimulatedDisk
 from ..obs.metrics import NULL_REGISTRY
 from ..util.checksum import crc32c
 from .descriptor import DESCRIPTOR_FILENAME, TableDescriptor
+from .durability import DurabilityPolicy
 from .tablet import CHECKSUM_MAGIC, CHECKSUM_TRAILER_BYTES, TRAILER_BYTES, TabletMeta
+from .wal import is_wal_filename
 
 QUARANTINE_PREFIX = "quarantine/"
 
@@ -194,9 +196,50 @@ def startup_scrub(disk: SimulatedDisk, metrics=None) -> ScrubReport:
                 storage.delete(filename)
                 disk.model.release(filename)
                 report.orphans_removed.append(filename)
+        # 5. WAL segments: recognized by name, never treated as orphan
+        # tablets.  For a wal-tier table they belong to replay and are
+        # left exactly in place.  A zero-byte segment holds nothing (an
+        # append crashed before writing a single frame) and is safe to
+        # reclaim.  Segments under a table whose descriptor says tier
+        # ``none`` are unreachable - no replay will ever read them - so
+        # they are *quarantined*, not deleted: they may hold
+        # acknowledged rows from a session that ran with a stronger
+        # database-default policy.
+        try:
+            wal_tier = DurabilityPolicy.from_dict(
+                descriptor.durability).wal_enabled
+        except ValueError:
+            wal_tier = True  # unparseable policy: keep, don't quarantine
+        for filename in files:
+            if not is_wal_filename(filename):
+                continue
+            try:
+                size = storage.size(filename)
+            except StorageError:
+                continue
+            if size == 0:
+                storage.delete(filename)
+                disk.model.release(filename)
+                report.orphans_removed.append(filename)
+            elif not wal_tier:
+                moved = quarantine_file(disk, filename)
+                report.quarantined.append(filename)
+                report.issues.append(
+                    f"{filename}: WAL segment for a none-tier table"
+                    f" (moved to {moved})")
         if changed:
             descriptor.tablets = kept
             descriptor.save(disk)
+    # A snapshot manifest marks this directory as (also) a snapshot:
+    # recognized by name, verified, reported when damaged - never
+    # reclaimed as an unrecognized orphan.  Lazy import: snapshot.py
+    # uses this module's tablet verifier.
+    from .snapshot import SNAPSHOT_MANIFEST, verify_manifest
+
+    if storage.exists(SNAPSHOT_MANIFEST):
+        problem = verify_manifest(storage)
+        if problem is not None:
+            report.issues.append(f"{SNAPSHOT_MANIFEST}: {problem}")
     registry.counter("storage.scrub_runs").inc()
     if report.orphans_removed or report.temps_removed:
         registry.counter("storage.scrub_orphans_removed").inc(

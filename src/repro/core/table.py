@@ -46,6 +46,7 @@ the flushers to drain, observable via ``insert.backpressure_stalls``.
 from __future__ import annotations
 
 import bisect
+import struct
 import threading
 import time
 from dataclasses import dataclass
@@ -62,6 +63,7 @@ from .codec import BLOCK_FORMAT_V1, BLOCK_FORMAT_V2, SchemaCodec
 from .config import EngineConfig
 from .cursor import execute_query
 from .descriptor import TableDescriptor
+from .durability import DEFAULT_DURABILITY, DurabilityPolicy
 from .encoding import RowCodec
 from .errors import (CorruptTabletError, DuplicateKeyError, QueryError,
                      SchemaError)
@@ -78,6 +80,7 @@ from .tablet import TabletMeta, TabletReader, TabletSink, TabletWriter
 from .vector import (AggregatePartials, AggregateSpec, accumulate,
                      accumulate_rows, key_bounds, residual_filter,
                      resolve_time_bounds, time_filter)
+from .wal import WalReplayReport, WriteAheadLog
 
 
 @dataclass
@@ -172,12 +175,24 @@ class Table:
                  config: EngineConfig, clock: Clock,
                  cold_disk: Optional[SimulatedDisk] = None,
                  metrics: Optional[MetricsRegistry] = None, tracer=None,
-                 read_cache: Optional[ReadCache] = None):
+                 read_cache: Optional[ReadCache] = None,
+                 durability: Optional[DurabilityPolicy] = None):
         self.disk = disk
         self.cold_disk = cold_disk
         self.descriptor = descriptor
         self.config = config
         self.clock = clock
+        # Durability tier (durability.py).  ``none`` keeps the paper's
+        # prefix durability and never touches a log file; ``wal`` and
+        # ``replicated`` attach a per-table write-ahead log whose
+        # append-and-fsync gates every insert acknowledgment.
+        self.durability = (durability if durability is not None
+                           else DEFAULT_DURABILITY)
+        self.wal: Optional[WriteAheadLog] = (
+            WriteAheadLog(disk, descriptor.name, self.durability,
+                          metrics=metrics)
+            if self.durability.wal_enabled else None)
+        self.last_wal_replay: Optional[WalReplayReport] = None
         # Lock hierarchy (acquire downwards, never upwards):
         #   _maintenance_lock  ->  lock (state)  ->  _reader_lock
         self._maintenance_lock = threading.RLock()
@@ -347,6 +362,7 @@ class Table:
             "scan_ratio": round(scanned / returned, 2) if returned else None,
             "ttl_micros": self.descriptor.ttl_micros,
             "schema_version": self.schema.version,
+            "durability_tier": self.durability.tier,
             "cache_generation": self._cache_generation,
             "latest_cache_entries": len(self._latest_cache),
         }
@@ -537,6 +553,9 @@ class Table:
         Takes the table's state lock itself - callers need not (and
         should not) wrap inserts in ``table.lock`` anymore.
         """
+        wal = self.wal
+        commit_lsn: Optional[int] = None
+        error: Optional[DuplicateKeyError] = None
         with self.lock:
             self._wait_for_flush_capacity_locked()
             now = self.clock.now()
@@ -549,6 +568,12 @@ class Table:
             invalidate_key = self._latest_cache.invalidate_key
             max_ts_ever = self._max_ts_ever
             inserted = 0
+            # WAL tier: collect accepted rows so the whole batch
+            # encodes in one compiled pass and logs as one record
+            # before acknowledgment.
+            log_wal = wal is not None
+            wal_rows: List[Tuple[Any, ...]] = []
+            wal_memtables: List[MemTable] = []
             # The filling memtable and its period window are carried
             # across rows: period windows partition the timestamp axis
             # for a fixed ``now`` (periods.py aligns every boundary), so
@@ -556,42 +581,68 @@ class Table:
             # same memtable without re-deriving the period.
             cur_mt: Optional[MemTable] = None
             cur_lo = cur_hi = 0
-            for row in rows:
-                # One pass: the compiled codec validates, coerces, and
-                # returns the row's on-disk encoded size together.
-                row, size = validate(row)
-                ts = row[ts_index]
-                key = key_of(row)
-                if not self._key_is_unique(key, ts, now):
-                    raise DuplicateKeyError(
-                        f"duplicate primary key {key!r} in table "
-                        f"{self.name!r}"
-                    )
-                if cur_mt is None or ts < cur_lo or ts >= cur_hi:
-                    cur_mt = self._memtable_for(ts, now)
-                    cur_lo = cur_mt.period.start
-                    cur_hi = cur_mt.period.end
-                    record_insert(cur_mt.memtable_id)
-                if not cur_mt.insert_sized(key, row, size, now):
-                    raise DuplicateKeyError(
-                        f"duplicate primary key {key!r} in table "
-                        f"{self.name!r}"
-                    )
-                invalidate_key(key)
-                if max_ts_ever is None or ts > max_ts_ever:
-                    # Written through immediately: _key_is_unique's
-                    # fast path 1 reads it for the *next* row.
-                    max_ts_ever = ts
-                    self._max_ts_ever = ts
-                inserted += 1
-                if cur_mt.size_bytes >= flush_limit:
-                    self._retire_memtable(cur_mt)
-                    cur_mt = None
-            self._insert_seq += 1
-            self.counters.rows_inserted += inserted
-            self._m_rows_inserted.inc(inserted)
-            self._m_insert_batches.inc()
-            return inserted
+            try:
+                for row in rows:
+                    # One pass: the compiled codec validates, coerces,
+                    # and returns the row's on-disk encoded size.
+                    row, size = validate(row)
+                    ts = row[ts_index]
+                    key = key_of(row)
+                    if not self._key_is_unique(key, ts, now):
+                        raise DuplicateKeyError(
+                            f"duplicate primary key {key!r} in table "
+                            f"{self.name!r}"
+                        )
+                    if cur_mt is None or ts < cur_lo or ts >= cur_hi:
+                        cur_mt = self._memtable_for(ts, now)
+                        cur_lo = cur_mt.period.start
+                        cur_hi = cur_mt.period.end
+                        record_insert(cur_mt.memtable_id)
+                        if wal is not None:
+                            wal_memtables.append(cur_mt)
+                    if not cur_mt.insert_sized(key, row, size, now):
+                        raise DuplicateKeyError(
+                            f"duplicate primary key {key!r} in table "
+                            f"{self.name!r}"
+                        )
+                    if log_wal:
+                        wal_rows.append(row)
+                    invalidate_key(key)
+                    if max_ts_ever is None or ts > max_ts_ever:
+                        # Written through immediately: _key_is_unique's
+                        # fast path 1 reads it for the *next* row.
+                        max_ts_ever = ts
+                        self._max_ts_ever = ts
+                    inserted += 1
+                    if cur_mt.size_bytes >= flush_limit:
+                        self._retire_memtable(cur_mt)
+                        cur_mt = None
+            except DuplicateKeyError as exc:
+                # Inserts are not transactional (§2.3.4): rows earlier
+                # in the batch stay inserted, so on the WAL tier they
+                # must also stay *logged* before the error surfaces.
+                if wal is None:
+                    raise
+                error = exc
+            if wal is not None and wal_rows:
+                commit_lsn = wal.log_batch_block(
+                    codec.ops.encode_rows(wal_rows),
+                    len(wal_rows), self.schema.version)
+                for memtable in wal_memtables:
+                    memtable.note_wal_lsn(commit_lsn)
+            if error is None:
+                self._insert_seq += 1
+                self.counters.rows_inserted += inserted
+                self._m_rows_inserted.inc(inserted)
+                self._m_insert_batches.inc()
+        # The durable append runs off the state lock: group commit
+        # batches concurrent inserts into one fsync, and acknowledgment
+        # (returning) is what implies durability on the WAL tier.
+        if commit_lsn is not None:
+            wal.commit(commit_lsn)
+        if error is not None:
+            raise error
+        return inserted
 
     def set_flush_backpressure(self, limit: Optional[int],
                                wait_s: float = 5.0) -> None:
@@ -817,7 +868,12 @@ class Table:
                 self._deps.mark_flushed(group)
                 self._flush_cond.notify_all()
                 reapable = self._claim_reapable_locked()
+                wal_low = self._wal_low_water_locked()
             self._dispose(reapable)
+            if wal_low is not None:
+                # Rows just sealed into tablets no longer need their
+                # log records; recycle wholly-covered segments.
+                self.wal.advance_low_water(wal_low)
             self._h_swap_hold.observe(
                 (time.perf_counter() - swap_started) * 1e6)
             rows = sum(meta.row_count for meta in written)
@@ -854,6 +910,122 @@ class Table:
             self.counters.bytes_flushed += meta.size_bytes
             self.counters.flushes += 1
         return meta
+
+    def _wal_low_water_locked(self) -> Optional[int]:
+        """The WAL low-water mark implied by current memtable state.
+
+        Caller holds the state lock (which also serializes LSN
+        assignment, since ``log_batch`` only runs under it).  Every
+        record below the returned LSN has all its rows sealed into
+        tablets; with no log-covered memtable left, everything logged
+        so far is covered.  None when the table has no WAL.
+        """
+        if self.wal is None:
+            return None
+        mins = [m.min_wal_lsn for m in self._unflushed.values()
+                if m.min_wal_lsn is not None]
+        return min(mins) if mins else self.wal.next_lsn
+
+    # -------------------------------------------------------- WAL replay
+
+    def replay_wal(self) -> WalReplayReport:
+        """Recover logged-but-unflushed rows at open (durability tiers).
+
+        Reads every surviving segment through the raw storage backend
+        (armed failpoints stay untouched), re-inserts rows the crash
+        caught memtable-resident, and skips rows already durable in a
+        tablet - a crash between the flush's descriptor swap and the
+        segment recycling replays rows that are already on disk, and
+        the uniqueness check drops them silently.  Replayed rows are
+        *not* re-logged (their records still exist); their memtables
+        carry the original LSNs, so the next flush advances the
+        low-water mark past them and recycles the old segments.
+        """
+        assert self.wal is not None, "replay_wal on a none-tier table"
+        records, report = self.wal.recover()
+        self.apply_wal_records(records, report)
+        self.metrics.counter("wal.rows_replayed").inc(report.rows_applied)
+        self.last_wal_replay = report
+        return report
+
+    def apply_wal_records(self, records,
+                          report: Optional[WalReplayReport] = None
+                          ) -> WalReplayReport:
+        """Insert decoded WAL records' rows, skipping duplicates.
+
+        The application half of :meth:`replay_wal`, also fed by a warm
+        standby with records streamed off a primary's log
+        (:mod:`repro.net.replica`).  Rows already durable in a tablet
+        or present in a memtable are skipped silently - streaming and
+        replay may both overlap what an earlier pass applied.
+        """
+        if report is None:
+            report = WalReplayReport(records=len(records))
+        decode = self._row_codec.decode_row
+        with self.lock:
+            now = self.clock.now()
+            for record in records:
+                if record.schema_version != self.schema.version:
+                    report.issues.append(
+                        f"record lsn={record.lsn}: schema version "
+                        f"{record.schema_version} != current "
+                        f"{self.schema.version}; rows skipped")
+                    report.rows_skipped += record.row_count
+                    continue
+                if record.block is not None:
+                    # KIND_BLOCK: the whole batch decodes in one
+                    # compiled pass.
+                    try:
+                        rows = self._codec.ops.decode_block(
+                            record.block)[0]
+                    except (CorruptTabletError, ValueError,
+                            IndexError, struct.error) as exc:
+                        report.issues.append(
+                            f"record lsn={record.lsn}: undecodable "
+                            f"block ({exc}); {record.row_count} rows "
+                            f"skipped")
+                        report.rows_skipped += record.row_count
+                        continue
+                else:
+                    rows = []
+                    for encoded in record.rows:
+                        try:
+                            rows.append(decode(encoded)[0])
+                        except (ValueError, IndexError,
+                                struct.error) as exc:
+                            report.issues.append(
+                                f"record lsn={record.lsn}: undecodable "
+                                f"row ({exc}); skipped")
+                            report.rows_skipped += 1
+                for row in rows:
+                    ts = row[self.schema.ts_index]
+                    key = self._codec.key_of(row)
+                    if not self._key_is_unique(key, ts, now):
+                        report.rows_skipped += 1
+                        continue
+                    memtable = self._memtable_for(ts, now)
+                    self._deps.record_insert(memtable.memtable_id)
+                    if not memtable.insert_sized(
+                            key, row, self._codec.size_of(row), now):
+                        report.rows_skipped += 1
+                        continue
+                    if self.wal is not None:
+                        memtable.note_wal_lsn(record.lsn)
+                    report.rows_applied += 1
+                    if (self._max_ts_ever is None
+                            or ts > self._max_ts_ever):
+                        self._max_ts_ever = ts
+        return report
+
+    def wal_status(self) -> Dict[str, Any]:
+        """This table's durability status (``wal_status`` command)."""
+        if self.wal is None:
+            return {"tier": self.durability.tier}
+        status = self.wal.status()
+        replay = self.last_wal_replay
+        if replay is not None:
+            status["last_replay"] = replay.as_dict()
+        return status
 
     def flush_all(self) -> List[TabletMeta]:
         """Flush every unflushed memtable (used by shutdown and tests)."""
@@ -1892,6 +2064,11 @@ class Table:
         # DDL is a tablet-set mutator: it serializes with flush/merge
         # through the maintenance lock and swaps state briefly.
         with self._maintenance_lock:
+            # WAL tier: seal current-schema rows into tablets first so
+            # the log never mixes schema versions - replay decodes
+            # every surviving record at the (single) current version.
+            if self.wal is not None:
+                self.flush_all()
             with self.lock:
                 # Retire filling memtables so new inserts use the new
                 # schema; flushed tablets keep their old schema and

@@ -89,6 +89,9 @@ KNOWN_SITES = (
     "ttl.after_descriptor",
     "rewrite.before_descriptor",
     "migrate.before_descriptor",
+    "wal.before_append",
+    "wal.before_seal",
+    "wal.before_recycle",
 )
 
 

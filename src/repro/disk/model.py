@@ -236,6 +236,35 @@ class DiskModel:
         self._cache_insert(name, first, last)
         return duration
 
+    def charge_append(self, name: str, length: int) -> float:
+        """Charge a sequential append at the tail of ``name``.
+
+        The write-ahead log's pattern: one seek if the head is away
+        from the file's tail, then a sequential transfer.  The extent
+        grows in place - WAL segments are the one file class that is
+        not written whole - which keeps the read model's end-of-file
+        clamp correct for replay.  Returns modeled seconds.
+        """
+        extent = self._extents.get(name)
+        if extent is None:
+            extent = _Extent(self._frontier, 0)
+            self._extents[name] = extent
+            self._frontier += length
+        tail = extent.start + extent.length
+        duration = 0.0
+        if self._head != tail:
+            duration += self.params.seek_time_s
+            self.stats.seeks += 1
+        duration += length / self.params.write_throughput_bps
+        first, last = self._chunk_range(extent.length, length)
+        extent.length += length
+        self._head = extent.start + extent.length
+        self.stats.bytes_written += length
+        self.stats.write_time_s += duration
+        self.elapsed_s += duration
+        self._cache_insert(name, first, last)
+        return duration
+
     def charge_read(self, name: str, offset: int, length: int) -> float:
         """Charge a read of ``length`` bytes at ``offset``.
 

@@ -32,6 +32,16 @@ class Storage:
         """Create ``name`` with ``data``.  Fails if it exists."""
         raise NotImplementedError
 
+    def append(self, name: str, data: bytes) -> None:
+        """Append ``data`` to ``name``, creating it if missing.
+
+        The one exception to the write-once rule: write-ahead log
+        segments grow by appending durable records.  A crash mid-append
+        may persist a prefix of ``data``; the WAL's per-record CRC
+        framing detects and discards such torn tails on replay.
+        """
+        raise NotImplementedError
+
     def read(self, name: str, offset: int, length: int) -> bytes:
         """Read up to ``length`` bytes at ``offset``."""
         raise NotImplementedError
@@ -71,6 +81,9 @@ class MemoryStorage(Storage):
         if name in self._files:
             raise StorageError(f"file exists: {name!r}")
         self._files[name] = bytes(data)
+
+    def append(self, name: str, data: bytes) -> None:
+        self._files[name] = self._files.get(name, b"") + bytes(data)
 
     def read(self, name: str, offset: int, length: int) -> bytes:
         try:
@@ -137,6 +150,14 @@ class FileStorage(Storage):
             if os.path.exists(tmp):
                 os.unlink(tmp)
             raise
+
+    def append(self, name: str, data: bytes) -> None:
+        path = self._path(name)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "ab") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
 
     def read(self, name: str, offset: int, length: int) -> bytes:
         try:

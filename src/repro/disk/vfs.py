@@ -78,6 +78,21 @@ class SimulatedDisk:
             raise crash_after
         return seconds
 
+    def append(self, name: str, data: bytes) -> float:
+        """Append durable bytes to a log file; returns modeled seconds.
+
+        The write-ahead log's one primitive.  Charged as a sequential
+        write at the file's tail (group commit exists precisely to
+        amortize this).  Fires the ``wal.before_append`` site so the
+        crash matrix can kill the process with bytes buffered but not
+        yet durable.
+        """
+        self.fire("wal.before_append")
+        self.storage.append(name, data)
+        self._m_writes.inc()
+        self._m_write_bytes.inc(len(data))
+        return self.model.charge_append(name, len(data))
+
     def open(self, name: str) -> None:
         """Charge the inode-read seek for first open of a file.
 

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..core import errors as _errors
+from ..core.durability import DurabilityPolicy
 from ..core.errors import (
     LittleTableError,
     NoSuchTableError,
@@ -97,7 +98,11 @@ class ClientConfig:
     * ``negotiate`` - send the v2 HELLO on connect (disable to force
       v1 sequential mode against any server);
     * ``pipeline_depth`` - max in-flight requests a
-      :meth:`LittleTableClient.pipeline` batch keeps before draining.
+      :meth:`LittleTableClient.pipeline` batch keeps before draining;
+    * ``durability`` - default :class:`~repro.core.durability
+      .DurabilityPolicy` applied to tables this client creates (a
+      per-call ``create_table(durability=...)`` still overrides it);
+      None leaves tier selection entirely to the server.
     """
 
     insert_batch_rows: int = 512
@@ -109,6 +114,7 @@ class ClientConfig:
     auto_reconnect: bool = True
     negotiate: bool = True
     pipeline_depth: int = 128
+    durability: Optional[DurabilityPolicy] = None
 
     def validate(self) -> None:
         if self.insert_batch_rows < 1:
@@ -117,6 +123,8 @@ class ClientConfig:
             raise ValueError("max_retries must be >= 0")
         if self.pipeline_depth < 1:
             raise ValueError("pipeline_depth must be >= 1")
+        if self.durability is not None:
+            self.durability.validate()
 
 
 #: Constructor keywords accepted for backward compatibility; each maps
@@ -362,6 +370,13 @@ class LittleTableClient:
         return self._call({"cmd": "stats", "tables": False},
                           idempotent=True).get("health", {})
 
+    def wal_status(self) -> Dict[str, Any]:
+        """Per-table durability/WAL state (``db.wal_status()``): tier,
+        LSNs, segments, buffered records, replication lag when the
+        server is a warm standby."""
+        return self._call({"cmd": "wal_status"},
+                          idempotent=True).get("wal", {})
+
     # ----------------------------------------------------------- schema
 
     def list_tables(self) -> Dict[str, Schema]:
@@ -373,9 +388,18 @@ class LittleTableClient:
         }
 
     def create_table(self, name: str, schema: Schema,
-                     ttl_micros: Optional[int] = None) -> None:
-        self._call({"cmd": "create_table", "table": name,
-                    "schema": schema.to_dict(), "ttl_micros": ttl_micros})
+                     ttl_micros: Optional[int] = None,
+                     durability: Optional[DurabilityPolicy] = None) -> None:
+        policy = durability if durability is not None \
+            else self.config.durability
+        request = {"cmd": "create_table", "table": name,
+                   "schema": schema.to_dict(), "ttl_micros": ttl_micros}
+        if policy is not None:
+            policy.validate()
+            encoded = policy.to_dict()
+            if encoded:
+                request["durability"] = encoded
+        self._call(request)
         self.invalidate_schema_cache()
 
     def drop_table(self, name: str) -> None:

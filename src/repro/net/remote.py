@@ -215,8 +215,10 @@ class RemoteDatabase:
         return RemoteTable(self, name)
 
     def create_table(self, name: str, schema: Schema,
-                     ttl_micros: Optional[int] = None) -> RemoteTable:
-        self.client.create_table(name, schema, ttl_micros=ttl_micros)
+                     ttl_micros: Optional[int] = None,
+                     durability=None) -> RemoteTable:
+        self.client.create_table(name, schema, ttl_micros=ttl_micros,
+                                 durability=durability)
         self.invalidate()
         return RemoteTable(self, name)
 
@@ -274,6 +276,10 @@ class RemoteDatabase:
     def health(self) -> Dict[str, Any]:
         """The server's degradation state (``LittleTable.health``)."""
         return self.client.health()
+
+    def wal_status(self) -> Dict[str, Any]:
+        """Per-table durability state (``LittleTable.wal_status``)."""
+        return self.client.wal_status()
 
     # --------------------------------------------------------- lifecycle
 

@@ -280,13 +280,17 @@ class ShardRouter:
                  clock: Optional[Clock] = None,
                  metrics: Optional[MetricsRegistry] = None,
                  maintenance_policy: Optional[MaintenancePolicy] = None,
-                 engines: Optional[Sequence[LittleTable]] = None):
+                 engines: Optional[Sequence[LittleTable]] = None,
+                 durability=None):
         """Open ``shards`` workers, either in memory or over
         ``data_dir/shard-NN`` subdirectories (gnitz-style: one
         manifest root, one subtree per shard).  Pass ``engines`` to
         adopt pre-built workers (tests, custom disks); they should
         share a clock and metrics registry for coherent routing and
-        one STATS surface.
+        one STATS surface.  ``durability`` (a
+        :class:`~repro.core.durability.DurabilityPolicy`) becomes each
+        worker's database default: per-shard WALs, one per worker
+        table.
         """
         if engines is not None:
             if not engines:
@@ -303,12 +307,15 @@ class ShardRouter:
             for index in range(shards):
                 subdir = None if data_dir is None else \
                     f"{data_dir}/shard-{index:02d}"
+                kwargs = {} if durability is None else \
+                    {"durability": durability}
                 self.engines.append(LittleTable.open(
                     subdir, config=config, clock=clock,
                     metrics=self.metrics,
-                    maintenance_policy=maintenance_policy))
+                    maintenance_policy=maintenance_policy, **kwargs))
         self.clock = self.engines[0].clock
         self.config = self.engines[0].config
+        self.durability = self.engines[0].durability
         # Worker crash state: shard index -> reason string.  Sticky
         # until revive_shard; guarded only by the GIL (reads are
         # racy-but-monotonic, which is fine for routing decisions).
@@ -341,7 +348,8 @@ class ShardRouter:
         self.engines[index] = LittleTable(
             disk=engine.disk, config=engine.config, clock=engine.clock,
             cold_disk=engine.cold_disk, metrics=self.metrics,
-            maintenance_policy=engine.maintenance_policy)
+            maintenance_policy=engine.maintenance_policy,
+            durability=engine.durability)
         self._down.pop(index, None)
         self._m_degraded.set(len(self._down))
 
@@ -445,11 +453,14 @@ class ShardRouter:
         return ShardedTable(self, name)
 
     def create_table(self, name: str, schema: Schema,
-                     ttl_micros: Optional[int] = None) -> ShardedTable:
+                     ttl_micros: Optional[int] = None,
+                     durability=None) -> ShardedTable:
         """DDL fans out to every worker (the catalog is replicated;
-        only row data is partitioned)."""
+        only row data is partitioned).  A ``durability`` policy fans
+        out with it: each worker keeps its own per-shard WAL for the
+        table."""
         self._fanout(lambda db: db.create_table(
-            name, schema, ttl_micros=ttl_micros))
+            name, schema, ttl_micros=ttl_micros, durability=durability))
         return ShardedTable(self, name)
 
     def drop_table(self, name: str) -> None:
@@ -754,3 +765,13 @@ class ShardRouter:
         base["degraded_shards"] = {
             str(i): reason for i, reason in sorted(self._down.items())}
         return base
+
+    def wal_status(self) -> Dict[str, Any]:
+        """Durability state across all workers (``wal_status`` command
+        parity): each shard keeps its own per-table WALs, so the view
+        is per-shard.  Downed workers are skipped."""
+        return {
+            "default_tier": self.durability.tier,
+            "shards": {str(i): self.engines[i].wal_status()
+                       for i in self._live_indexes()},
+        }

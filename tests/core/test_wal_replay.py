@@ -1,0 +1,282 @@
+"""Durability-tier suites: WAL crash matrix and policy semantics.
+
+The contract under test (ISSUE PR 8 acceptance criteria):
+
+* **tier=wal**: every *acknowledged* insert survives ``kill -9`` at
+  every instrumented failpoint site - WAL sites and flush sites
+  alike.  Replay is exact: no lost acknowledged rows, no duplicates
+  (rows both sealed into a tablet and still in the log dedup).
+* **tier=none** (the default): byte-identical to the paper's prefix
+  durability - no WAL file is ever created, and a crash may lose a
+  recent suffix but never punch holes.
+* The persisted per-table tier wins on reopen: a database opened
+  with a plain default policy still replays a ``wal``-tier table's
+  log.
+"""
+
+import pytest
+
+from repro.core import (
+    DurabilityPolicy,
+    EngineConfig,
+    LittleTable,
+    Query,
+    is_healthy,
+)
+from repro.core.wal import is_wal_filename
+from repro.disk import CrashPoint, FaultyVFS, SimulatedDisk
+from repro.util.clock import MICROS_PER_DAY, VirtualClock
+
+from ..conftest import usage_schema
+
+BASE = 10_000 * MICROS_PER_DAY
+
+# Small segments so sealing/recycling fire during a short workload.
+WAL_POLICY = DurabilityPolicy(tier="wal", wal_segment_bytes=1024)
+
+
+def crash_config(**overrides) -> EngineConfig:
+    defaults = dict(
+        block_size_bytes=1024,
+        flush_size_bytes=16 * 1024,
+        max_merged_tablet_bytes=256 * 1024,
+        merge_min_age_micros=0,
+        merge_rollover_delay_fraction=0.0,
+    )
+    defaults.update(overrides)
+    return EngineConfig(**defaults)
+
+
+def row_for(index: int) -> dict:
+    return {"network": 1, "device": 1, "ts": BASE + index,
+            "bytes": index, "rate": 0.0}
+
+
+def run_workload(db, acked_ts, rows=150, flush_every=30):
+    """Insert row-by-row; ``acked_ts`` records only acknowledged
+    (returned-from-insert) rows, even when a crash interrupts."""
+    table = db.table("t")
+    for index in range(rows):
+        table.insert([row_for(index)])
+        acked_ts.append(BASE + index)
+        if (index + 1) % flush_every == 0:
+            table.flush_all()
+            db.maintenance_until_quiet(max_rounds=5)
+
+
+def wal_files(disk) -> list:
+    return sorted(name for name in disk.storage.list()
+                  if is_wal_filename(name))
+
+
+# Every WAL failpoint site plus the flush/descriptor swap boundaries:
+# with tier=wal a crash at any of them must lose nothing acknowledged.
+WAL_CRASH_MATRIX = [
+    ("wal.before_append", 0),
+    ("wal.before_append", 7),
+    ("wal.before_append", 40),
+    ("wal.before_seal", 0),
+    ("wal.before_seal", 1),
+    ("wal.before_recycle", 0),
+    ("flush.before_write", 0),
+    ("flush.before_descriptor", 0),
+    ("flush.after_descriptor", 0),
+    ("descriptor.after_rename", 1),
+    ("merge.before_descriptor", 0),
+]
+
+
+class TestWalCrashMatrix:
+    @pytest.mark.parametrize("site,skip", WAL_CRASH_MATRIX)
+    def test_acknowledged_rows_survive(self, site, skip):
+        disk = FaultyVFS()
+        clock = VirtualClock(start=BASE)
+        db = LittleTable(disk=disk, clock=clock, config=crash_config(),
+                         durability=WAL_POLICY)
+        db.create_table("t", usage_schema())
+        acked_ts = []
+        disk.failpoints.set(site, "crash", skip=skip)
+        with pytest.raises(CrashPoint):
+            run_workload(db, acked_ts)
+        assert disk.failpoints.fired.get(site), f"{site} never fired"
+        disk.failpoints.clear()
+        recovered = LittleTable(disk=disk, clock=clock,
+                                config=crash_config(),
+                                durability=WAL_POLICY)
+        got_ts = [row[2] for row in recovered.query("t", Query()).rows]
+        # Every acknowledged row survives, in order, with no holes and
+        # no duplicates.  At most one *unacknowledged* row may also
+        # survive: a crash between the group-commit fsync and the
+        # insert returning leaves that row durable - the classic WAL
+        # ack window, the opposite of data loss.
+        assert got_ts[:len(acked_ts)] == acked_ts, (
+            f"crash at {site} skip={skip}: acked {len(acked_ts)} rows, "
+            f"recovered {len(got_ts)}")
+        assert len(got_ts) <= len(acked_ts) + 1
+        assert is_healthy(recovered)
+        # A second reopen is idempotent.
+        again = LittleTable(disk=disk, clock=clock, config=crash_config(),
+                            durability=WAL_POLICY)
+        assert [row[2] for row in again.query("t", Query()).rows] == got_ts
+
+    def test_persisted_tier_wins_on_default_reopen(self):
+        """A wal-tier table replays even when the database is reopened
+        with the plain default (none) policy - the descriptor's
+        persisted tier wins."""
+        disk = FaultyVFS()
+        clock = VirtualClock(start=BASE)
+        db = LittleTable(disk=disk, clock=clock, config=crash_config(),
+                         durability=WAL_POLICY)
+        db.create_table("t", usage_schema())
+        acked_ts = []
+        disk.failpoints.set("wal.before_append", "crash", skip=20)
+        with pytest.raises(CrashPoint):
+            run_workload(db, acked_ts, flush_every=1000)  # never flush
+        disk.failpoints.clear()
+        recovered = LittleTable(disk=disk, clock=clock,
+                                config=crash_config())  # no policy
+        got_ts = [row[2] for row in recovered.query("t", Query()).rows]
+        assert got_ts == acked_ts
+        assert recovered.table("t").durability.tier == "wal"
+
+
+class TestNoneTierParity:
+    def test_no_wal_files_ever_created(self):
+        disk = SimulatedDisk()
+        clock = VirtualClock(start=BASE)
+        db = LittleTable(disk=disk, clock=clock, config=crash_config())
+        db.create_table("t", usage_schema())
+        acked_ts = []
+        run_workload(db, acked_ts, rows=100)
+        assert wal_files(disk) == []
+        # The descriptor carries no durability stanza at all: the
+        # on-disk layout is byte-identical to the pre-WAL format.
+        import json
+
+        descriptor = json.loads(
+            disk.storage.read_all("tables/t/descriptor.json"))
+        assert "durability" not in descriptor
+        assert db.table("t").wal is None
+        assert db.wal_status()["tables"]["t"] == {"tier": "none"}
+
+    def test_crash_keeps_prefix_semantics(self):
+        """tier=none after a crash: a prefix survives (possibly
+        losing a suffix), exactly the paper's §3 guarantee."""
+        disk = FaultyVFS()
+        clock = VirtualClock(start=BASE)
+        db = LittleTable(disk=disk, clock=clock, config=crash_config())
+        db.create_table("t", usage_schema())
+        acked_ts = []
+        disk.failpoints.set("flush.before_descriptor", "crash", skip=1)
+        with pytest.raises(CrashPoint):
+            run_workload(db, acked_ts)
+        disk.failpoints.clear()
+        assert wal_files(disk) == []
+        recovered = LittleTable(disk=disk, clock=clock,
+                                config=crash_config())
+        got_ts = [row[2] for row in recovered.query("t", Query()).rows]
+        assert got_ts == acked_ts[:len(got_ts)]
+        assert len(got_ts) < len(acked_ts)  # the memtable suffix died
+        assert wal_files(disk) == []
+
+
+class TestWalLifecycle:
+    def build(self, **policy_overrides):
+        import dataclasses
+
+        policy = dataclasses.replace(WAL_POLICY, **policy_overrides)
+        clock = VirtualClock(start=BASE)
+        disk = SimulatedDisk()
+        db = LittleTable(disk=disk, clock=clock, config=crash_config(),
+                         durability=policy)
+        db.create_table("t", usage_schema())
+        return db, disk, clock
+
+    def test_flush_recycles_fully_covered_segments(self):
+        db, disk, clock = self.build()
+        table = db.table("t")
+        table.insert([row_for(i) for i in range(200)])
+        assert wal_files(disk), "wal tier must write segments"
+        table.flush_all()
+        # Everything logged is sealed into tablets: zero segments left.
+        assert wal_files(disk) == []
+        status = table.wal_status()
+        assert status["low_water"] > status["durable_lsn"]
+
+    def test_segments_seal_at_size_threshold(self):
+        db, disk, clock = self.build(wal_segment_bytes=1024)
+        table = db.table("t")
+        for index in range(120):
+            table.insert([row_for(index)])
+        assert len(wal_files(disk)) > 1
+        assert table.wal_status()["segment_count"] == len(wal_files(disk))
+
+    def test_torn_tail_replays_prefix_and_reports(self):
+        db, disk, clock = self.build()
+        table = db.table("t")
+        for index in range(50):
+            table.insert([row_for(index)])
+        # No close (that would flush and recycle the log): abandon the
+        # engine as a kill -9 would, then tear the last segment
+        # mid-frame - replay must stop cleanly at the last whole
+        # record and report the damage.
+        victim = wal_files(disk)[-1]
+        data = disk.storage.read_all(victim)
+        disk.storage.delete(victim)
+        disk.storage.write_file(victim, data[:len(data) - 3])
+        recovered = LittleTable(disk=disk, clock=clock,
+                                config=crash_config(),
+                                durability=WAL_POLICY)
+        got_ts = [row[2] for row in recovered.query("t", Query()).rows]
+        assert got_ts == [BASE + i for i in range(49)]
+        report = recovered.table("t").last_wal_replay
+        assert report is not None and report.issues
+
+    def test_wal_status_shapes(self):
+        db, disk, clock = self.build()
+        db.table("t").insert([row_for(0)])
+        status = db.wal_status()
+        assert status["default_tier"] == "wal"
+        entry = status["tables"]["t"]
+        for field in ("tier", "segment_count", "wal_bytes", "durable_lsn",
+                      "low_water", "next_lsn"):
+            assert field in entry, field
+        health = db.health_summary()["durability"]
+        assert health["default_tier"] == "wal"
+        assert health["tiers"] == {"t": "wal"}
+
+    def test_drop_table_deletes_segments(self):
+        db, disk, clock = self.build()
+        db.table("t").insert([row_for(i) for i in range(20)])
+        assert wal_files(disk)
+        db.drop_table("t")
+        assert wal_files(disk) == []
+
+
+class TestLegacyKnobFolding:
+    """The PR 6-style consolidation: loose durability-adjacent kwargs
+    fold into the policy with a DeprecationWarning."""
+
+    def test_legacy_kwargs_fold_with_warning(self):
+        with pytest.warns(DeprecationWarning):
+            db = LittleTable(disk=SimulatedDisk(), startup_scrub=False)
+        assert db.durability.startup_scrub is False
+        assert db.config.startup_scrub is False
+
+    def test_unknown_kwarg_rejected(self):
+        with pytest.raises(TypeError):
+            LittleTable(disk=SimulatedDisk(), not_a_knob=True)
+
+    def test_policy_validates(self):
+        with pytest.raises(ValueError):
+            DurabilityPolicy(tier="paranoid").validate()
+        with pytest.raises(ValueError):
+            DurabilityPolicy(tier="wal", wal_segment_bytes=0).validate()
+
+    def test_policy_merging_and_round_trip(self):
+        base = DurabilityPolicy(tier="wal", group_commit_ms=5.0)
+        assert DurabilityPolicy().to_dict() == {}
+        merged = base.merged_with(DurabilityPolicy.from_dict(
+            {"tier": "replicated", "unknown_future_field": 1}))
+        assert merged.tier == "replicated"
+        assert merged.group_commit_ms == 5.0
