@@ -29,13 +29,38 @@ working behind ``DeprecationWarning`` shims.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields, replace
-from typing import Any, Dict, Optional
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, FrozenSet, Optional
 
 #: Valid values for :attr:`DurabilityPolicy.tier`.
 TIERS = ("none", "wal", "replicated")
 
 _MIB = 1024 * 1024
+
+
+class _Unset:
+    """Sentinel default distinguishing "not passed" from an explicit
+    value, so ``DurabilityPolicy(tier="none")`` can override a
+    database default of ``wal`` back down (the resolved default value
+    alone cannot carry that intent)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "<unset>"
+
+
+_UNSET = _Unset()
+
+#: The resolved value each field takes when not passed explicitly.
+_DEFAULTS: Dict[str, Any] = {
+    "tier": "none",
+    "group_commit_ms": 2.0,
+    "wal_segment_bytes": 4 * _MIB,
+    "follow_addr": None,
+    "startup_scrub": None,
+    "checksums": None,
+}
 
 
 @dataclass(frozen=True)
@@ -45,26 +70,49 @@ class DurabilityPolicy:
     Frozen: hand the same instance to as many tables, databases, and
     clients as you like.  Use :func:`dataclasses.replace` to derive
     variants.
+
+    Every field defaults to an *unset* sentinel resolved to its real
+    default in ``__post_init__``; the set of explicitly passed fields
+    is kept so :meth:`merged_with` can tell "unset" apart from
+    "explicitly set to the default value".  Reading a field always
+    sees the resolved value, never the sentinel.
     """
 
-    #: One of :data:`TIERS`.  ``none`` keeps the paper's prefix
-    #: durability and guarantees no WAL file is ever created.
-    tier: str = "none"
-    #: Group-commit window: an acknowledged insert waits at most this
-    #: long for the leader's batched append before its own fsync.
-    #: 0 disables batching (every insert appends immediately).
-    group_commit_ms: float = 2.0
-    #: Roll the active WAL segment once it exceeds this size; sealed
-    #: segments are what replication streams and recycling reclaims.
-    wal_segment_bytes: int = 4 * _MIB
+    #: One of :data:`TIERS`.  ``none`` (the default) keeps the paper's
+    #: prefix durability and guarantees no WAL file is ever created.
+    tier: str = _UNSET  # type: ignore[assignment]
+    #: Group-commit window (default 2.0 ms): an acknowledged insert
+    #: waits at most this long for the leader's batched append before
+    #: its own fsync.  0 disables batching (every insert appends
+    #: immediately).
+    group_commit_ms: float = _UNSET  # type: ignore[assignment]
+    #: Roll the active WAL segment once it exceeds this size (default
+    #: 4 MiB); sealed segments are what replication streams and
+    #: recycling reclaims.
+    wal_segment_bytes: int = _UNSET  # type: ignore[assignment]
     #: ``host:port`` of a primary to follow (replica side only); set
-    #: by ``ltdb serve --follow``.  None for a primary.
-    follow_addr: Optional[str] = None
-    #: Folded-in legacy knobs.  ``None`` inherits the corresponding
-    #: :class:`~repro.core.config.EngineConfig` field; a bool
-    #: overrides it.
-    startup_scrub: Optional[bool] = field(default=None)
-    checksums: Optional[bool] = field(default=None)
+    #: by ``ltdb serve --follow``.  None (the default) for a primary.
+    follow_addr: Optional[str] = _UNSET  # type: ignore[assignment]
+    #: Folded-in legacy knobs.  ``None`` (the default) inherits the
+    #: corresponding :class:`~repro.core.config.EngineConfig` field; a
+    #: bool overrides it.
+    startup_scrub: Optional[bool] = _UNSET  # type: ignore[assignment]
+    checksums: Optional[bool] = _UNSET  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        explicit = frozenset(name for name in _DEFAULTS
+                             if getattr(self, name) is not _UNSET)
+        object.__setattr__(self, "_explicit", explicit)
+        for name in _DEFAULTS:
+            if name not in explicit:
+                object.__setattr__(self, name, _DEFAULTS[name])
+
+    @property
+    def explicit_fields(self) -> FrozenSet[str]:
+        """Names of fields passed explicitly at construction (a policy
+        derived via :func:`dataclasses.replace` counts every field as
+        explicit - it is fully resolved)."""
+        return self._explicit  # type: ignore[attr-defined]
 
     def validate(self) -> None:
         """Raise ValueError on nonsensical settings."""
@@ -89,16 +137,15 @@ class DurabilityPolicy:
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-safe dict for descriptors and the wire protocol.
 
-        Only non-default fields are emitted, so a ``none``-tier policy
-        serializes to ``{}`` and descriptors written before this
-        module existed round-trip unchanged.
+        Only explicitly set fields are emitted, so an all-default
+        policy serializes to ``{}`` (descriptors written before this
+        module existed round-trip unchanged) while an explicit
+        ``tier="none"`` survives the trip and still overrides a
+        database default at merge time.
         """
-        out: Dict[str, Any] = {}
-        for spec in fields(self):
-            value = getattr(self, spec.name)
-            if value != spec.default:
-                out[spec.name] = value
-        return out
+        explicit = self.explicit_fields
+        return {spec.name: getattr(self, spec.name)
+                for spec in fields(self) if spec.name in explicit}
 
     @classmethod
     def from_dict(cls, data: Optional[Dict[str, Any]]) -> "DurabilityPolicy":
@@ -114,13 +161,15 @@ class DurabilityPolicy:
 
     def merged_with(self, override: Optional["DurabilityPolicy"]
                     ) -> "DurabilityPolicy":
-        """This policy with *override*'s non-default fields applied -
-        how a per-table policy layers over the database default."""
+        """This policy with *override*'s explicitly set fields applied
+        - how a per-table policy layers over the database default.
+        Explicit beats non-default: ``DurabilityPolicy(tier="none")``
+        layered over a ``wal`` default yields ``none``."""
         if override is None:
             return self
+        explicit = override.explicit_fields
         changes = {spec.name: getattr(override, spec.name)
-                   for spec in fields(override)
-                   if getattr(override, spec.name) != spec.default}
+                   for spec in fields(override) if spec.name in explicit}
         return replace(self, **changes) if changes else self
 
 

@@ -27,7 +27,10 @@ copied; inserts that land mid-snapshot are simply after the cut,
 exactly the point-in-time semantics the name promises.
 
 Restore is all-or-nothing: conflicts and manifest damage are detected
-*before* any file lands, and a failed restore installs no tables
+*before* any file lands, a storage error mid-copy unwinds every file
+landed so far (descriptors are written last per table and deleted
+first, so no torn table is ever visible to a later startup), and a
+failed restore installs no tables
 (:class:`~repro.core.errors.SnapshotError`).
 """
 
@@ -226,14 +229,41 @@ def restore_into(db, src) -> Dict[str, Any]:
             f"tables already exist: {', '.join(conflicts)}")
     db._check_writable()
     copied = 0
-    for name in names:
-        prefix = f"tables/{name}/"
-        files = src_storage.list(prefix)
-        if not any(f.endswith("descriptor.json") for f in files):
-            raise SnapshotError(f"snapshot missing descriptor for {name!r}")
-        for filename in files:
-            db.disk.write_file(filename, src_storage.read_all(filename))
-            copied += 1
+    landed: List[str] = []
+    try:
+        for name in names:
+            prefix = f"tables/{name}/"
+            files = src_storage.list(prefix)
+            if not any(f.endswith("descriptor.json") for f in files):
+                raise SnapshotError(
+                    f"snapshot missing descriptor for {name!r}")
+            # Data files land first, the descriptor last: a table only
+            # becomes real to a future startup once its descriptor
+            # exists, so an interruption mid-table leaves nothing but
+            # orphans the scrub reclaims.
+            for filename in sorted(
+                    files, key=lambda f: f.endswith("descriptor.json")):
+                db.disk.write_file(filename, src_storage.read_all(filename))
+                landed.append(filename)
+                copied += 1
+    except Exception as exc:
+        # All-or-nothing: unwind every file landed so far, descriptors
+        # first (they were landed last), so no partially restored
+        # table - or completed earlier table - survives to be opened
+        # as real on the next startup.  A simulated CrashPoint
+        # (BaseException) bypasses this on purpose: nothing runs after
+        # a crash, and descriptor-last ordering already keeps the
+        # in-flight table invisible.
+        for filename in reversed(landed):
+            try:
+                if db.disk.exists(filename):
+                    db.disk.delete(filename)
+            except StorageError:
+                pass
+        if isinstance(exc, SnapshotError):
+            raise
+        raise SnapshotError(
+            f"restore aborted, no tables installed: {exc}") from exc
     # Open the freshly landed tables exactly as a normal startup would.
     from .table import Table
 

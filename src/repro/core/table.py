@@ -203,6 +203,11 @@ class Table:
         self._flush_cond = threading.Condition(self.lock)
         self._backpressure_limit: Optional[int] = None
         self._backpressure_wait_s = 5.0
+        # WAL-tier schema changes close this gate while they flush and
+        # swap: an insert admitted in that window would log a WAL
+        # record at the old schema version that replay cannot decode.
+        # ``none``-tier tables never set it (paper semantics intact).
+        self._ddl_gate = False
         self.counters = TableCounters()
         # Observability: a database passes its shared registry/tracer;
         # a standalone table gets a private registry so the counters
@@ -557,6 +562,10 @@ class Table:
         commit_lsn: Optional[int] = None
         error: Optional[DuplicateKeyError] = None
         with self.lock:
+            while self._ddl_gate:
+                # A WAL-tier schema change is flushing + swapping; wait
+                # so this batch logs at the post-swap schema version.
+                self._flush_cond.wait(0.1)
             self._wait_for_flush_capacity_locked()
             now = self.clock.now()
             codec = self._codec
@@ -2065,31 +2074,51 @@ class Table:
         # through the maintenance lock and swaps state briefly.
         with self._maintenance_lock:
             # WAL tier: seal current-schema rows into tablets first so
-            # the log never mixes schema versions - replay decodes
-            # every surviving record at the (single) current version.
-            if self.wal is not None:
-                self.flush_all()
-            with self.lock:
-                # Retire filling memtables so new inserts use the new
-                # schema; flushed tablets keep their old schema and
-                # translate on read.
-                for memtable in list(self._filling.values()):
-                    if memtable.empty:
-                        bin_key = (memtable.period.start,
-                                   int(memtable.period.level))
-                        del self._filling[bin_key]
-                        del self._unflushed[memtable.memtable_id]
-                    else:
-                        self._retire_memtable(memtable)
-                self.descriptor.schema = schema
-                self._row_codec = RowCodec(schema)
-                self._codec = SchemaCodec(schema, self.metrics)
-                self.descriptor.save(self.disk)
-                # Cached blocks hold rows decoded at each tablet's own
-                # schema (translated downstream), but a schema change
-                # is rare enough to drop the table's read-cache entries
-                # wholesale and orphan every cached latest() answer.
-                with self._reader_lock:
-                    uids = list(self._tablet_uids.values())
-                self._bump_cache_generation()
-            self._read_cache.invalidate_tablets(uids)
+            # every WAL record whose rows are not yet tablet-covered
+            # carries the (single) current schema version - replay
+            # skips version-mismatched records, so any row allowed to
+            # log at the old version between the flush and the swap
+            # would be lost by a crash.  The gate closes that window:
+            # inserts admitted before it block until the swap lands,
+            # and rows logged before the gate closed are drained by
+            # flush_all (their old-version records are then fully
+            # tablet-covered, so replay's skip is harmless).
+            gated = self.wal is not None
+            if gated:
+                with self.lock:
+                    self._ddl_gate = True
+            try:
+                if gated:
+                    self.flush_all()
+                self._apply_schema_swap(schema)
+            finally:
+                if gated:
+                    with self.lock:
+                        self._ddl_gate = False
+                        self._flush_cond.notify_all()
+
+    def _apply_schema_swap(self, schema: Schema) -> None:
+        with self.lock:
+            # Retire filling memtables so new inserts use the new
+            # schema; flushed tablets keep their old schema and
+            # translate on read.
+            for memtable in list(self._filling.values()):
+                if memtable.empty:
+                    bin_key = (memtable.period.start,
+                               int(memtable.period.level))
+                    del self._filling[bin_key]
+                    del self._unflushed[memtable.memtable_id]
+                else:
+                    self._retire_memtable(memtable)
+            self.descriptor.schema = schema
+            self._row_codec = RowCodec(schema)
+            self._codec = SchemaCodec(schema, self.metrics)
+            self.descriptor.save(self.disk)
+            # Cached blocks hold rows decoded at each tablet's own
+            # schema (translated downstream), but a schema change
+            # is rare enough to drop the table's read-cache entries
+            # wholesale and orphan every cached latest() answer.
+            with self._reader_lock:
+                uids = list(self._tablet_uids.values())
+            self._bump_cache_generation()
+        self._read_cache.invalidate_tablets(uids)

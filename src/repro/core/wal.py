@@ -404,9 +404,17 @@ class WriteAheadLog:
         """Everything below ``low_lsn`` is sealed into tablets; recycle
         segments wholly covered by it.  Returns segments deleted.
 
-        The active segment is only recycled when no batch is buffered;
-        recycling it also rolls the sequence so the next append starts
-        a fresh file (a fully-flushed table ends with zero WAL files).
+        The active segment is only recycled while nothing can still
+        land in it: no batch buffered *and* no group-commit leader in
+        flight.  The leader drains the buffer before its off-lock
+        append, so an empty buffer alone proves nothing - recycling on
+        that evidence would delete a file whose freshly appended,
+        not-yet-tablet-covered records the leader is about to
+        acknowledge.  With the leader excluded, ``max_lsn`` is
+        post-append and the coverage check is exact.  Recycling the
+        active segment also rolls the sequence so the next append
+        starts a fresh file (a fully-flushed table ends with zero WAL
+        files).
         """
         with self._cond:
             if low_lsn <= self._low_water:
@@ -417,13 +425,15 @@ class WriteAheadLog:
             for segment in self._segments:
                 covered = (segment.max_lsn is not None
                            and segment.max_lsn < low_lsn)
-                if covered and (segment.seq != self._seq
-                                or not self._buffer):
-                    if segment.seq == self._seq:
-                        self._seq += 1
-                    drop.append(segment)
-                else:
+                if not covered:
                     keep.append(segment)
+                    continue
+                if segment.seq == self._seq:
+                    if self._buffer or self._leader_active:
+                        keep.append(segment)
+                        continue
+                    self._seq += 1
+                drop.append(segment)
             self._segments = keep
         for segment in drop:
             self.disk.fire("wal.before_recycle")

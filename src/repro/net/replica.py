@@ -15,8 +15,10 @@ Convergence per table, each poll:
 1. If the primary's tablet set changed - or records the follower
    still needs were recycled (``applied < low_water - 1``) - the
    follower *resyncs*: it fetches missing tablet files, installs the
-   primary's descriptor (without a durability policy: replication is
-   this copy's durability), swaps in a fresh table object, and
+   primary's descriptor (the primary's table-level durability fields
+   are persisted in it, but the live follower table runs WAL-less:
+   replication is this copy's durability while it follows), swaps in
+   a fresh table object, and
    fast-forwards its applied LSN to the log's low-water mark.  Stale
    local tablet files are left for the next startup scrub; in-flight
    local reads keep their COW snapshot.
@@ -30,9 +32,12 @@ restored or replaced) - raises
 loop; re-seed the standby from a fresh snapshot.
 
 ``promote()`` turns the standby into a primary: the sync loop stops,
-read-only mode clears, and the local engine - whose on-disk state is
-always a valid LittleTable directory (``ltdb fsck`` passes) - starts
-taking writes.
+read-only mode clears, every replicated table is re-opened with the
+durability policy carried over from the old primary (streamed rows
+are flushed first, so the fresh WAL's LSN space starts clean), and
+the local engine - whose on-disk state is always a valid LittleTable
+directory (``ltdb fsck`` passes) - starts taking writes with the same
+protection the old primary acknowledged them under.
 """
 
 from __future__ import annotations
@@ -43,6 +48,7 @@ import time
 from typing import Any, Dict, Optional
 
 from ..core.descriptor import TableDescriptor
+from ..core.durability import DurabilityPolicy
 from ..core.errors import LittleTableError, ReplicaDivergedError
 from ..core.schema import Schema
 from ..core.table import Table
@@ -99,11 +105,45 @@ class Follower:
 
     def promote(self):
         """Turn this standby into a primary: stop following, exit
-        read-only, start taking writes.  Returns the local engine."""
+        read-only, re-arm durability, start taking writes.  Returns
+        the local engine."""
         self.stop()
         self.db.exit_read_only()
         self.db.replication = None
+        self._rearm_durability()
         return self.db
+
+    def _rearm_durability(self) -> None:
+        """Re-open followed tables with their persisted durability.
+
+        While following, tables run WAL-less (replication is this
+        copy's durability), but a promoted primary must log
+        acknowledged writes again - otherwise failover silently
+        downgrades every replicated table to the ``none`` tier.
+        Streamed-but-unflushed rows are sealed into tablets first so
+        the fresh WAL starts with a clean LSN space (streamed
+        memtables carry the *old primary's* LSNs, which mean nothing
+        to the new log)."""
+        db = self.db
+        for name in sorted(db._tables):
+            descriptor = TableDescriptor.load(db.disk, name)
+            effective = db.durability.merged_with(
+                DurabilityPolicy.from_dict(descriptor.durability))
+            if not effective.wal_enabled:
+                continue
+            db._tables[name].flush_all()
+            descriptor = TableDescriptor.load(db.disk, name)
+            table = Table(db.disk, descriptor, db.config, db.clock,
+                          cold_disk=db.cold_disk, metrics=db.metrics,
+                          tracer=db.tracer, read_cache=db.read_cache,
+                          durability=effective)
+            table._fault_listener = db._note_storage_failure
+            if table.wal is not None:
+                # Primes LSN/segment bookkeeping past any segment
+                # files that survived on this side; replayed rows
+                # dedup against the tablets just flushed.
+                table.replay_wal()
+            db._tables[name] = table
 
     def __enter__(self) -> "Follower":
         return self.start()
@@ -199,6 +239,11 @@ class Follower:
             ttl_micros=info.get("ttl_micros"),
             tablets=[TabletMeta.from_dict(m) for m in info["tablets"]],
             next_tablet_id=int(info.get("next_tablet_id", 1)),
+            # The primary's table-level durability fields persist here
+            # so promote() re-arms the same protection; the live
+            # follower table still runs WAL-less (streaming is its
+            # durability while it follows).
+            durability=info.get("durability") or None,
         )
         descriptor.save(self.db.disk)
         table = Table(self.db.disk, descriptor, self.db.config,

@@ -483,6 +483,14 @@ class RequestDispatcher:
                 metas = [meta.to_dict() for meta in
                          table.descriptor.tablets if meta.tier == "hot"]
                 next_tablet_id = table.descriptor.next_tablet_id
+            # Table-level durability fields travel with the manifest so
+            # a promoted standby re-arms the same protection the
+            # primary acknowledged writes under (engine-level fields
+            # like follow_addr stay out - they describe this server).
+            durability = {key: value
+                          for key, value in table.durability.to_dict().items()
+                          if key in ("tier", "group_commit_ms",
+                                     "wal_segment_bytes")}
             tables[name] = {
                 "schema": table.schema.to_dict(),
                 "ttl_micros": table.ttl_micros,
@@ -490,6 +498,7 @@ class RequestDispatcher:
                 "next_tablet_id": next_tablet_id,
                 "durable_lsn": table.wal.durable_lsn,
                 "low_water": table.wal.low_water,
+                "durability": durability,
             }
         return protocol.ok_response(tables=tables)
 

@@ -134,6 +134,44 @@ class TestErrors:
         with pytest.raises(SnapshotError):
             db.restore(MemoryStorage())
 
+    def test_failed_restore_unwinds_landed_files(self):
+        """A storage error mid-copy must install nothing: files landed
+        before the failure are deleted, so the next startup opens no
+        half-restored tables."""
+        from repro.disk.storage import StorageError
+
+        db, clock = build_db()
+        db.table("t").insert([row_for(1, i) for i in range(100)])
+        db.table("t").flush_all()
+        db.table("t").insert([row_for(2, i) for i in range(50)])
+        dest = MemoryStorage()
+        db.snapshot(dest)
+        assert len(dest.list("tables/t/")) >= 3
+        target = LittleTable(disk=SimulatedDisk(), clock=clock,
+                             config=small_config())
+        real_write = target.disk.write_file
+        calls = {"n": 0}
+
+        def flaky_write(filename, data):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise StorageError("synthetic mid-copy failure")
+            return real_write(filename, data)
+
+        target.disk.write_file = flaky_write
+        with pytest.raises(SnapshotError):
+            target.restore(dest)
+        target.disk.write_file = real_write
+        assert not target.has_table("t")
+        assert target.disk.storage.list("tables/") == []
+        # A fresh open over the same disk sees no trace either.
+        reopened = LittleTable(disk=target.disk, clock=clock,
+                               config=small_config())
+        assert reopened.table_names() == []
+        # And the restore works once the fault clears.
+        target.restore(dest)
+        assert len(target.query("t", Query()).rows) == 150
+
     def test_corrupt_manifest_rejected(self):
         db, clock = build_db()
         db.table("t").insert([row_for(1, 0)])

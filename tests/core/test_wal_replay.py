@@ -159,6 +159,25 @@ class TestNoneTierParity:
         assert db.table("t").wal is None
         assert db.wal_status()["tables"]["t"] == {"tier": "none"}
 
+    def test_explicit_none_table_overrides_wal_default(self):
+        """create_table(durability=tier 'none') on a wal-default
+        database opts that table out - no WAL files, and the opt-out
+        persists across a reopen."""
+        disk = SimulatedDisk()
+        clock = VirtualClock(start=BASE)
+        db = LittleTable(disk=disk, clock=clock, config=crash_config(),
+                         durability=WAL_POLICY)
+        table = db.create_table("t", usage_schema(),
+                                durability=DurabilityPolicy(tier="none"))
+        assert table.wal is None
+        table.insert([row_for(i) for i in range(50)])
+        assert wal_files(disk) == []
+        reopened = LittleTable(disk=disk, clock=clock,
+                               config=crash_config(),
+                               durability=WAL_POLICY)
+        assert reopened.table("t").durability.tier == "none"
+        assert reopened.table("t").wal is None
+
     def test_crash_keeps_prefix_semantics(self):
         """tier=none after a crash: a prefix survives (possibly
         losing a suffix), exactly the paper's §3 guarantee."""
@@ -252,6 +271,85 @@ class TestWalLifecycle:
         db.drop_table("t")
         assert wal_files(disk) == []
 
+    def test_active_segment_survives_leader_in_flight(self):
+        """Recycling must not delete the active segment while a
+        group-commit leader's append is in flight: the leader drains
+        the buffer before its off-lock write, so an empty buffer alone
+        is not proof the segment has stopped growing."""
+        from repro.core.wal import WriteAheadLog
+
+        wal = WriteAheadLog(SimulatedDisk(), "t",
+                            DurabilityPolicy(tier="wal"))
+        wal.log_batch([b"row-1"], schema_version=1)
+        wal.commit(1)
+        active = wal.status()["segments"][0]["filename"]
+        assert wal.disk.exists(active)
+        # Freeze the moment inside commit(): the leader has taken the
+        # buffered lsn=2 batch and is appending off-lock.
+        wal.log_batch([b"row-2"], schema_version=1)
+        with wal._lock:
+            pending = wal._buffer
+            wal._buffer = []
+            wal._buffer_bytes = 0
+            wal._leader_active = True
+        # lsn=1 is tablet-covered; the old guard saw an empty buffer
+        # and recycled the active segment out from under the leader.
+        assert wal.advance_low_water(2) == 0
+        assert wal.disk.exists(active)
+        # Leader lands; once the append is truly finished both the
+        # old and the current records recycle normally.
+        with wal._lock:
+            wal._buffer = pending
+            wal._buffer_bytes = sum(len(f) for _l, f in pending)
+            wal._leader_active = False
+        wal.commit(2)
+        assert wal.advance_low_water(3) >= 1
+        assert not wal.disk.exists(active)
+
+    def test_schema_change_racing_inserts_loses_nothing(self):
+        """Inserts racing a WAL-tier DDL must not strand acknowledged
+        rows in old-schema-version log records: the DDL gate holds
+        them until the swap lands, so replay decodes everything."""
+        import threading
+
+        from repro.core import Column, ColumnType
+
+        db, disk, clock = self.build()
+        table = db.table("t")
+        acked = []
+        errors = []
+        started = threading.Event()
+
+        def writer():
+            for index in range(400):
+                if index == 5:
+                    started.set()
+                try:
+                    table.insert([row_for(index)])
+                except Exception as exc:  # arity race: retry resolves
+                    try:
+                        table.insert([row_for(index)])
+                    except Exception:
+                        errors.append(exc)
+                        continue
+                acked.append(BASE + index)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        started.wait(5)
+        db.table("t").append_column(
+            Column("extra", ColumnType.INT64, 0))
+        thread.join(30)
+        assert not thread.is_alive()
+        assert not errors
+        # Abandon without close (kill -9 equivalent) and replay.
+        recovered = LittleTable(disk=disk, clock=clock,
+                                config=crash_config(),
+                                durability=WAL_POLICY)
+        got_ts = {row[2] for row in recovered.query("t", Query()).rows}
+        missing = [ts for ts in acked if ts not in got_ts]
+        assert not missing, f"lost {len(missing)} acknowledged rows"
+
 
 class TestLegacyKnobFolding:
     """The PR 6-style consolidation: loose durability-adjacent kwargs
@@ -280,3 +378,20 @@ class TestLegacyKnobFolding:
             {"tier": "replicated", "unknown_future_field": 1}))
         assert merged.tier == "replicated"
         assert merged.group_commit_ms == 5.0
+
+    def test_explicit_default_value_still_overrides(self):
+        """An override explicitly set to a field's default value must
+        win the merge - 'unset' and 'set to the default' are different
+        intents - and must survive a to_dict round trip."""
+        base = DurabilityPolicy(tier="wal", group_commit_ms=5.0)
+        assert base.merged_with(DurabilityPolicy(tier="none")).tier == "none"
+        assert DurabilityPolicy(tier="none").to_dict() == {"tier": "none"}
+        assert base.merged_with(
+            DurabilityPolicy.from_dict({"tier": "none"})).tier == "none"
+        # Unset fields still inherit, and an untouched policy still
+        # serializes to nothing.
+        assert base.merged_with(DurabilityPolicy()).tier == "wal"
+        assert DurabilityPolicy().explicit_fields == frozenset()
+        # Reading a field always sees the resolved default.
+        assert DurabilityPolicy().tier == "none"
+        assert DurabilityPolicy().group_commit_ms == 2.0

@@ -197,6 +197,30 @@ class TestPromotion:
         assert len(reopened.query("t", Query()).rows) == 31
         reopened.close()
 
+    def test_promote_rearms_wal_protection(self, primary):
+        """Failover must not silently downgrade durability: the
+        primary's table-level policy rides the manifest, and promote()
+        re-arms the WAL so the new primary's acknowledged writes
+        survive a crash and it can serve replication itself."""
+        db, server = primary
+        db.insert("t", [row_for(i) for i in range(10)])
+        follower = make_follower(server)
+        follower.sync_once()
+        promoted = follower.promote()
+        table = promoted.table("t")
+        assert table.durability.tier == "replicated"
+        assert table.wal is not None
+        promoted.insert("t", [row_for(50)])
+        # Abandon without close (kill -9 on the new primary): the
+        # acknowledged write must come back from the WAL.
+        disk = promoted.disk
+        reopened = LittleTable(disk=disk)
+        rows = reopened.query("t", Query()).rows
+        assert {row[2] for row in rows} == (
+            {index + 1 for index in range(10)} | {51})
+        assert reopened.table("t").durability.tier == "replicated"
+        reopened.close()
+
 
 class TestServeFollowCli:
     def test_serve_follow_round_trip(self, primary):
