@@ -1,0 +1,228 @@
+"""Soak stability: flat p99 under sustained ingest + dashboard load.
+
+The robustness tentpole's headline claim: with the IO rate limiter
+and the SLO controller driving maintenance, the insert/query p99 stays
+flat while background merges churn - instead of spiking every time an
+unthrottled merge hogs the interpreter.  Both configurations run in
+the same process, same workload, same wall-clock budget:
+
+* **baseline** - scheduler on, but no IO rate limit and no SLO
+  (merges run flat-out, the pre-PR behaviour);
+* **scheduled** - ``io_rate_limit_bytes_s`` set and
+  ``MaintenancePolicy(slo_p99_ms=...)`` armed.
+
+Each phase ingests continuously (batched inserts, advancing virtual
+timestamps so tablets retire and merge) while a second thread runs
+dashboard-style latest/range queries.  Latencies are bucketed into
+wall-clock windows; the *spike amplitude* is the worst windowed p99
+over the median windowed p99.  Gates (the PR acceptance criteria):
+
+* scheduled amplitude <= 3.0x;
+* scheduled steady-state ingest throughput >= 90% of baseline.
+
+``LT_SOAK_SECONDS`` scales the whole run (per-phase duration is half;
+default 8 s keeps the local suite quick, CI's soak job runs 60 s for
+a sustained million-row ingest).  Results land in
+``BENCH_soak_p99.json`` at the repo root, written before the gates
+assert so a regression still leaves the series behind for charting.
+"""
+
+import json
+import os
+import pathlib
+import threading
+import time
+
+from repro.core import (
+    Column,
+    ColumnType,
+    EngineConfig,
+    KeyRange,
+    LittleTable,
+    MaintenancePolicy,
+    MaintenanceScheduler,
+    Query,
+    Schema,
+)
+from repro.disk import SimulatedDisk
+from repro.util.clock import MICROS_PER_DAY, VirtualClock
+
+BASE = 10_000 * MICROS_PER_DAY
+SOAK_SECONDS = float(os.environ.get("LT_SOAK_SECONDS", "8"))
+WINDOW_S = 0.5
+BATCH = 200
+DEVICES = 64
+MAX_AMPLITUDE = 3.0     # worst windowed p99 / median windowed p99
+MIN_THROUGHPUT = 0.9    # scheduled rows/s vs baseline rows/s
+
+
+def usage_schema() -> Schema:
+    return Schema(
+        [
+            Column("network", ColumnType.INT64),
+            Column("device", ColumnType.INT64),
+            Column("ts", ColumnType.TIMESTAMP),
+            Column("bytes", ColumnType.INT64),
+            Column("rate", ColumnType.DOUBLE),
+        ],
+        key=["network", "device", "ts"],
+    )
+
+
+def percentile(values, fraction):
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(fraction * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def windowed_p99(samples, window_s=WINDOW_S):
+    """[(wall_s, latency_s)] -> per-window p99 series (seconds)."""
+    if not samples:
+        return []
+    start = samples[0][0]
+    windows = {}
+    for at, latency in samples:
+        windows.setdefault(int((at - start) / window_s), []).append(latency)
+    return [percentile(windows[key], 0.99) for key in sorted(windows)]
+
+
+def amplitude(series):
+    """Worst window over the steady state (median window)."""
+    # Drop the first and last windows: startup fill and the partial
+    # tail window are not steady state.
+    core = series[1:-1] if len(series) > 3 else series
+    if not core:
+        return 1.0
+    steady = percentile(core, 0.5)
+    return max(core) / steady if steady > 0 else 1.0
+
+
+def run_phase(name, seconds, io_rate=None, slo_ms=None):
+    """One soak phase: ingest + dashboard threads, latency samples."""
+    clock = VirtualClock(start=BASE)
+    config = EngineConfig(
+        flush_size_bytes=96 * 1024,
+        max_merged_tablet_bytes=8 * 1024 * 1024,
+        merge_min_age_micros=0,
+        merge_rollover_delay_fraction=0.0,
+        io_rate_limit_bytes_s=io_rate,
+    )
+    policy = MaintenancePolicy(
+        tick_interval_s=0.05, workers=1, merge_budget_per_tick=4,
+        slo_p99_ms=slo_ms)
+    db = LittleTable(disk=SimulatedDisk(), config=config, clock=clock)
+    db.create_table("usage", usage_schema())
+    table = db.table("usage")
+    scheduler = MaintenanceScheduler(db, policy)
+    scheduler.start()
+    stop = threading.Event()
+    inserts = []   # (wall_s, latency_s)
+    queries = []
+    rows_done = [0]
+
+    def ingest():
+        sequence = 0
+        while not stop.is_set():
+            batch = [
+                {"network": 1, "device": (sequence + i) % DEVICES,
+                 "ts": BASE + (sequence + i) * 1_000,
+                 "bytes": i, "rate": 0.5}
+                for i in range(BATCH)
+            ]
+            sequence += BATCH
+            began = time.perf_counter()
+            table.insert(batch)
+            now = time.perf_counter()
+            inserts.append((now, now - began))
+            rows_done[0] += BATCH
+            # Advance virtual time so memtables retire and tablets
+            # become merge-eligible: sustained churn, not one burst.
+            clock.advance_seconds(2)
+
+    def dashboard():
+        probe = 0
+        while not stop.is_set():
+            probe = (probe + 7) % DEVICES
+            began = time.perf_counter()
+            table.latest((1, probe))
+            table.query(Query(
+                KeyRange(min_prefix=(1, probe), max_prefix=(1, probe)),
+                limit=256))
+            now = time.perf_counter()
+            queries.append((now, now - began))
+            time.sleep(0.002)
+
+    threads = [threading.Thread(target=ingest, daemon=True),
+               threading.Thread(target=dashboard, daemon=True)]
+    began = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    time.sleep(seconds)
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=10)
+    elapsed = time.perf_counter() - began
+    scheduler.stop()
+    merges = int(db.metrics.snapshot()["counters"].get("merge.count", 0))
+    db.close()
+    insert_series = windowed_p99(inserts)
+    query_series = windowed_p99(queries)
+    return {
+        "phase": name,
+        "seconds": round(elapsed, 2),
+        "rows": rows_done[0],
+        "rows_per_s": round(rows_done[0] / elapsed, 1),
+        "merges": merges,
+        "insert_p99_windows_us": [round(v * 1e6, 1)
+                                  for v in insert_series],
+        "query_p99_windows_us": [round(v * 1e6, 1)
+                                 for v in query_series],
+        "insert_amplitude": round(amplitude(insert_series), 3),
+        "query_amplitude": round(amplitude(query_series), 3),
+    }
+
+
+def test_soak_p99_stays_flat_under_scheduling():
+    per_phase = max(SOAK_SECONDS / 2, 2.0)
+    baseline = run_phase("baseline", per_phase)
+    scheduled = run_phase("scheduled", per_phase,
+                          io_rate=24 * 1024 * 1024, slo_ms=20.0)
+
+    worst = max(scheduled["insert_amplitude"],
+                scheduled["query_amplitude"])
+    report = {
+        "benchmark": "soak_stability",
+        "unit": "p99_microseconds_per_window",
+        "window_s": WINDOW_S,
+        "soak_seconds": SOAK_SECONDS,
+        "gate_amplitude": MAX_AMPLITUDE,
+        "gate_throughput_fraction": MIN_THROUGHPUT,
+        "baseline": baseline,
+        "scheduled": scheduled,
+        "scheduled_worst_amplitude": worst,
+        "throughput_fraction": round(
+            scheduled["rows_per_s"] / baseline["rows_per_s"], 3),
+    }
+    out = pathlib.Path(__file__).resolve().parent.parent / \
+        "BENCH_soak_p99.json"
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    print(f"\nbaseline: {baseline['rows_per_s']:,.0f} rows/s, "
+          f"insert amp {baseline['insert_amplitude']:.2f}x, "
+          f"query amp {baseline['query_amplitude']:.2f}x "
+          f"({baseline['merges']} merges)")
+    print(f"scheduled: {scheduled['rows_per_s']:,.0f} rows/s, "
+          f"insert amp {scheduled['insert_amplitude']:.2f}x, "
+          f"query amp {scheduled['query_amplitude']:.2f}x "
+          f"({scheduled['merges']} merges)  "
+          f"[gates: amp <= {MAX_AMPLITUDE}x, "
+          f"throughput >= {MIN_THROUGHPUT:.0%} of baseline]")
+
+    assert worst <= MAX_AMPLITUDE, (
+        f"scheduled p99 spike amplitude {worst:.2f}x exceeds the "
+        f"{MAX_AMPLITUDE}x gate (see BENCH_soak_p99.json)")
+    assert report["throughput_fraction"] >= MIN_THROUGHPUT, (
+        f"scheduling costs {1 - report['throughput_fraction']:.0%} of "
+        f"ingest throughput (gate {1 - MIN_THROUGHPUT:.0%})")

@@ -272,15 +272,18 @@ def stats_main(argv: list) -> int:
 
         with open_database(args.data) as db:
             page = metrics_page(db)
-    from .dashboard.metrics_view import (cache_summary, codec_summary,
-                                         fault_summary, maintenance_summary,
-                                         pushdown_summary)
+    from .dashboard.metrics_view import (admission_summary, cache_summary,
+                                         codec_summary, fault_summary,
+                                         maintenance_summary,
+                                         pushdown_summary, sched_summary)
 
     page["cache"] = cache_summary(page.get("metrics", {}))
     page["codec"] = codec_summary(page.get("metrics", {}))
     page["maintenance"] = maintenance_summary(page.get("metrics", {}))
     page["fault"] = fault_summary(page.get("metrics", {}))
     page["query"] = pushdown_summary(page.get("metrics", {}))
+    page["sched"] = sched_summary(page.get("metrics", {}))
+    page["admission"] = admission_summary(page.get("metrics", {}))
     if args.json:
         import json as _json
 

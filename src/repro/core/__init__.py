@@ -19,6 +19,7 @@ from .errors import (
     DuplicateKeyError,
     LittleTableError,
     NoSuchTableError,
+    OverloadedError,
     ProtocolViolationError,
     QueryError,
     ReadOnlyModeError,
@@ -30,6 +31,7 @@ from .errors import (
     TableExistsError,
     ValidationError,
 )
+from .iosched import IORateLimiter, SLOController
 from .maintenance import (MaintenancePolicy, MaintenanceReport,
                           TableMaintenanceReport)
 from .merge import MergePlan, choose_merge, pending_merge_runs
@@ -59,6 +61,8 @@ __all__ = [
     "MaintenanceReport",
     "MaintenanceScheduler",
     "TableMaintenanceReport",
+    "IORateLimiter",
+    "SLOController",
     "pending_merge_runs",
     "EngineConfig",
     "LittleTable",
@@ -79,6 +83,7 @@ __all__ = [
     "SnapshotError",
     "LittleTableError",
     "NoSuchTableError",
+    "OverloadedError",
     "ProtocolViolationError",
     "QueryError",
     "SchemaError",

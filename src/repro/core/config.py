@@ -16,6 +16,7 @@ Defaults mirror the values the paper states explicitly:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..util.clock import MICROS_PER_MINUTE, micros_from_seconds
 
@@ -92,6 +93,14 @@ class EngineConfig:
     # amplification); "never" disables merging (the §3.4.1 seek storm).
     time_partitioning: bool = True
     merge_policy: str = "adjacent-half"
+    # Background-write IO budget (bytes/second) shared by every flush
+    # and merge writer of the database: a token bucket paces tablet
+    # block writes so a due merge dribbles its rewrite out instead of
+    # monopolising the disk and spiking insert/query p99.  None
+    # disables pacing.  When a latency SLO is set on the maintenance
+    # policy (``slo_p99_ms``) the scheduler's controller modulates the
+    # effective rate between 10% and 100% of this value.
+    io_rate_limit_bytes_s: Optional[int] = None
 
     def validate(self) -> None:
         """Raise ValueError on nonsensical settings."""
@@ -114,6 +123,10 @@ class EngineConfig:
         if self.block_format_version not in (1, 2):
             raise ValueError(
                 f"unknown block format version {self.block_format_version!r}")
+        if (self.io_rate_limit_bytes_s is not None
+                and self.io_rate_limit_bytes_s <= 0):
+            raise ValueError(
+                "io_rate_limit_bytes_s must be positive (or None to disable)")
 
 
 DEFAULT_CONFIG = EngineConfig()

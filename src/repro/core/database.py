@@ -24,6 +24,7 @@ from .config import DEFAULT_CONFIG, EngineConfig
 from .descriptor import TableDescriptor
 from .durability import DurabilityPolicy
 from .errors import NoSuchTableError, ReadOnlyModeError, TableExistsError
+from .iosched import IORateLimiter
 from .maintenance import MaintenancePolicy, MaintenanceReport
 from .readcache import ReadCache
 from .recovery import ScrubReport, startup_scrub
@@ -125,6 +126,14 @@ class LittleTable:
             maintenance_policy if maintenance_policy is not None
             else MaintenancePolicy())
         self.maintenance_policy.validate()
+        # One token bucket pacing background writes (flush + merge)
+        # across all tables: a merge on one table competes with every
+        # other table's IO exactly as they share the real disk.  The
+        # SLO controller (when armed) modulates the rate live.
+        self.io_limiter = None
+        if self.config.io_rate_limit_bytes_s is not None:
+            self.io_limiter = IORateLimiter(
+                self.config.io_rate_limit_bytes_s, metrics=self.metrics)
         self._scheduler = None
         self._tables: Dict[str, Table] = {}
         # Read-only degradation state (ISSUE: "the server degrades to
@@ -184,6 +193,7 @@ class LittleTable:
                           read_cache=self.read_cache,
                           durability=effective)
             table._fault_listener = self._note_storage_failure
+            table.io_limiter = self.io_limiter
             if table.wal is not None:
                 table.replay_wal()
             self._tables[name] = table
@@ -236,6 +246,7 @@ class LittleTable:
                       tracer=self.tracer, read_cache=self.read_cache,
                       durability=effective)
         table._fault_listener = self._note_storage_failure
+        table.io_limiter = self.io_limiter
         self._tables[name] = table
         return table
 

@@ -84,6 +84,28 @@ class ReplicaDivergedError(LittleTableError):
     The follower stops applying; re-seed it from a fresh snapshot."""
 
 
+class OverloadedError(LittleTableError):
+    """The server shed this request *before executing it* - admission
+    control found the in-flight cap saturated, the request overran its
+    queue-time deadline, or a shard is in overload cooldown.
+
+    Always retryable regardless of idempotence: a shed request was
+    never started, so nothing - not even partially - was applied.
+    :attr:`retry_after_s` carries the server's hint for how long to
+    back off before retrying (also sent on the wire as
+    ``retry_after``)."""
+
+    #: Suggested client backoff in seconds, or None when the server
+    #: offered no hint.
+    retry_after_s = None
+
+    def __init__(self, message: str = "server overloaded",
+                 retry_after_s=None):
+        super().__init__(message)
+        if retry_after_s is not None:
+            self.retry_after_s = retry_after_s
+
+
 class ShardDegradedError(LittleTableError):
     """The shard worker owning the requested keys has crashed or hit
     unrecoverable storage errors.  The router stays up: keys on other

@@ -64,6 +64,18 @@ class MaintenancePolicy:
         Whether the scheduler reclaims TTL-expired tablets (on by
         default; benchmarks that measure merge behaviour in isolation
         turn it off).
+    ``slo_p99_ms``
+        Target p99 latency (milliseconds) for inserts and queries.
+        When set, the scheduler runs an adaptive controller
+        (:class:`~repro.core.iosched.SLOController`) that tunes the
+        merge IO rate and the effective flush-pending limit against
+        this target instead of treating ``max_flush_pending`` as a
+        fixed depth - ``max_flush_pending`` then acts as the relaxed
+        (healthy-system) ceiling.  ``None`` keeps the fixed-depth
+        behaviour.
+    ``slo_recover_fraction``
+        Hysteresis band: the controller only relaxes its throttle
+        once the observed p99 drops below this fraction of the SLO.
     """
 
     tick_interval_s: float = 1.0
@@ -72,6 +84,8 @@ class MaintenancePolicy:
     backpressure_wait_s: float = 5.0
     merge_budget_per_tick: int = 1
     expire_ttl: bool = True
+    slo_p99_ms: Optional[float] = None
+    slo_recover_fraction: float = 0.7
 
     def validate(self) -> None:
         """Raise ValueError on nonsensical settings."""
@@ -86,6 +100,11 @@ class MaintenancePolicy:
             raise ValueError("backpressure_wait_s must be >= 0")
         if self.merge_budget_per_tick < 0:
             raise ValueError("merge_budget_per_tick must be >= 0")
+        if self.slo_p99_ms is not None and self.slo_p99_ms <= 0:
+            raise ValueError(
+                "slo_p99_ms must be positive (or None to disable)")
+        if not 0 < self.slo_recover_fraction <= 1:
+            raise ValueError("slo_recover_fraction must be in (0, 1]")
 
     @classmethod
     def from_interval(cls, interval_s: float) -> "MaintenancePolicy":

@@ -171,3 +171,17 @@ def pending_merge_runs(tablets: List[TabletMeta], now: int,
                      if t.tablet_id not in merged_ids]
         simulated.append(product)
     return plans
+
+
+def merge_debt_bytes(tablets: List[TabletMeta], now: int,
+                     table_name: str, config: EngineConfig,
+                     limit: int = 8) -> int:
+    """Bytes the pending merge plans would rewrite (advisory).
+
+    The scheduler's ``sched.merge_debt_bytes`` gauge sums this across
+    tables: it is the backlog the IO rate limiter will eventually have
+    to pay down, and the quantity flush debt is prioritised against.
+    """
+    return sum(plan.total_bytes
+               for plan in pending_merge_runs(tablets, now, table_name,
+                                              config, limit=limit))

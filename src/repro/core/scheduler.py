@@ -8,13 +8,26 @@ the reproduction, shared by the embedded and served configurations:
 * a **ticker** wakes every ``policy.tick_interval_s``, scans the
   catalog for tables with due work (:meth:`Table.maintenance_due` is a
   cheap probe), and enqueues them;
-* a pool of ``policy.workers`` **workers** drains the queue, running
-  :meth:`Table.maintenance` per table.  A table is never enqueued
-  twice concurrently, so two workers cannot contend on one table's
-  maintenance lock; distinct tables proceed in parallel.
-* the ticker also arms each table's **insert backpressure** from the
-  policy (re-armed every tick, so tables created after ``start()``
-  pick it up too), and ``stop()`` disarms it.
+* a pool of ``policy.workers`` **workers** drains a *priority* queue,
+  running :meth:`Table.maintenance` per table.  Tables with flush debt
+  (queued or due memtables) always outrank tables that only owe
+  merges or TTL expiry: an unflushed memtable holds up the writer
+  (backpressure) and, on the WAL tier, log recycling, while merge
+  debt merely costs read amplification until it drains.  A table is
+  never enqueued twice concurrently, so two workers cannot contend on
+  one table's maintenance lock; distinct tables proceed in parallel.
+* the ticker also arms each table's **insert backpressure** (re-armed
+  every tick, so tables created after ``start()`` pick it up too),
+  and ``stop()`` disarms it.
+
+When the policy sets a latency SLO (``slo_p99_ms``) the ticker runs an
+:class:`~repro.core.iosched.SLOController` step each pass: the
+controller watches the insert/query p99 histograms and adapts the
+merge IO rate (through the database's shared
+:class:`~repro.core.iosched.IORateLimiter`), the effective
+flush-pending limit, and the per-tick merge budget - replacing the
+fixed ``max_flush_pending`` depth with a closed loop around tail
+latency.
 
 Crash isolation is per table per tick: a failing flush on one table is
 recorded on that table's report (and the ``maintenance.errors``
@@ -23,20 +36,31 @@ never dies to an exception.
 
 Observability: ``maintenance.queue_depth`` (gauge),
 ``maintenance.ticks``, ``maintenance.table_runs``,
-``maintenance.tick_duration_us``, plus everything the tables record.
+``maintenance.tick_duration_us``, ``sched.flush_priority_runs`` /
+``sched.merge_priority_runs``, ``sched.merge_debt_bytes``, the
+controller's ``sched.*`` gauges, plus everything the tables record.
 """
 
 from __future__ import annotations
 
+import itertools
 import queue
 import threading
 import time
 from typing import Optional, Set
 
 from .errors import NoSuchTableError
+from .iosched import SLOController
 from .maintenance import MaintenancePolicy, MaintenanceReport
+from .merge import merge_debt_bytes
 
-#: Worker-queue sentinel: one per worker tells it to exit.
+#: Queue priorities: flush debt always outranks merge/TTL backlog, and
+#: the stop sentinel sorts after all real work.
+_PRIORITY_FLUSH = 0
+_PRIORITY_MERGE = 1
+_PRIORITY_STOP = 1 << 30
+
+#: Worker-queue entry payload telling a worker to exit.
 _STOP = None
 
 
@@ -64,7 +88,8 @@ class MaintenanceScheduler:
         self.db = db
         self.policy = policy
         self.metrics = metrics if metrics is not None else db.metrics
-        self._queue: "queue.Queue" = queue.Queue()
+        self._queue: "queue.PriorityQueue" = queue.PriorityQueue()
+        self._seq = itertools.count()
         # Tables currently queued or being worked, so one table never
         # occupies two workers (its maintenance lock would serialize
         # them anyway; this keeps the second worker useful).
@@ -75,11 +100,17 @@ class MaintenanceScheduler:
         self._workers: list = []
         self._report_lock = threading.Lock()
         self._lifetime = MaintenanceReport()
+        # The SLO control loop, armed lazily on the first tick when
+        # the policy asks for one (policy edits take effect live).
+        self.controller: Optional[SLOController] = None
         self._g_depth = self.metrics.gauge("maintenance.queue_depth")
         self._m_ticks = self.metrics.counter("maintenance.ticks")
         self._m_runs = self.metrics.counter("maintenance.table_runs")
         self._m_errors = self.metrics.counter("maintenance.errors")
         self._h_tick = self.metrics.histogram("maintenance.tick_duration_us")
+        self._m_flush_runs = self.metrics.counter("sched.flush_priority_runs")
+        self._m_merge_runs = self.metrics.counter("sched.merge_priority_runs")
+        self._g_merge_debt = self.metrics.gauge("sched.merge_debt_bytes")
 
     @property
     def running(self) -> bool:
@@ -103,22 +134,33 @@ class MaintenanceScheduler:
 
     def stop(self, timeout: float = 5.0) -> None:
         """Stop cleanly: finish in-flight table runs, disarm
-        backpressure, drain the queue (idempotent)."""
+        backpressure, drain the queue (idempotent).
+
+        Pending (not yet picked up) table names are drained *before*
+        the worker sentinels go in: a worker must never start a fresh
+        table run after ``stop()`` begins, only finish the one it is
+        already in.  (The old ordering drained after joining, so names
+        queued ahead of the sentinels still ran.)
+        """
         self._stop.set()
         if self._ticker is not None:
             self._ticker.join(timeout=timeout)
             self._ticker = None
+        # Drain un-started work first, so the sentinels are the next
+        # thing every worker sees.  Only drained names leave _queued;
+        # a name a worker is mid-run on stays held until its finally.
+        for _priority, _seq, name in self._drain_queue():
+            if name is not _STOP:
+                with self._set_lock:
+                    self._queued.discard(name)
         for _worker in self._workers:
-            self._queue.put(_STOP)
+            self._queue.put((_PRIORITY_STOP, next(self._seq), _STOP))
         for worker in self._workers:
             worker.join(timeout=timeout)
         self._workers = []
-        # Drain whatever the workers never picked up.
-        while True:
-            try:
-                self._queue.get_nowait()
-            except queue.Empty:
-                break
+        # A racing tick() (tests drive it directly) may have enqueued
+        # between the drain and the joins; clear the leftovers.
+        self._drain_queue()
         with self._set_lock:
             self._queued.clear()
         self._g_depth.set(0)
@@ -130,6 +172,14 @@ class MaintenanceScheduler:
             except NoSuchTableError:
                 pass
 
+    def _drain_queue(self) -> list:
+        drained = []
+        while True:
+            try:
+                drained.append(self._queue.get_nowait())
+            except queue.Empty:
+                return drained
+
     # ------------------------------------------------------------- loops
 
     def _ticker_loop(self) -> None:
@@ -139,32 +189,74 @@ class MaintenanceScheduler:
             except Exception:  # keep the loop alive, count the wound
                 self._m_errors.inc()
 
+    def _ensure_controller(self) -> Optional[SLOController]:
+        if self.policy.slo_p99_ms is None:
+            self.controller = None
+            return None
+        if (self.controller is None
+                or self.controller.slo_us != self.policy.slo_p99_ms * 1000.0):
+            limiter = getattr(self.db, "io_limiter", None)
+            config = getattr(self.db, "config", None)
+            base_rate = getattr(config, "io_rate_limit_bytes_s", None)
+            self.controller = SLOController(
+                self.metrics, self.policy.slo_p99_ms,
+                limiter=limiter, base_rate_bytes_s=base_rate,
+                max_flush_pending=self.policy.max_flush_pending,
+                recover_fraction=self.policy.slo_recover_fraction)
+        return self.controller
+
+    def _flush_pending_limit(self) -> Optional[int]:
+        if self.controller is not None:
+            return self.controller.flush_pending_limit()
+        return self.policy.max_flush_pending
+
+    def _merge_budget(self) -> int:
+        if self.controller is not None:
+            return self.controller.merge_budget(
+                self.policy.merge_budget_per_tick)
+        return self.policy.merge_budget_per_tick
+
     def tick(self) -> int:
-        """One scheduling pass: arm backpressure, enqueue due tables.
+        """One scheduling pass: step the controller, arm backpressure,
+        enqueue due tables (flush debt ahead of merge debt).
 
         Returns the number of tables enqueued.  Runs in the ticker
         normally; tests call it directly for determinism.
         """
         started = time.perf_counter()
+        controller = self._ensure_controller()
+        if controller is not None:
+            controller.step()
+        flush_limit = self._flush_pending_limit()
         enqueued = 0
+        merge_debt = 0
         for name in self.db.table_names():
             try:
                 table = self.db.table(name)
             except NoSuchTableError:  # dropped between list and lookup
                 continue
             # Re-armed every tick: tables created after start() get
-            # backpressure too, and a policy edit takes effect live.
+            # backpressure too, and a policy (or controller) change
+            # takes effect live.
             table.set_flush_backpressure(
-                self.policy.max_flush_pending,
-                wait_s=self.policy.backpressure_wait_s)
+                flush_limit, wait_s=self.policy.backpressure_wait_s)
+            now = table.clock.now()
+            flush_due = bool(table.flush_pending_count
+                             or table.pending_flush_work(now))
+            if not flush_due:
+                merge_debt += merge_debt_bytes(
+                    table.descriptor.tablets, now, name, table.config)
             with self._set_lock:
                 if name in self._queued:
                     continue
-                if not table.maintenance_due():
+                if not table.maintenance_due(now=now):
                     continue
                 self._queued.add(name)
-            self._queue.put(name)
+            priority = _PRIORITY_FLUSH if flush_due else _PRIORITY_MERGE
+            self._queue.put((priority, next(self._seq), name))
+            (self._m_flush_runs if flush_due else self._m_merge_runs).inc()
             enqueued += 1
+        self._g_merge_debt.set(merge_debt)
         self._m_ticks.inc()
         self._g_depth.set(self._queue.qsize())
         self._h_tick.observe((time.perf_counter() - started) * 1e6)
@@ -172,7 +264,7 @@ class MaintenanceScheduler:
 
     def _worker_loop(self) -> None:
         while True:
-            name = self._queue.get()
+            _priority, _seq, name = self._queue.get()
             if name is _STOP:
                 return
             try:
@@ -189,7 +281,7 @@ class MaintenanceScheduler:
             return
         try:
             report = table.maintenance(
-                merge_budget=self.policy.merge_budget_per_tick,
+                merge_budget=self._merge_budget(),
                 expire_ttl=self.policy.expire_ttl)
         except Exception as exc:  # Table.maintenance isolates per work
             # kind already; this catches the truly unexpected.

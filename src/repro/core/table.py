@@ -239,6 +239,15 @@ class Table:
         self._m_generation_bumps = m.counter("readcache.generation")
         self._m_backpressure = m.counter("insert.backpressure_stalls")
         self._h_backpressure_wait = m.histogram("insert.backpressure_wait_us")
+        # End-to-end latency per insert batch / query call: what the
+        # SLO controller watches in embedded mode (the served mode
+        # adds server.cmd.*.latency_us on top).
+        self._h_insert_latency = m.histogram("insert.latency_us")
+        self._h_query_latency = m.histogram("query.latency_us")
+        # Shared token bucket pacing this table's flush/merge writes
+        # (set by the database when io_rate_limit_bytes_s is
+        # configured, or injected directly; None = unmetered).
+        self.io_limiter = None
         self._h_swap_hold = m.histogram("maintenance.swap_lock_hold_us")
         self._m_deferred = m.counter("maintenance.deferred_deletes")
         self._m_quarantined = m.counter("storage.quarantined_tablets")
@@ -558,6 +567,7 @@ class Table:
         Takes the table's state lock itself - callers need not (and
         should not) wrap inserts in ``table.lock`` anymore.
         """
+        batch_started = time.perf_counter()
         wal = self.wal
         commit_lsn: Optional[int] = None
         error: Optional[DuplicateKeyError] = None
@@ -649,6 +659,11 @@ class Table:
         # (returning) is what implies durability on the WAL tier.
         if commit_lsn is not None:
             wal.commit(commit_lsn)
+        # Observed whether or not a duplicate surfaced: the batch still
+        # traversed the full path (backpressure stall included), which
+        # is the latency signal the SLO controller watches.
+        self._h_insert_latency.observe(
+            (time.perf_counter() - batch_started) * 1e6)
         if error is not None:
             raise error
         return inserted
@@ -909,6 +924,7 @@ class Table:
             block_format=self.config.block_format_version,
             metrics=self.metrics,
             checksums=self.config.checksums,
+            io_limiter=self.io_limiter,
         )
         meta = writer.write(
             self.descriptor.tablet_filename(tablet_id), (),
@@ -1295,6 +1311,7 @@ class Table:
                 block_format=self.config.block_format_version,
                 metrics=self.metrics,
                 checksums=self.config.checksums,
+                io_limiter=self.io_limiter,
             )
             key_of = self.schema.key_of
             pairs = heapq.merge(*[r.scan_pairs() for r in readers],
@@ -1315,6 +1332,7 @@ class Table:
                 block_format=self.config.block_format_version,
                 metrics=self.metrics,
                 checksums=self.config.checksums,
+                io_limiter=self.io_limiter,
             )
             merged = self._merge_streams([
                 self._tablet_rows_translated(source)
@@ -1387,6 +1405,7 @@ class Table:
             metrics=self.metrics,
             expected_rows=plan.total_rows,
             checksums=config.checksums,
+            io_limiter=self.io_limiter,
         )
         # Every source row survives a merge, so the output's timespan
         # and zone map are exactly the union of the sources' metadata;
@@ -1693,6 +1712,7 @@ class Table:
         Runs entirely off the table lock against a snapshot: an
         in-flight merge, flush, or TTL reclaim never blocks it.
         """
+        query_started = time.perf_counter()
         stats = QueryStats()
         limit = self.config.server_row_limit
         if query.limit is not None:
@@ -1711,6 +1731,8 @@ class Table:
         self._absorb_stats(stats)
         self.counters.queries += 1
         self._m_queries.inc()
+        self._h_query_latency.observe(
+            (time.perf_counter() - query_started) * 1e6)
         return QueryResult(rows, more_available, stats)
 
     def _absorb_stats(self, stats: QueryStats) -> None:

@@ -188,13 +188,17 @@ class TabletSink:
                  bloom_bits_per_row: int = 0,
                  block_format: int = BLOCK_FORMAT_V2,
                  metrics=None, expected_rows: int = 0,
-                 checksums: bool = True):
+                 checksums: bool = True, io_limiter=None):
         self.disk = disk
         self.schema = schema
         self.codec = codec_id(compression)
         self.block_size = block_size
         self.block_format = block_format
         self.checksums = checksums
+        # Optional token bucket pacing background writes: debited once
+        # per compressed block as it is cut, so a large merge yields
+        # between blocks instead of bursting the whole rewrite.
+        self.io_limiter = io_limiter
         self._block_crcs: List[int] = []
         self.bloom_bits_per_row = bloom_bits_per_row
         self.schema_codec = SchemaCodec(schema, metrics)
@@ -310,6 +314,8 @@ class TabletSink:
     def _cut_v2(self) -> None:
         raw = self.schema_codec.encode_rows(self._rows)
         payload = compress(self.codec, raw)
+        if self.io_limiter is not None:
+            self.io_limiter.acquire(len(payload))
         self._entries.append(_BlockEntry(
             len(self._body), len(payload), len(self._rows), self._keys[-1]))
         if self.checksums:
@@ -321,6 +327,8 @@ class TabletSink:
 
     def _cut_v1(self) -> None:
         payload, count, _raw = self._builder.finish(self.codec)
+        if self.io_limiter is not None:
+            self.io_limiter.acquire(len(payload))
         self._entries.append(_BlockEntry(
             len(self._body), len(payload), count, self.last_key))
         if self.checksums:
@@ -345,6 +353,8 @@ class TabletSink:
         / ``note_ts_bounds``) since the rows are never decoded here.
         """
         self._cut_pending()
+        if self.io_limiter is not None:
+            self.io_limiter.acquire(len(payload))
         self._entries.append(_BlockEntry(
             len(self._body), len(payload), row_count, last_key))
         if self.checksums:
@@ -413,6 +423,8 @@ class TabletSink:
             trailer += (crc32c(compressed_footer).to_bytes(4, "little")
                         + CHECKSUM_MAGIC)
         file_bytes = bytes(self._body) + compressed_footer + trailer
+        if self.io_limiter is not None:
+            self.io_limiter.acquire(len(compressed_footer) + len(trailer))
         self.disk.fire("tablet.write")
         self.disk.write_file(filename, file_bytes)
         return TabletMeta(
@@ -467,7 +479,7 @@ class TabletWriter:
                  block_size: int, compression: str,
                  bloom_bits_per_row: int = 0,
                  block_format: int = BLOCK_FORMAT_V2,
-                 metrics=None, checksums: bool = True):
+                 metrics=None, checksums: bool = True, io_limiter=None):
         self.disk = disk
         self.schema = schema
         self.codec = codec_id(compression)
@@ -477,6 +489,7 @@ class TabletWriter:
         self.block_format = block_format
         self.checksums = checksums
         self.metrics = metrics
+        self.io_limiter = io_limiter
         self._row_codec = RowCodec(schema)
 
     def write(self, filename: str, rows: Iterable[Tuple[Any, ...]],
@@ -500,7 +513,8 @@ class TabletWriter:
                           self.compression, self.bloom_bits_per_row,
                           self.block_format, metrics=self.metrics,
                           expected_rows=expected_rows,
-                          checksums=self.checksums)
+                          checksums=self.checksums,
+                          io_limiter=self.io_limiter)
         if sized_pairs is not None:
             for row, size in sized_pairs:
                 sink.add_row(row, size=size)

@@ -220,6 +220,59 @@ def maintenance_summary(snapshot: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
+def sched_summary(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """The SLO scheduler / IO throttle corner of a snapshot.
+
+    Is the adaptive controller engaged (``throttle_pct`` nonzero, SLO
+    breaches counted), what merge IO rate is it currently granting,
+    how much merge debt is queued behind flush work, and how much the
+    rate limiter actually held writes back.  The ``sched`` subsection
+    of ``ltdb stats --json`` and the engine-health page both render
+    this.
+    """
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    wait = histograms.get("io.throttle_wait_us", {})
+    return {
+        "throttle_pct": gauges.get("sched.throttle_pct", 0),
+        "watched_p99_us": gauges.get("sched.watched_p99_us", 0),
+        "slo_breaches": counters.get("sched.slo_breaches", 0),
+        "merge_rate_bytes_s": gauges.get("sched.merge_rate_bytes_s", 0),
+        "io_rate_bytes_s": gauges.get("io.rate_bytes_s", 0),
+        "flush_pending_limit": gauges.get("sched.flush_pending_limit", 0),
+        "merge_debt_bytes": gauges.get("sched.merge_debt_bytes", 0),
+        "flush_priority_runs": counters.get("sched.flush_priority_runs", 0),
+        "merge_priority_runs": counters.get("sched.merge_priority_runs", 0),
+        "throttle_waits": counters.get("io.throttle_waits", 0),
+        "throttled_bytes": counters.get("io.throttled_bytes", 0),
+        "throttle_wait_p99_us": wait.get("p99"),
+    }
+
+
+def admission_summary(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """The overload-protection corner of a snapshot.
+
+    How loaded the front door is (in-flight requests, queue waits)
+    and how much it refused: slot sheds (admission queue timed out)
+    versus deadline sheds (the request overran its client-propagated
+    budget while queued).  The ``admission`` subsection of ``ltdb
+    stats --json`` and the engine-health page both render this.
+    """
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    wait = histograms.get("server.admission.queue_wait_us", {})
+    return {
+        "inflight": gauges.get("server.admission.inflight", 0),
+        "shed": counters.get("server.admission.shed", 0),
+        "deadline_sheds": counters.get("server.admission.deadline_sheds", 0),
+        "queue_wait_p99_us": wait.get("p99"),
+        "shard_overload_sheds": counters.get("shard.overload_sheds", 0),
+        "shard_cooldown_skips": counters.get("shard.cooldown_skips", 0),
+    }
+
+
 def fault_summary(snapshot: Dict[str, Any]) -> Dict[str, Any]:
     """The fault-tolerance corner of a snapshot.
 
@@ -305,6 +358,33 @@ def render_metrics_page(page: Dict[str, Any]) -> str:
     lines.append(
         f"backpressure: stalls={stalls['stalls']}, "
         f"wait_p99={us(stalls['wait_p99_us'])}")
+    sched = sched_summary(page.get("metrics", {}))
+    lines.append("")
+    lines.append("== slo scheduler ==")
+    lines.append(
+        f"throttle={sched['throttle_pct']}%, "
+        f"watched_p99={us(sched['watched_p99_us'])}, "
+        f"slo_breaches={sched['slo_breaches']}, "
+        f"merge_rate={sched['merge_rate_bytes_s']}B/s")
+    lines.append(
+        f"priorities: flush_runs={sched['flush_priority_runs']}, "
+        f"merge_runs={sched['merge_priority_runs']}, "
+        f"merge_debt={sched['merge_debt_bytes']}B, "
+        f"flush_pending_limit={sched['flush_pending_limit']}")
+    lines.append(
+        f"io throttle: waits={sched['throttle_waits']}, "
+        f"throttled_bytes={sched['throttled_bytes']}, "
+        f"wait_p99={us(sched['throttle_wait_p99_us'])}")
+    admission = admission_summary(page.get("metrics", {}))
+    lines.append("")
+    lines.append("== admission ==")
+    lines.append(
+        f"inflight={admission['inflight']}, shed={admission['shed']}, "
+        f"deadline_sheds={admission['deadline_sheds']}, "
+        f"queue_wait_p99={us(admission['queue_wait_p99_us'])}")
+    lines.append(
+        f"shard overloads: sheds={admission['shard_overload_sheds']}, "
+        f"cooldown_skips={admission['shard_cooldown_skips']}")
     push = pushdown_summary(page.get("metrics", {}))
     lines.append("")
     lines.append("== query pushdown ==")

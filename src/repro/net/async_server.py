@@ -29,13 +29,14 @@ import logging
 import os
 import struct
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, Optional
 
 from ..core.maintenance import MaintenancePolicy
 from ..core.scheduler import MaintenanceScheduler
 from . import protocol
-from .server import RequestDispatcher
+from .server import AdmissionController, RequestDispatcher
 
 logger = logging.getLogger(__name__)
 
@@ -54,9 +55,21 @@ class AsyncLittleTableServer:
 
     def __init__(self, db: Any, host: str = "127.0.0.1", port: int = 0,
                  policy: Optional[MaintenancePolicy] = None,
-                 max_workers: Optional[int] = None):
+                 max_workers: Optional[int] = None,
+                 max_inflight_requests: Optional[int] = None,
+                 admission_queue_timeout_s: float = 0.25):
         self.db = db
-        self.dispatcher = RequestDispatcher(db)
+        # Admission control: bound concurrently-executing requests and
+        # shed (typed, retryable) what cannot start within its budget.
+        # Queue time on the dispatch executor counts against each
+        # request's propagated deadline via the arrival stamp below.
+        self.admission: Optional[AdmissionController] = None
+        if max_inflight_requests is not None:
+            self.admission = AdmissionController(
+                max_inflight_requests,
+                queue_timeout_s=admission_queue_timeout_s,
+                metrics=db.metrics)
+        self.dispatcher = RequestDispatcher(db, admission=self.admission)
         self.metrics = db.metrics
         self.policy = policy
         self._host = host
@@ -205,6 +218,11 @@ class AsyncLittleTableServer:
                 except (asyncio.IncompleteReadError, ConnectionError,
                         protocol.ProtocolError):
                     return
+                # Stamp the frame's arrival so time spent queued on the
+                # dispatch executor counts against the request's
+                # propagated deadline (the dispatcher pops this key).
+                if isinstance(request, dict):
+                    request["_arrival_monotonic"] = time.monotonic()
                 if request.get("id") is not None:
                     # v2 pipelined: run concurrently, answer when done.
                     self._m_pipelined.inc()

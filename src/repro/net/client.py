@@ -35,6 +35,7 @@ from ..core.durability import DurabilityPolicy
 from ..core.errors import (
     LittleTableError,
     NoSuchTableError,
+    OverloadedError,
     ServerError,
 )
 from ..core.schema import Schema
@@ -73,7 +74,14 @@ def _error_from_response(response: Dict[str, Any]) -> LittleTableError:
     message = response.get("message", "server error")
     cls = _LOCAL_ERROR_TYPES.get(code)
     if cls is not None:
-        return cls(message)
+        error = cls(message)
+        if isinstance(error, OverloadedError):
+            # Shed responses carry the server's backoff hint; the
+            # retry loop sleeps exactly this long instead of guessing.
+            retry_after = response.get("retry_after")
+            if isinstance(retry_after, (int, float)):
+                error.retry_after_s = float(retry_after)
+        return error
     error = ServerError(f"{code}: {message}" if code else message)
     error.code = code or None
     return error
@@ -274,29 +282,65 @@ class LittleTableClient:
               idempotent: bool = False) -> Dict[str, Any]:
         """One request/response exchange, with bounded retries.
 
+        All attempts share ONE overall deadline derived from
+        ``request_timeout_s`` at entry: each attempt's socket timeout
+        is the *remaining* budget and backoff sleeps never overrun it,
+        so the caller waits at most ~``request_timeout_s`` total - not
+        attempts x timeout, as the old per-attempt re-arm allowed.
+
         Only ``idempotent`` requests survive a broken connection:
         they are resent through a fresh connection up to
         ``max_retries`` times with jittered exponential backoff.
         Non-idempotent requests (inserts, DDL) always surface the
         first :class:`ConnectionLost` - the server may have applied
         them, so only the application can safely decide to resend
-        (the paper's §4.1 recovery protocol).
+        (the paper's §4.1 recovery protocol).  :class:`OverloadedError`
+        sheds are the exception: the server guarantees a shed request
+        was never started, so *any* request retries through them,
+        honouring the server's ``retry_after`` hint.
         """
-        retries = (self.max_retries
-                   if idempotent and self.auto_reconnect else 0)
+        deadline: Optional[float] = None
+        if self.request_timeout_s is not None:
+            deadline = time.monotonic() + self.request_timeout_s
+            # Propagate the budget so the server can shed (rather than
+            # execute) a request that already overran it while queued.
+            message = dict(message)
+        retry_connection = idempotent and self.auto_reconnect
         last_error: Optional[Exception] = None
-        for attempt in range(retries + 1):
-            if attempt:
-                self._backoff(attempt - 1)
+        for attempt in range(self.max_retries + 1):
             try:
                 if self._sock is None:
-                    if not (idempotent and self.auto_reconnect):
+                    can_reconnect = self.auto_reconnect and (
+                        idempotent or isinstance(last_error,
+                                                 OverloadedError))
+                    if not can_reconnect:
                         raise ConnectionLost("not connected")
                     self.connect()
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 and last_error is not None:
+                        break
+                    self._sock.settimeout(max(remaining, 0.001))
+                    message["deadline_ms"] = max(
+                        int(remaining * 1000), 1)
                 return self._call_once(message)
             except (ConnectionLost, OSError) as exc:
                 self.close()
                 last_error = exc
+                if not retry_connection:
+                    break
+            except OverloadedError as exc:
+                # Shed before execution - never partially applied, so
+                # even non-idempotent requests resend safely.
+                last_error = exc
+            if attempt >= self.max_retries:
+                break
+            if not self._backoff_within(attempt, deadline,
+                                        getattr(last_error,
+                                                "retry_after_s", None)):
+                break  # the shared budget cannot fund another attempt
+        if isinstance(last_error, OverloadedError):
+            raise last_error
         if isinstance(last_error, ConnectionLost):
             raise last_error
         raise ConnectionLost(str(last_error)) from last_error
@@ -320,6 +364,27 @@ class LittleTableClient:
         delay = min(self.retry_backoff_max_s,
                     self.retry_backoff_s * (2 ** attempt))
         self._sleep(delay * (0.5 + 0.5 * self._rng.random()))
+
+    def _backoff_within(self, attempt: int, deadline: Optional[float],
+                        retry_after_s: Optional[float] = None) -> bool:
+        """Sleep before the next attempt, bounded by the shared
+        deadline.  A server-supplied ``retry_after`` hint replaces the
+        jittered exponential guess.  Returns False - without sleeping
+        past the budget - when the deadline cannot fund the wait plus
+        a meaningful attempt."""
+        if retry_after_s is not None:
+            delay = float(retry_after_s)
+        else:
+            delay = min(self.retry_backoff_max_s,
+                        self.retry_backoff_s * (2 ** attempt))
+            delay *= (0.5 + 0.5 * self._rng.random())
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if delay >= remaining:
+                return False
+        if delay > 0:
+            self._sleep(delay)
+        return True
 
     def ping(self) -> bool:
         """Round-trip liveness check."""

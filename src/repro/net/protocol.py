@@ -141,8 +141,12 @@ def _recv_exact(sock: socket.socket, length: int) -> bytes:
     return b"".join(chunks)
 
 
-def error_response(kind: str, message: str) -> Dict[str, Any]:
-    return {"ok": False, "error": kind, "message": message}
+def error_response(kind: str, message: str, **fields: Any) -> Dict[str, Any]:
+    """Build an error reply; extra ``fields`` ride alongside (e.g. the
+    ``retry_after`` hint on ``OverloadedError`` sheds)."""
+    response = {"ok": False, "error": kind, "message": message}
+    response.update(fields)
+    return response
 
 
 def ok_response(**fields: Any) -> Dict[str, Any]:

@@ -38,7 +38,7 @@ _WRITE_COMMANDS = frozenset(
 from ..core import errors as _errors
 from ..core.database import LittleTable
 from ..core.durability import DurabilityPolicy
-from ..core.errors import LittleTableError
+from ..core.errors import LittleTableError, OverloadedError
 from ..core.maintenance import MaintenancePolicy, MaintenanceReport
 from ..core.row import ASCENDING, DESCENDING, KeyRange, Query, TimeRange
 from ..core.scheduler import MaintenanceScheduler
@@ -96,7 +96,9 @@ class LittleTableServer:
     def __init__(self, db: LittleTable, host: str = "127.0.0.1",
                  port: int = 0,
                  maintenance_interval_s: Optional[float] = None,
-                 policy: Optional[MaintenancePolicy] = None):
+                 policy: Optional[MaintenancePolicy] = None,
+                 max_inflight_requests: Optional[int] = None,
+                 admission_queue_timeout_s: float = 0.25):
         self.db = db
         self._tcp = _ThreadingServer((host, port), _Handler)
         self._tcp.littletable = self  # type: ignore[attr-defined]
@@ -123,9 +125,19 @@ class LittleTableServer:
         # so one STATS snapshot covers engine and network together.
         self.metrics = db.metrics
         self._m_connections = self.metrics.gauge("server.active_connections")
+        # Admission control (overload protection): bound the requests
+        # executing at once and shed - with a typed, retryable error -
+        # anything that cannot start within its queue-time budget.
+        # None (the default) accepts unbounded work, as before.
+        self.admission: Optional[AdmissionController] = None
+        if max_inflight_requests is not None:
+            self.admission = AdmissionController(
+                max_inflight_requests,
+                queue_timeout_s=admission_queue_timeout_s,
+                metrics=self.metrics)
         # All command handling is delegated to the shared dispatcher
         # (the asyncio front end reuses the same one).
-        self.dispatcher = RequestDispatcher(db)
+        self.dispatcher = RequestDispatcher(db, admission=self.admission)
 
     def run_maintenance(self) -> MaintenanceReport:
         """One synchronous maintenance pass over every table.
@@ -221,6 +233,93 @@ class LittleTableServer:
         return self.dispatcher.dispatch(request)
 
 
+#: Commands admission control never sheds: the handshake, liveness
+#: probes, and the stats read an operator needs in order to *see* the
+#: overload.  All three are cheap and touch no table state.
+_ADMISSION_EXEMPT = frozenset({"hello", "ping", "stats"})
+
+
+class AdmissionController:
+    """Bounded in-flight requests plus a queue-time deadline.
+
+    Overload protection at the front door: at most ``max_inflight``
+    requests execute concurrently; a request that cannot get a slot
+    within ``queue_timeout_s`` (or its own propagated deadline,
+    whichever is sooner) is *shed* with :class:`OverloadedError` -
+    before any handler runs, so a shed request is never partially
+    applied and is always safe to retry.  The error carries a
+    ``retry_after_s`` hint the client's backoff honours.
+
+    Shared by both server fronts; also usable standalone in tests.
+    Metrics: ``server.admission.inflight`` (gauge),
+    ``server.admission.shed``, ``server.admission.queue_wait_us``.
+    """
+
+    def __init__(self, max_inflight: int, queue_timeout_s: float = 0.25,
+                 metrics=None, clock=time.monotonic):
+        if max_inflight <= 0:
+            raise ValueError("max_inflight must be positive")
+        if queue_timeout_s < 0:
+            raise ValueError("queue_timeout_s must be >= 0")
+        self.max_inflight = max_inflight
+        self.queue_timeout_s = queue_timeout_s
+        self._clock = clock
+        self._cond = threading.Condition(threading.Lock())
+        self._inflight = 0
+        self._g_inflight = self._m_shed = self._h_wait = None
+        if metrics is not None:
+            self._g_inflight = metrics.gauge("server.admission.inflight")
+            self._m_shed = metrics.counter("server.admission.shed")
+            self._h_wait = metrics.histogram("server.admission.queue_wait_us")
+
+    @property
+    def inflight(self) -> int:
+        with self._cond:
+            return self._inflight
+
+    def retry_after_s(self) -> float:
+        """The backoff hint sent with sheds: long enough for the
+        current in-flight wave to drain, cheap to compute."""
+        return max(self.queue_timeout_s, 0.05)
+
+    def admit(self, deadline: Optional[float] = None) -> float:
+        """Take an execution slot or raise :class:`OverloadedError`.
+
+        Waits at most ``queue_timeout_s`` - clamped to the request's
+        own ``deadline`` (absolute, on this controller's clock) when
+        one was propagated.  Returns the seconds spent queued.
+        """
+        arrived = self._clock()
+        give_up = arrived + self.queue_timeout_s
+        if deadline is not None:
+            give_up = min(give_up, deadline)
+        with self._cond:
+            while self._inflight >= self.max_inflight:
+                remaining = give_up - self._clock()
+                if remaining <= 0:
+                    if self._m_shed is not None:
+                        self._m_shed.inc()
+                    raise OverloadedError(
+                        f"server overloaded: {self.max_inflight} requests "
+                        "in flight and the queue-time budget is spent",
+                        retry_after_s=self.retry_after_s())
+                self._cond.wait(remaining)
+            self._inflight += 1
+            if self._g_inflight is not None:
+                self._g_inflight.set(self._inflight)
+        waited = self._clock() - arrived
+        if self._h_wait is not None and waited > 0:
+            self._h_wait.observe(waited * 1e6)
+        return waited
+
+    def release(self) -> None:
+        with self._cond:
+            self._inflight -= 1
+            if self._g_inflight is not None:
+                self._g_inflight.set(self._inflight)
+            self._cond.notify()
+
+
 class RequestDispatcher:
     """Maps protocol commands onto a database-shaped object.
 
@@ -235,9 +334,11 @@ class RequestDispatcher:
     like a server crash to the other clients).
     """
 
-    def __init__(self, db: Any):
+    def __init__(self, db: Any,
+                 admission: Optional[AdmissionController] = None):
         self.db = db
         self.metrics = db.metrics
+        self.admission = admission
         self._m_requests = self.metrics.counter("server.requests")
         self._m_errors = self.metrics.counter("server.errors")
 
@@ -251,29 +352,67 @@ class RequestDispatcher:
             return self._tag(protocol.error_response(
                 "ProtocolViolationError", f"unknown command {command!r}"),
                 request_id)
-        if command in _WRITE_COMMANDS and self.db.read_only:
-            self._m_errors.inc()
-            self.metrics.counter("fault.read_only_rejections").inc()
-            return self._tag(protocol.error_response(
-                "ReadOnlyModeError",
-                f"server is read-only: {self.db.read_only_reason}"),
-                request_id)
-        started = time.perf_counter()
+        # Deadline propagation: the client stamps its remaining budget
+        # (``deadline_ms``); the async front stamps the frame's arrival
+        # time so executor queueing counts against it too.
+        arrival = request.pop("_arrival_monotonic", None)
+        deadline = None
+        deadline_ms = request.get("deadline_ms")
+        if isinstance(deadline_ms, (int, float)) and deadline_ms > 0:
+            deadline = ((arrival if arrival is not None
+                         else time.monotonic()) + deadline_ms / 1000.0)
+        admitted = False
+        if self.admission is not None and command not in _ADMISSION_EXEMPT:
+            try:
+                self.admission.admit(deadline)
+                admitted = True
+            except OverloadedError as exc:
+                self._m_errors.inc()
+                return self._tag(protocol.error_response(
+                    "OverloadedError", str(exc),
+                    retry_after=exc.retry_after_s), request_id)
         try:
-            response = handler(request)
-        except LittleTableError as exc:
-            self._m_errors.inc()
-            return self._tag(protocol.error_response(
-                type(exc).__name__, str(exc)), request_id)
-        except Exception as exc:  # defensive: keep the server up
-            self._m_errors.inc()
-            return self._tag(protocol.error_response(
-                "ServerError", str(exc)), request_id)
-        # Latency is recorded after the handler so a STATS snapshot
-        # never includes the request that carried it.
-        self.metrics.histogram(f"server.cmd.{command}.latency_us").observe(
-            (time.perf_counter() - started) * 1e6)
-        return self._tag(response, request_id)
+            if command in _WRITE_COMMANDS and self.db.read_only:
+                self._m_errors.inc()
+                self.metrics.counter("fault.read_only_rejections").inc()
+                return self._tag(protocol.error_response(
+                    "ReadOnlyModeError",
+                    f"server is read-only: {self.db.read_only_reason}"),
+                    request_id)
+            # A request that overran its deadline while queued is shed
+            # *before* the handler: nothing was executed, so nothing is
+            # partially applied and the client may retry freely.
+            if deadline is not None and time.monotonic() > deadline:
+                self._m_errors.inc()
+                self.metrics.counter("server.admission.deadline_sheds").inc()
+                return self._tag(protocol.error_response(
+                    "OverloadedError",
+                    "request deadline expired before execution",
+                    retry_after=0.0), request_id)
+            started = time.perf_counter()
+            try:
+                response = handler(request)
+            except LittleTableError as exc:
+                self._m_errors.inc()
+                fields = {}
+                retry_after = getattr(exc, "retry_after_s", None)
+                if retry_after is not None:
+                    fields["retry_after"] = retry_after
+                return self._tag(protocol.error_response(
+                    type(exc).__name__, str(exc), **fields), request_id)
+            except Exception as exc:  # defensive: keep the server up
+                self._m_errors.inc()
+                return self._tag(protocol.error_response(
+                    "ServerError", str(exc)), request_id)
+            # Latency is recorded after the handler so a STATS snapshot
+            # never includes the request that carried it.
+            self.metrics.histogram(
+                f"server.cmd.{command}.latency_us").observe(
+                (time.perf_counter() - started) * 1e6)
+            return self._tag(response, request_id)
+        finally:
+            if admitted:
+                self.admission.release()
 
     @staticmethod
     def _tag(response: Dict[str, Any],

@@ -37,13 +37,15 @@ workers - and the router itself - keep serving.
 from __future__ import annotations
 
 import heapq
+import time
 import zlib
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.config import EngineConfig
 from ..core.database import LittleTable
-from ..core.errors import LittleTableError, ShardDegradedError
+from ..core.errors import (LittleTableError, OverloadedError,
+                           ShardDegradedError)
 from ..core.maintenance import MaintenancePolicy, MaintenanceReport
 from ..core.periods import FOUR_HOURS
 from ..core.row import DESCENDING, KeyRange, Query, QueryStats, TimeRange
@@ -320,6 +322,14 @@ class ShardRouter:
         # until revive_shard; guarded only by the GIL (reads are
         # racy-but-monotonic, which is fine for routing decisions).
         self._down: Dict[int, str] = {}
+        # Overload cooldowns: shard index -> monotonic deadline.  A
+        # worker that shed with OverloadedError is skipped - fast,
+        # with a typed retryable error - until the deadline passes,
+        # so one overloaded shard cannot drag every fan-out query's
+        # tail behind its admission queue.  Non-sticky by design:
+        # unlike a crash, overload heals by itself.
+        self._overloaded_until: Dict[int, float] = {}
+        self.overload_cooldown_s = 1.0
         self._pool = ThreadPoolExecutor(
             max_workers=max(2, len(self.engines)),
             thread_name_prefix="shard")
@@ -328,6 +338,9 @@ class ShardRouter:
         self._m_degraded = self.metrics.gauge("shard.degraded")
         self._m_crashes = self.metrics.counter("shard.worker_crashes")
         self._m_routed = self.metrics.counter("shard.rows_routed")
+        self._m_overload_sheds = self.metrics.counter("shard.overload_sheds")
+        self._m_cooldown_skips = self.metrics.counter(
+            "shard.cooldown_skips")
 
     # ------------------------------------------------------------ shape
 
@@ -368,22 +381,59 @@ class ShardRouter:
             ts = self.clock.now()
         return shard_of((), ts, len(self.engines))
 
+    def mark_overloaded(self, index: int,
+                        retry_after_s: Optional[float] = None) -> None:
+        """Put one shard into overload cooldown: requests touching it
+        shed immediately (typed, retryable) until the cooldown lapses.
+        Called internally when a worker raises
+        :class:`OverloadedError`; also an operator/test hook."""
+        cooldown = (retry_after_s if retry_after_s is not None
+                    else self.overload_cooldown_s)
+        self._overloaded_until[index] = time.monotonic() + cooldown
+        self._m_overload_sheds.inc()
+
+    def _overload_remaining(self, index: int) -> float:
+        """Seconds of cooldown left for one shard (<= 0 when healthy).
+        A lapsed entry is reaped so the dict never grows."""
+        until = self._overloaded_until.get(index)
+        if until is None:
+            return 0.0
+        remaining = until - time.monotonic()
+        if remaining <= 0:
+            self._overloaded_until.pop(index, None)
+        return remaining
+
+    def _check_overloaded(self, index: int) -> None:
+        remaining = self._overload_remaining(index)
+        if remaining > 0:
+            self._m_cooldown_skips.inc()
+            raise OverloadedError(
+                f"shard {index} is overloaded (cooldown "
+                f"{remaining:.2f}s remaining)",
+                retry_after_s=remaining)
+
     def _run(self, index: int, fn: Callable[[LittleTable], Any]) -> Any:
         """Run one operation on one worker, with crash isolation.
 
         Engine errors (validation, duplicate keys, read-only mode...)
         pass through: they are the worker answering, not dying.
-        Anything else - failpoint CrashPoints, torn I/O, internal
-        bugs - marks the worker down and surfaces as
-        :class:`ShardDegradedError` so the router keeps serving the
+        :class:`OverloadedError` additionally puts the shard into a
+        short cooldown so follow-up fan-outs shed fast instead of
+        queueing behind it.  Anything else - failpoint CrashPoints,
+        torn I/O, internal bugs - marks the worker down and surfaces
+        as :class:`ShardDegradedError` so the router keeps serving the
         surviving shards.
         """
         reason = self._down.get(index)
         if reason is not None:
             raise ShardDegradedError(
                 f"shard {index} is down: {reason}")
+        self._check_overloaded(index)
         try:
             return fn(self.engines[index])
+        except OverloadedError as exc:
+            self.mark_overloaded(index, exc.retry_after_s)
+            raise
         except LittleTableError:
             raise
         except BaseException as exc:
@@ -411,6 +461,11 @@ class ShardRouter:
                              sorted(self._down.items()))
             raise ShardDegradedError(
                 f"operation spans all shards but some are down: {down}")
+        # Health-aware scatter: a shard in overload cooldown sheds the
+        # whole fan-out up front - a fast typed retryable error -
+        # rather than letting one slow worker set every query's tail.
+        for index in indexes:
+            self._check_overloaded(index)
         if len(indexes) == 1:
             return [self._run(indexes[0], fn)]
         futures = [
@@ -424,6 +479,17 @@ class ShardRouter:
             except BaseException as exc:
                 errors.append(exc)
         if errors:
+            # Degradation (data unavailable) outranks overload
+            # (transient); among overloads surface the longest hint so
+            # the client's single backoff clears every cooldown.
+            for error in errors:
+                if isinstance(error, ShardDegradedError):
+                    raise error
+            overloads = [e for e in errors
+                         if isinstance(e, OverloadedError)]
+            if overloads:
+                raise max(overloads,
+                          key=lambda e: e.retry_after_s or 0)
             raise errors[0]
         return results
 
@@ -709,11 +775,16 @@ class ShardRouter:
             self._run(index, lambda db: db.flush_all())
 
     def close(self) -> None:
-        """Clean shutdown of every live worker, then the pool."""
+        """Clean shutdown of every live worker, then the pool.
+
+        Bypasses :meth:`_run`: shutdown must proceed even through an
+        overload cooldown, and a worker dying mid-close changes
+        nothing about closing the rest.
+        """
         for index in self._live_indexes():
             try:
-                self._run(index, lambda db: db.close())
-            except ShardDegradedError:
+                self.engines[index].close()
+            except Exception:
                 continue
         self._pool.shutdown(wait=True)
 
